@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("native measurement is wall-clock bound")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-grid", "small", "-publishers", "2",
+		"-warmup", "20ms", "-measure", "80ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"native study", "measured points", "Table I", "fit diagnostics", "Fig4(native)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("native measurement is wall-clock bound")
+	}
+	var out bytes.Buffer
+	err := run([]string{"-identical", "-publishers", "2", "-warmup", "20ms", "-measure", "80ms"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ratio:") {
+		t.Errorf("identical experiment output missing ratio: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-type", "bogus"}, &out); err == nil {
+		t.Error("bogus type accepted")
+	}
+	if err := run([]string{"-grid", "bogus"}, &out); err == nil {
+		t.Error("bogus grid accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

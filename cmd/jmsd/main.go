@@ -1,0 +1,83 @@
+// Command jmsd runs a standalone JMS-style broker over TCP.
+//
+// Usage:
+//
+//	jmsd -addr :7650 -topics presence,orders -inflight 64
+//
+// Clients connect with the repro/internal/client package (or any
+// implementation of the wire protocol in repro/internal/wire).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/broker"
+	"repro/internal/wire"
+)
+
+func main() {
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		<-sigCh
+		close(stop)
+	}()
+	if err := run(os.Args[1:], stop, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run starts the daemon and blocks until stop is closed. If ready is
+// non-nil, the listen address is sent on it once the server is up.
+func run(args []string, stop <-chan struct{}, ready chan<- string) error {
+	fs := flag.NewFlagSet("jmsd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7650", "listen address")
+	topics := fs.String("topics", "default", "comma-separated topics to configure at start")
+	inFlight := fs.Int("inflight", 64, "per-topic in-flight window (publisher push-back)")
+	subBuffer := fs.Int("subbuffer", 64, "per-subscriber delivery queue length")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	b := broker.New(broker.Options{InFlight: *inFlight, SubscriberBuffer: *subBuffer})
+	for _, name := range strings.Split(*topics, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if err := b.ConfigureTopic(name); err != nil {
+			return fmt.Errorf("configure topic %q: %w", name, err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := wire.Serve(b, ln)
+	log.Printf("jmsd: listening on %s, topics: %s", ln.Addr(), strings.Join(b.Topics(), ", "))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	<-stop
+	log.Printf("jmsd: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("jmsd: server close: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		log.Printf("jmsd: broker close: %v", err)
+	}
+	s := b.Stats()
+	log.Printf("jmsd: received=%d dispatched=%d filterEvals=%d dropped=%d",
+		s.Received, s.Dispatched, s.FilterEvals, s.Dropped)
+	return nil
+}

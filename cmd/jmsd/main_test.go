@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/jms"
+	"repro/internal/wire"
+)
+
+func TestDaemonServesClients(t *testing.T) {
+	stop := make(chan struct{})
+	ready := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"-addr", "127.0.0.1:0", "-topics", "a,b"}, stop, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	sub, err := c.Subscribe(ctx, "a", wire.FilterSpec{Mode: wire.FilterNone}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(ctx, jms.NewMessage("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Receive(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	close(stop)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon shutdown error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	stop := make(chan struct{})
+	if err := run([]string{"-bogus"}, stop, nil); err == nil {
+		t.Error("bogus flag accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:-1"}, stop, nil); err == nil {
+		t.Error("bad address accepted")
+	}
+	if err := run([]string{"-topics", "a,a"}, stop, nil); err == nil {
+		t.Error("duplicate topics accepted")
+	}
+}

@@ -1,0 +1,136 @@
+// Command jmsfigs regenerates the data behind every figure and table of
+// the paper's evaluation from the calibrated cost model (Table I
+// constants), printing CSV series to stdout or a file.
+//
+// Usage:
+//
+//	jmsfigs -fig 4            # Figure 4 (throughput, measured vs model)
+//	jmsfigs -fig 12           # Figure 12 (waiting-time quantiles)
+//	jmsfigs -eq3              # the Eq. 3 break-even table
+//	jmsfigs -all -o out/      # everything, one CSV file per artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type artifact struct {
+	name     string
+	generate func() ([]bench.Series, error)
+}
+
+func artifacts(ft core.FilterType, messages int, seed int64) []artifact {
+	return []artifact{
+		{name: "fig4", generate: func() ([]bench.Series, error) { return bench.Fig4(ft, messages, seed) }},
+		{name: "fig5", generate: bench.Fig5},
+		{name: "fig6", generate: bench.Fig6},
+		{name: "eq3", generate: bench.Eq3Table},
+		{name: "fig8", generate: func() ([]bench.Series, error) { return bench.Fig8(nil) }},
+		{name: "fig9", generate: func() ([]bench.Series, error) { return bench.Fig9(nil) }},
+		{name: "fig10", generate: func() ([]bench.Series, error) { return bench.Fig10(nil) }},
+		{name: "fig11", generate: func() ([]bench.Series, error) { return bench.Fig11(0.9, nil, 50, 51) }},
+		{name: "fig11des", generate: func() ([]bench.Series, error) {
+			return bench.Fig11DES(0.9, nil, 50, 26, 2000000, seed)
+		}},
+		{name: "fig12", generate: func() ([]bench.Series, error) { return bench.Fig12(nil) }},
+		{name: "fig15", generate: func() ([]bench.Series, error) { return bench.Fig15(nil) }},
+		{name: "psrwait", generate: func() ([]bench.Series, error) { return bench.PSRWaitTable(nil) }},
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("jmsfigs", flag.ContinueOnError)
+	fig := fs.Int("fig", 0, "figure number to regenerate (4,5,6,8,9,10,11,12,15)")
+	des := fs.Bool("des", false, "with -fig 11: add the discrete-event simulation overlay")
+	eq3 := fs.Bool("eq3", false, "regenerate the Eq. 3 break-even table")
+	all := fs.Bool("all", false, "regenerate every artifact")
+	ftName := fs.String("type", "corrid", "filter type for Fig. 4: corrid or appprop")
+	messages := fs.Int("messages", 50000, "virtual-time messages per Fig. 4 scenario")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	outDir := fs.String("o", "", "output directory (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var ft core.FilterType
+	switch *ftName {
+	case "corrid":
+		ft = core.CorrelationIDFiltering
+	case "appprop":
+		ft = core.ApplicationPropertyFiltering
+	default:
+		return fmt.Errorf("unknown -type %q (want corrid or appprop)", *ftName)
+	}
+
+	arts := artifacts(ft, *messages, *seed)
+	var selected []artifact
+	switch {
+	case *all:
+		selected = arts
+	case *eq3:
+		selected = pick(arts, "eq3")
+	case *fig == 11 && *des:
+		selected = pick(arts, "fig11des")
+	case *fig != 0:
+		selected = pick(arts, fmt.Sprintf("fig%d", *fig))
+	default:
+		return fmt.Errorf("nothing selected: use -fig N, -eq3 or -all")
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no such artifact (valid: 4,5,6,8,9,10,11,12,15 and -eq3)")
+	}
+
+	for _, a := range selected {
+		series, err := a.generate()
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.name, err)
+		}
+		w := stdout
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*outDir, a.name+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteAll(f, series); err != nil {
+				_ = f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", filepath.Join(*outDir, a.name+".csv"))
+			continue
+		}
+		if err := bench.WriteAll(w, series); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func pick(arts []artifact, name string) []artifact {
+	for _, a := range arts {
+		if a.name == name {
+			return []artifact{a}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Fig5") || !strings.Contains(s, "n_fltr,mean_service_time_s") {
+		t.Errorf("unexpected output: %.200s", s)
+	}
+}
+
+func TestRunEq3(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-eq3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0.58705882") {
+		t.Errorf("break-even value missing from output")
+	}
+}
+
+func TestRunFig4AppProp(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "4", "-type", "appprop", "-messages", "2000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "application property filtering") {
+		t.Error("filter type not honored")
+	}
+}
+
+func TestRunAllToDirectory(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-all", "-messages", "1000", "-o", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 12 {
+		t.Errorf("wrote %d files, want 12", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig12.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Q9999_over_EB") {
+		t.Error("fig12.csv missing quantile column")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no selection accepted")
+	}
+	if err := run([]string{"-fig", "7"}, &out); err == nil {
+		t.Error("diagram figure accepted")
+	}
+	if err := run([]string{"-fig", "4", "-type", "bogus"}, &out); err == nil {
+		t.Error("bogus type accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

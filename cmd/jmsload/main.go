@@ -1,0 +1,159 @@
+// Command jmsload drives a remote broker (cmd/jmsd) the way the paper's
+// test clients drove FioranoMQ: P saturated publishers and S subscribers,
+// each on an exclusive connection, with a warm-up cut and a trimmed
+// measurement window, printing the received/dispatched/overall rates.
+//
+// Usage:
+//
+//	jmsload -addr 127.0.0.1:7650 -topic bench -publishers 5 \
+//	        -matching 2 -nonmatching 40 -warmup 1s -measure 5s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/jms"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("jmsload", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7650", "broker address")
+	topicName := fs.String("topic", "bench", "topic to use (configured if missing)")
+	publishers := fs.Int("publishers", 5, "saturated publisher connections")
+	matching := fs.Int("matching", 1, "subscribers whose filter matches the traffic (replication grade R)")
+	nonMatching := fs.Int("nonmatching", 0, "subscribers with non-matching filters")
+	useSelectors := fs.Bool("selectors", false, "use application-property selectors instead of correlation-ID filters")
+	warmup := fs.Duration("warmup", time.Second, "warm-up before the measurement window")
+	measure := fs.Duration("measure", 5*time.Second, "trimmed measurement window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *publishers < 1 || *matching < 0 || *nonMatching < 0 {
+		return fmt.Errorf("jmsload: invalid population (publishers=%d matching=%d nonmatching=%d)",
+			*publishers, *matching, *nonMatching)
+	}
+
+	admin, err := client.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = admin.Close() }()
+	setupCtx, cancelSetup := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelSetup()
+	if err := admin.ConfigureTopic(setupCtx, *topicName); err != nil {
+		// Already-configured topics are fine: keep going.
+		fmt.Fprintf(stdout, "note: configure topic: %v\n", err)
+	}
+
+	spec := func(i int, matches bool) wire.FilterSpec {
+		v := 0
+		if !matches {
+			v = i + 1
+		}
+		if *useSelectors {
+			return wire.FilterSpec{Mode: wire.FilterSelector, Expr: "prop = " + strconv.Itoa(v)}
+		}
+		return wire.FilterSpec{Mode: wire.FilterCorrelationID, Expr: "#" + strconv.Itoa(v)}
+	}
+
+	// Subscribers, each on an exclusive connection (as in the paper).
+	var delivered atomic.Uint64
+	var subWG sync.WaitGroup
+	subConns := make([]*client.Client, 0, *matching+*nonMatching)
+	defer func() {
+		for _, c := range subConns {
+			_ = c.Close()
+		}
+	}()
+	for i := 0; i < *matching+*nonMatching; i++ {
+		c, err := client.Dial(*addr)
+		if err != nil {
+			return err
+		}
+		subConns = append(subConns, c)
+		sub, err := c.Subscribe(setupCtx, *topicName, spec(i, i < *matching), 4096)
+		if err != nil {
+			return err
+		}
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			for range sub.Chan() {
+				delivered.Add(1)
+			}
+		}()
+	}
+
+	// Publishers: pre-created message, saturated sends.
+	template := jms.NewMessage(*topicName)
+	if *useSelectors {
+		if err := template.SetInt32Property("prop", 0); err != nil {
+			return err
+		}
+	} else {
+		if err := template.SetCorrelationID("#0"); err != nil {
+			return err
+		}
+	}
+	var published atomic.Uint64
+	pubCtx, cancelPub := context.WithCancel(context.Background())
+	var pubWG sync.WaitGroup
+	for p := 0; p < *publishers; p++ {
+		c, err := client.Dial(*addr)
+		if err != nil {
+			cancelPub()
+			return err
+		}
+		pubWG.Add(1)
+		go func(c *client.Client) {
+			defer pubWG.Done()
+			defer func() { _ = c.Close() }()
+			for pubCtx.Err() == nil {
+				if err := c.Publish(pubCtx, template.Clone()); err != nil {
+					return
+				}
+				published.Add(1)
+			}
+		}(c)
+	}
+
+	time.Sleep(*warmup)
+	pub0, del0 := published.Load(), delivered.Load()
+	start := time.Now()
+	time.Sleep(*measure)
+	pub1, del1 := published.Load(), delivered.Load()
+	elapsed := time.Since(start).Seconds()
+
+	cancelPub()
+	pubWG.Wait()
+	for _, c := range subConns {
+		_ = c.Close()
+	}
+	subConns = nil
+	subWG.Wait()
+
+	recvRate := float64(pub1-pub0) / elapsed
+	dispRate := float64(del1-del0) / elapsed
+	fmt.Fprintf(stdout, "window   : %.2fs (after %v warmup)\n", elapsed, *warmup)
+	fmt.Fprintf(stdout, "received : %10.0f msgs/s\n", recvRate)
+	fmt.Fprintf(stdout, "dispatched:%10.0f msgs/s (R = %.2f)\n", dispRate, dispRate/recvRate)
+	fmt.Fprintf(stdout, "overall  : %10.0f msgs/s\n", recvRate+dispRate)
+	return nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/broker"
+	"repro/internal/wire"
+)
+
+func startBroker(t *testing.T) string {
+	t.Helper()
+	b := broker.New(broker.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.Serve(b, ln)
+	t.Cleanup(func() {
+		_ = srv.Close()
+		_ = b.Close()
+	})
+	return ln.Addr().String()
+}
+
+func TestLoadAgainstLocalBroker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bound")
+	}
+	addr := startBroker(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", addr, "-publishers", "2", "-matching", "2", "-nonmatching", "5",
+		"-warmup", "50ms", "-measure", "250ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"received", "dispatched", "overall"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q: %s", want, s)
+		}
+	}
+	// R should be ~2 (two matching subscribers).
+	if !strings.Contains(s, "R = 2.0") && !strings.Contains(s, "R = 1.9") && !strings.Contains(s, "R = 2.1") {
+		t.Errorf("replication grade not ~2 in output: %s", s)
+	}
+}
+
+func TestLoadSelectors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bound")
+	}
+	addr := startBroker(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", addr, "-selectors", "-publishers", "1", "-matching", "1",
+		"-warmup", "30ms", "-measure", "120ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "received") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-publishers", "0"}, &out); err == nil {
+		t.Error("publishers=0 accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:1"}, &out); err == nil {
+		t.Error("unreachable broker accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunComparesAnalyticAndSimulated(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-messages", "50000", "-rho", "0.8"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"analytic", "simulated", "E[W] (s)", "Q_0.9999", "cvar[B]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunAppProp(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-type", "appprop", "-messages", "20000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "appprop filtering") {
+		t.Error("filter type not reflected in output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-type", "bogus"}, &out); err == nil {
+		t.Error("bogus type accepted")
+	}
+	if err := run([]string{"-rho", "1.5"}, &out); err == nil {
+		t.Error("rho > 1 accepted")
+	}
+	if err := run([]string{"-binomial-p", "2"}, &out); err == nil {
+		t.Error("p > 1 accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

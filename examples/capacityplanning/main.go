@@ -1,0 +1,91 @@
+// Capacity planning: answer the questions the paper's model was built for.
+// Given a planned application scenario (filters, replication grade, target
+// rate), predict service time, server capacity, waiting-time quantiles and
+// whether installing filters pays off — without running a single broker.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	jmsperf "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	model := jmsperf.TableICorrelationID
+
+	// A planned routing platform: 500 subscribers, one correlation-ID
+	// filter each; every message reaches 5 subscribers on average and the
+	// 500 filters match independently.
+	const nFltr = 500
+	rDist, err := jmsperf.NewBinomialR(nFltr, 5.0/nFltr)
+	if err != nil {
+		return err
+	}
+
+	meanB := model.MeanServiceTime(nFltr, rDist.Mean())
+	fmt.Printf("scenario: %d correlation-ID filters, E[R]=%.1f\n", nFltr, rDist.Mean())
+	fmt.Printf("mean service time E[B] = %.3g s (Eq. 1)\n", meanB)
+
+	capacity, err := model.Capacity(0.9, nFltr, rDist.Mean())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("capacity at rho=0.9     = %.0f msgs/s (Eq. 2)\n\n", capacity)
+
+	// Waiting-time guarantees across offered loads (Eqs. 4-20).
+	moments, err := jmsperf.ServiceMomentsFor(model, nFltr, rDist)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cvar[B] = %.4f\n\n", moments.CVar())
+	fmt.Printf("%8s %12s %14s %14s\n", "rho", "E[W] (ms)", "Q99 (ms)", "Q99.99 (ms)")
+	for _, rho := range []float64{0.5, 0.7, 0.9, 0.95} {
+		q, err := jmsperf.QueueAtUtilization(rho, moments)
+		if err != nil {
+			return err
+		}
+		dist, err := q.GammaApprox()
+		if err != nil {
+			return err
+		}
+		q99, err := dist.Quantile(0.99)
+		if err != nil {
+			return err
+		}
+		q9999, err := dist.Quantile(0.9999)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8.2f %12.3f %14.3f %14.3f\n",
+			rho, q.MeanWait()*1e3, q99*1e3, q9999*1e3)
+	}
+
+	// When do filters pay off (Eq. 3)? The paper's consumer-q rule.
+	fmt.Println("\nfilter benefit (Eq. 3): install filters only when the match")
+	fmt.Println("probability stays below the break-even point:")
+	for nq := 1; nq <= 3; nq++ {
+		be := model.BreakEvenMatchProbability(nq)
+		if be <= 0 {
+			fmt.Printf("  %d filters/consumer: never pays off\n", nq)
+			continue
+		}
+		fmt.Printf("  %d filter(s)/consumer: p_match < %.1f%%\n", nq, be*100)
+	}
+
+	// Finally: the largest filter population that still supports a target
+	// rate of 2000 msgs/s at rho = 0.9.
+	maxFilters, err := model.MaxFiltersForRate(2000, 0.9, rDist.Mean())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nto sustain 2000 msgs/s at rho=0.9 with E[R]=%.1f: at most %d filters\n",
+		rDist.Mean(), maxFilters)
+	return nil
+}

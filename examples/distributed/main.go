@@ -1,0 +1,145 @@
+// Distributed architectures: pick between publisher-side (PSR) and
+// subscriber-side (SSR) server replication with the paper's crossover rule
+// (Eq. 23), then actually run the chosen deployment with real brokers.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	jmsperf "repro"
+	"repro/internal/broker"
+	"repro/internal/distrib"
+	"repro/internal/filter"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The planning scenario: n publishers, m subscribers, 10 filters per
+	// subscriber, E[R]=1, rho=0.9 — Fig. 15's setting.
+	scenario := jmsperf.DistribScenario{
+		Model:       jmsperf.TableICorrelationID,
+		N:           50,
+		M:           100,
+		NFltrPerSub: 10,
+		MeanR:       1,
+		Rho:         0.9,
+	}
+
+	psrCap, err := jmsperf.PSRCapacity(scenario)
+	if err != nil {
+		return err
+	}
+	ssrCap, err := jmsperf.SSRCapacity(scenario)
+	if err != nil {
+		return err
+	}
+	crossover, err := jmsperf.CrossoverN(scenario)
+	if err != nil {
+		return err
+	}
+	psrWins, err := jmsperf.PSROutperformsSSR(scenario)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario: n=%d publishers, m=%d subscribers, %d filters/subscriber, E[R]=%g\n",
+		scenario.N, scenario.M, scenario.NFltrPerSub, scenario.MeanR)
+	fmt.Printf("PSR system capacity: %8.0f msgs/s (Eq. 21)\n", psrCap)
+	fmt.Printf("SSR system capacity: %8.0f msgs/s (Eq. 22)\n", ssrCap)
+	fmt.Printf("crossover (Eq. 23):  PSR wins from n >= %d publishers\n", crossover)
+
+	if psrWins {
+		fmt.Println("\n-> deploying PSR (one broker per publisher)")
+		return runPSR()
+	}
+	fmt.Println("\n-> deploying SSR (one broker per subscriber)")
+	return runSSR()
+}
+
+// runPSR demonstrates a small publisher-side deployment: 3 publishers with
+// local brokers; one subscriber registers its filter on all of them.
+func runPSR() error {
+	d, err := distrib.NewPSRDeployment(3, "events", broker.Options{})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = d.Close() }()
+
+	subs, err := d.Subscribe(func() (filter.Filter, error) {
+		return filter.NewCorrelationID("order-*")
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for p := 0; p < 3; p++ {
+		m := jmsperf.NewMessage("events")
+		if err := m.SetCorrelationID(fmt.Sprintf("order-%d", p)); err != nil {
+			return err
+		}
+		if err := d.Publish(ctx, p, m); err != nil {
+			return err
+		}
+	}
+	for i, s := range subs {
+		m, err := s.Receive(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  broker %d delivered %s\n", i, m.Header.CorrelationID)
+	}
+	st := d.Stats()
+	fmt.Printf("  PSR totals: received=%d dispatched=%d\n", st.Received, st.Dispatched)
+	return nil
+}
+
+// runSSR demonstrates a small subscriber-side deployment: 3 subscribers
+// with local brokers; every publish is multicast to all of them.
+func runSSR() error {
+	d, err := distrib.NewSSRDeployment(3, "events", broker.Options{})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = d.Close() }()
+
+	subs := make([]*broker.Subscriber, 3)
+	for i := range subs {
+		f, err := filter.NewCorrelationID(fmt.Sprintf("shard-%d", i))
+		if err != nil {
+			return err
+		}
+		s, err := d.Subscribe(i, f)
+		if err != nil {
+			return err
+		}
+		subs[i] = s
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m := jmsperf.NewMessage("events")
+	if err := m.SetCorrelationID("shard-1"); err != nil {
+		return err
+	}
+	if err := d.Publish(ctx, m); err != nil {
+		return err
+	}
+	got, err := subs[1].Receive(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  subscriber 1 received %s\n", got.Header.CorrelationID)
+	st := d.Stats()
+	fmt.Printf("  SSR totals: received=%d (multicast) dispatched=%d\n", st.Received, st.Dispatched)
+	return nil
+}

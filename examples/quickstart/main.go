@@ -1,0 +1,94 @@
+// Quickstart: embed a broker, install a correlation-ID filter and a JMS
+// selector, publish a few messages, and receive the matching subset.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	jmsperf "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	b := jmsperf.NewBroker(jmsperf.BrokerOptions{})
+	defer func() { _ = b.Close() }()
+	if err := b.ConfigureTopic("updates"); err != nil {
+		return err
+	}
+
+	// Subscriber 1: correlation-ID range filter, like the paper's [7;13]
+	// wildcard example.
+	rangeFilter, err := jmsperf.NewCorrelationIDFilter("[7;13]")
+	if err != nil {
+		return err
+	}
+	inRange, err := b.Subscribe("updates", rangeFilter)
+	if err != nil {
+		return err
+	}
+
+	// Subscriber 2: JMS selector over the property section.
+	selector, err := jmsperf.NewSelectorFilter("region = 'EU' AND severity >= 3")
+	if err != nil {
+		return err
+	}
+	alerts, err := b.Subscribe("updates", selector)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Publish: message 9 matches the range filter; the EU/sev-4 message
+	// matches the selector.
+	for i := 5; i <= 9; i++ {
+		m := jmsperf.NewMessage("updates")
+		if err := m.SetCorrelationID(fmt.Sprint(i)); err != nil {
+			return err
+		}
+		if err := b.Publish(ctx, m); err != nil {
+			return err
+		}
+	}
+	alert := jmsperf.NewMessage("updates")
+	if err := alert.SetStringProperty("region", "EU"); err != nil {
+		return err
+	}
+	if err := alert.SetInt32Property("severity", 4); err != nil {
+		return err
+	}
+	if err := b.Publish(ctx, alert); err != nil {
+		return err
+	}
+
+	// The range subscriber gets correlation IDs 7, 8, 9.
+	for i := 0; i < 3; i++ {
+		m, err := inRange.Receive(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("range subscriber got correlation ID %s\n", m.Header.CorrelationID)
+	}
+	// The selector subscriber gets the one EU alert.
+	m, err := alerts.Receive(ctx)
+	if err != nil {
+		return err
+	}
+	region, _ := m.StringProperty("region")
+	severity, _ := m.Int64Property("severity")
+	fmt.Printf("selector subscriber got region=%s severity=%d\n", region, severity)
+
+	stats := b.Stats()
+	fmt.Printf("broker stats: received=%d dispatched=%d filterEvals=%d\n",
+		stats.Received, stats.Dispatched, stats.FilterEvals)
+	return nil
+}

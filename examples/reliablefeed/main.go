@@ -1,0 +1,142 @@
+// Reliable feed: durable subscriptions over TCP. A consumer registers a
+// named durable subscription, goes offline, misses nothing: the broker
+// buffers matching messages and replays them in order on reconnect — the
+// JMS durable mode the paper contrasts with its non-durable study.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	jmsperf "repro"
+	"repro/internal/client"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	b := jmsperf.NewBroker(jmsperf.BrokerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := wire.Serve(b, ln)
+	defer func() {
+		_ = srv.Close()
+		_ = b.Close()
+	}()
+	addr := ln.Addr().String()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	producer, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = producer.Close() }()
+	if err := producer.ConfigureTopic(ctx, "orders"); err != nil {
+		return err
+	}
+
+	durableSpec := wire.FilterSpec{
+		Mode:        wire.FilterSelector,
+		Expr:        "region = 'EU'",
+		DurableName: "eu-billing",
+	}
+
+	publish := func(id int, region string) error {
+		m := jmsperf.NewMessage("orders")
+		if err := m.SetInt32Property("id", int32(id)); err != nil {
+			return err
+		}
+		if err := m.SetStringProperty("region", region); err != nil {
+			return err
+		}
+		return producer.Publish(ctx, m)
+	}
+
+	// Session 1: the billing consumer registers and processes one order.
+	consumer1, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	feed1, err := consumer1.Subscribe(ctx, "orders", durableSpec, 64)
+	if err != nil {
+		return err
+	}
+	if err := publish(1, "EU"); err != nil {
+		return err
+	}
+	m, err := feed1.Receive(ctx)
+	if err != nil {
+		return err
+	}
+	id, _ := m.Int64Property("id")
+	fmt.Printf("session 1 processed order %d\n", id)
+	if err := consumer1.Close(); err != nil { // goes offline
+		return err
+	}
+
+	// Offline: more orders arrive; the EU ones are buffered server-side.
+	for i := 2; i <= 5; i++ {
+		region := "EU"
+		if i%2 == 0 {
+			region = "US" // filtered out, never buffered
+		}
+		if err := publish(i, region); err != nil {
+			return err
+		}
+	}
+	// Wait for the broker to account for the backlog.
+	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+		if n, _, err := b.DurableBacklog("orders", "eu-billing"); err == nil && n == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	n, _, err := b.DurableBacklog("orders", "eu-billing")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("offline backlog: %d EU orders buffered\n", n)
+
+	// Session 2: reconnect under the same durable name; the backlog
+	// replays in order.
+	consumer2, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = consumer2.Close() }()
+	feed2, err := consumer2.Subscribe(ctx, "orders", durableSpec, 64)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		m, err := feed2.Receive(ctx)
+		if err != nil {
+			return err
+		}
+		id, _ := m.Int64Property("id")
+		region, _ := m.StringProperty("region")
+		fmt.Printf("session 2 caught up on order %d (%s)\n", id, region)
+	}
+
+	// Done with the subscription for good: delete it.
+	if err := feed2.Unsubscribe(ctx); err != nil {
+		return err
+	}
+	if err := consumer2.DeleteDurable(ctx, "orders", "eu-billing"); err != nil {
+		return err
+	}
+	fmt.Println("durable subscription deleted")
+	return nil
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/jms"
+)
+
+// BodySizePoint is one measured (body size, throughput) pair.
+type BodySizePoint struct {
+	BodyBytes    int
+	ReceivedRate float64
+}
+
+// MeasureBodySizeImpact reproduces the §III-B observation that "the
+// message size has a significant impact on the message throughput": it
+// saturates the broker with one match-all subscriber and varying body
+// sizes. The dominant native cost is the per-replica body copy (Clone) and
+// the larger allocations.
+func MeasureBodySizeImpact(cfg NativeConfig, sizes []int) ([]BodySizePoint, error) {
+	cfg = cfg.withDefaults()
+	if len(sizes) == 0 {
+		sizes = []int{0, 1 << 10, 16 << 10, 128 << 10}
+	}
+	points := make([]BodySizePoint, 0, len(sizes))
+	for _, size := range sizes {
+		if size < 0 {
+			return nil, fmt.Errorf("%w: body size %d", ErrBench, size)
+		}
+		rate, err := measureBodySize(cfg, size)
+		if err != nil {
+			return nil, fmt.Errorf("size %d: %w", size, err)
+		}
+		points = append(points, BodySizePoint{BodyBytes: size, ReceivedRate: rate})
+	}
+	return points, nil
+}
+
+func measureBodySize(cfg NativeConfig, size int) (float64, error) {
+	b := broker.New(broker.Options{
+		InFlight:         cfg.InFlight,
+		SubscriberBuffer: cfg.SubscriberBuffer,
+	})
+	defer func() { _ = b.Close() }()
+	if err := b.ConfigureTopic("t"); err != nil {
+		return 0, err
+	}
+	// Two subscribers force a Clone per dispatch, so the body copy cost
+	// is on the measured path.
+	var drainWG sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		s, err := b.Subscribe("t", nil)
+		if err != nil {
+			return 0, err
+		}
+		drainWG.Add(1)
+		go func() {
+			defer drainWG.Done()
+			for range s.Chan() {
+			}
+		}()
+	}
+
+	template := jms.NewMessage("t")
+	template.Body = make([]byte, size)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var pubWG sync.WaitGroup
+	for p := 0; p < cfg.Publishers; p++ {
+		pubWG.Add(1)
+		go func() {
+			defer pubWG.Done()
+			for ctx.Err() == nil {
+				if err := b.Publish(ctx, template.Clone()); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(cfg.Warmup)
+	startStats := b.Stats()
+	start := time.Now()
+	time.Sleep(cfg.Measure)
+	endStats := b.Stats()
+	elapsed := time.Since(start).Seconds()
+
+	cancel()
+	pubWG.Wait()
+	if err := b.Close(); err != nil {
+		return 0, err
+	}
+	drainWG.Wait()
+
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("%w: empty window", ErrBench)
+	}
+	return float64(endStats.Received-startStats.Received) / elapsed, nil
+}

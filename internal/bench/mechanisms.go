@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/jms"
+)
+
+// MechanismResult compares the three message selection mechanisms of the
+// paper for the same logical workload: topic selection (subscribers are
+// pre-partitioned onto topics, the server does no per-message filter
+// work), correlation-ID filtering and application-property filtering.
+// §III-B: "the message throughput suffers the least from topic filtering,
+// followed by correlation ID filtering and application property
+// filtering".
+type MechanismResult struct {
+	// TopicRate, CorrIDRate and AppPropRate are received msgs/s at
+	// saturation for the same workload (1 interested subscriber among
+	// n+1, R=1).
+	TopicRate   float64
+	CorrIDRate  float64
+	AppPropRate float64
+}
+
+// CompareMechanisms measures the three mechanisms natively. n is the
+// number of uninterested subscribers.
+func CompareMechanisms(cfg NativeConfig, n int) (MechanismResult, error) {
+	cfg = cfg.withDefaults()
+	if n < 0 {
+		return MechanismResult{}, fmt.Errorf("%w: n=%d", ErrBench, n)
+	}
+	var res MechanismResult
+
+	// Topic selection: the n uninterested subscribers sit on their own
+	// topics, so the loaded topic has a single match-all subscriber and
+	// zero filter scans beyond it.
+	topicRate, err := measureTopicSelection(cfg, n)
+	if err != nil {
+		return MechanismResult{}, fmt.Errorf("topic selection: %w", err)
+	}
+	res.TopicRate = topicRate
+
+	corrCfg := cfg
+	corrCfg.FilterType = core.CorrelationIDFiltering
+	corr, err := MeasureScenario(corrCfg, n, 1)
+	if err != nil {
+		return MechanismResult{}, fmt.Errorf("correlation ID: %w", err)
+	}
+	res.CorrIDRate = corr.ReceivedRate
+
+	appCfg := cfg
+	appCfg.FilterType = core.ApplicationPropertyFiltering
+	app, err := MeasureScenario(appCfg, n, 1)
+	if err != nil {
+		return MechanismResult{}, fmt.Errorf("application property: %w", err)
+	}
+	res.AppPropRate = app.ReceivedRate
+	return res, nil
+}
+
+// measureTopicSelection saturates a topic that has exactly one match-all
+// subscriber while n other subscribers live on separate topics.
+func measureTopicSelection(cfg NativeConfig, n int) (float64, error) {
+	b := broker.New(broker.Options{
+		InFlight:         cfg.InFlight,
+		SubscriberBuffer: cfg.SubscriberBuffer,
+	})
+	defer func() { _ = b.Close() }()
+
+	if err := b.ConfigureTopic("hot"); err != nil {
+		return 0, err
+	}
+	var drainWG sync.WaitGroup
+	drain := func(s *broker.Subscriber) {
+		drainWG.Add(1)
+		go func() {
+			defer drainWG.Done()
+			for range s.Chan() {
+			}
+		}()
+	}
+	hot, err := b.Subscribe("hot", filter.All{})
+	if err != nil {
+		return 0, err
+	}
+	drain(hot)
+	for i := 0; i < n; i++ {
+		name := "cold" + strconv.Itoa(i)
+		if err := b.ConfigureTopic(name); err != nil {
+			return 0, err
+		}
+		s, err := b.Subscribe(name, filter.All{})
+		if err != nil {
+			return 0, err
+		}
+		drain(s)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var pubWG sync.WaitGroup
+	for p := 0; p < cfg.Publishers; p++ {
+		pubWG.Add(1)
+		go func() {
+			defer pubWG.Done()
+			for ctx.Err() == nil {
+				if err := b.Publish(ctx, jms.NewMessage("hot")); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(cfg.Warmup)
+	startStats := b.Stats()
+	start := time.Now()
+	time.Sleep(cfg.Measure)
+	endStats := b.Stats()
+	elapsed := time.Since(start).Seconds()
+
+	cancel()
+	pubWG.Wait()
+	if err := b.Close(); err != nil {
+		return 0, err
+	}
+	drainWG.Wait()
+
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("%w: empty window", ErrBench)
+	}
+	return float64(endStats.Received-startStats.Received) / elapsed, nil
+}

@@ -1,0 +1,368 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/fit"
+	"repro/internal/jms"
+	"repro/internal/metrics"
+)
+
+// NativeConfig parameterizes a native measurement run against this
+// repository's real broker, following the paper's methodology: saturated
+// publishers, a warm-up cut, a trimmed observation window, and counters at
+// the publishers/subscribers.
+type NativeConfig struct {
+	// FilterType selects correlation-ID or application-property filters.
+	FilterType core.FilterType
+	// Publishers is the number of saturated publisher goroutines; the
+	// paper found at least 5 are needed to load the server.
+	Publishers int
+	// Warmup is the initial interval excluded from measurement.
+	Warmup time.Duration
+	// Measure is the trimmed observation window.
+	Measure time.Duration
+	// NonMatchingIdentical makes all n non-matching filters identical
+	// (all filtering for the same value) instead of pairwise different —
+	// the Section III-B experiment that showed FioranoMQ gains nothing
+	// from identical filters.
+	NonMatchingIdentical bool
+	// Repetitions repeats each scenario and keeps the median rates,
+	// mirroring the paper's repeated runs. Default 1.
+	Repetitions int
+	// InFlight and SubscriberBuffer tune the broker. The defaults are
+	// sized so that the dispatch loop — not a full subscriber queue — is
+	// the bottleneck, as required by the E[B] = 1/throughput reading.
+	InFlight, SubscriberBuffer int
+}
+
+func (c NativeConfig) withDefaults() NativeConfig {
+	if c.Publishers <= 0 {
+		c.Publishers = 5
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 50 * time.Millisecond
+	}
+	if c.Measure <= 0 {
+		c.Measure = 200 * time.Millisecond
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 1
+	}
+	if c.InFlight <= 0 {
+		c.InFlight = 256
+	}
+	if c.SubscriberBuffer <= 0 {
+		c.SubscriberBuffer = 1 << 14
+	}
+	return c
+}
+
+// NativeResult is one measured data point.
+type NativeResult struct {
+	// NFltr is the total number of installed filters (n + R).
+	NFltr int
+	// R is the replication grade of the scenario.
+	R int
+	// ReceivedRate, DispatchedRate and OverallRate are msgs/s within the
+	// trimmed window.
+	ReceivedRate   float64
+	DispatchedRate float64
+	OverallRate    float64
+	// MeanServiceTime is 1/ReceivedRate, the per-message processing time
+	// at saturation.
+	MeanServiceTime float64
+}
+
+// matchingFilter builds the filter that matches the published messages.
+func matchingFilter(ft core.FilterType) (filter.Filter, error) {
+	switch ft {
+	case core.CorrelationIDFiltering:
+		return filter.NewCorrelationID("#0")
+	case core.ApplicationPropertyFiltering:
+		return filter.NewProperty("prop = 0")
+	default:
+		return nil, fmt.Errorf("%w: filter type %d", ErrBench, int(ft))
+	}
+}
+
+// nonMatchingFilter builds the i-th non-matching filter.
+func nonMatchingFilter(ft core.FilterType, i int, identical bool) (filter.Filter, error) {
+	v := i + 1
+	if identical {
+		v = 1
+	}
+	switch ft {
+	case core.CorrelationIDFiltering:
+		return filter.NewCorrelationID("#" + strconv.Itoa(v))
+	case core.ApplicationPropertyFiltering:
+		return filter.NewProperty("prop = " + strconv.Itoa(v))
+	default:
+		return nil, fmt.Errorf("%w: filter type %d", ErrBench, int(ft))
+	}
+}
+
+// benchMessage builds the message all publishers send: correlation ID #0
+// or property prop=0, zero-byte body as in the paper.
+func benchMessage(ft core.FilterType, topicName string) (*jms.Message, error) {
+	m := jms.NewMessage(topicName)
+	switch ft {
+	case core.CorrelationIDFiltering:
+		if err := m.SetCorrelationID("#0"); err != nil {
+			return nil, err
+		}
+	case core.ApplicationPropertyFiltering:
+		if err := m.SetInt32Property("prop", 0); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: filter type %d", ErrBench, int(ft))
+	}
+	return m, nil
+}
+
+// MeasureScenario runs one native measurement: n non-matching filters plus
+// r matching subscribers (replication grade r), saturated publishers, and
+// returns the trimmed-window rates. With Repetitions > 1 the scenario is
+// repeated and the run with the median received rate is returned.
+func MeasureScenario(cfg NativeConfig, n, r int) (NativeResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Repetitions == 1 {
+		return measureOnce(cfg, n, r)
+	}
+	runs := make([]NativeResult, 0, cfg.Repetitions)
+	for i := 0; i < cfg.Repetitions; i++ {
+		res, err := measureOnce(cfg, n, r)
+		if err != nil {
+			return NativeResult{}, err
+		}
+		runs = append(runs, res)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].ReceivedRate < runs[j].ReceivedRate })
+	return runs[len(runs)/2], nil
+}
+
+func measureOnce(cfg NativeConfig, n, r int) (NativeResult, error) {
+	if n < 0 || r < 1 {
+		return NativeResult{}, fmt.Errorf("%w: n=%d r=%d", ErrBench, n, r)
+	}
+	const topicName = "bench"
+
+	b := broker.New(broker.Options{
+		InFlight:         cfg.InFlight,
+		SubscriberBuffer: cfg.SubscriberBuffer,
+	})
+	defer func() { _ = b.Close() }()
+	if err := b.ConfigureTopic(topicName); err != nil {
+		return NativeResult{}, err
+	}
+
+	// Install r matching + n non-matching subscribers, drain all of them.
+	var drainWG sync.WaitGroup
+	drain := func(s *broker.Subscriber) {
+		drainWG.Add(1)
+		go func() {
+			defer drainWG.Done()
+			for range s.Chan() {
+			}
+		}()
+	}
+	for i := 0; i < r; i++ {
+		f, err := matchingFilter(cfg.FilterType)
+		if err != nil {
+			return NativeResult{}, err
+		}
+		s, err := b.Subscribe(topicName, f)
+		if err != nil {
+			return NativeResult{}, err
+		}
+		drain(s)
+	}
+	for i := 0; i < n; i++ {
+		f, err := nonMatchingFilter(cfg.FilterType, i, cfg.NonMatchingIdentical)
+		if err != nil {
+			return NativeResult{}, err
+		}
+		s, err := b.Subscribe(topicName, f)
+		if err != nil {
+			return NativeResult{}, err
+		}
+		drain(s)
+	}
+
+	// Saturated publishers: all messages are created in advance (one
+	// template, cloned per send to keep ownership clear), mirroring the
+	// paper's pre-created message pools.
+	template, err := benchMessage(cfg.FilterType, topicName)
+	if err != nil {
+		return NativeResult{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var pubWG sync.WaitGroup
+	for p := 0; p < cfg.Publishers; p++ {
+		pubWG.Add(1)
+		go func() {
+			defer pubWG.Done()
+			for ctx.Err() == nil {
+				if err := b.Publish(ctx, template.Clone()); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	// Warm-up, then the trimmed observation window on the broker counters.
+	time.Sleep(cfg.Warmup)
+	var recvWin, dispWin metrics.Window
+	var recvCtr, dispCtr metrics.Counter
+	snapshot := func() {
+		s := b.Stats()
+		recvCtr.Add(s.Received - recvCtr.Value())
+		dispCtr.Add(s.Dispatched - dispCtr.Value())
+	}
+	snapshot()
+	start := time.Now()
+	recvWin.Start(&recvCtr, start)
+	dispWin.Start(&dispCtr, start)
+
+	time.Sleep(cfg.Measure)
+	snapshot()
+	end := time.Now()
+	recvWin.End(&recvCtr, end)
+	dispWin.End(&dispCtr, end)
+
+	cancel()
+	pubWG.Wait()
+	if err := b.Close(); err != nil {
+		return NativeResult{}, err
+	}
+	drainWG.Wait()
+
+	recvRate, err := recvWin.Rate()
+	if err != nil {
+		return NativeResult{}, err
+	}
+	dispRate, err := dispWin.Rate()
+	if err != nil {
+		return NativeResult{}, err
+	}
+	if recvRate <= 0 {
+		return NativeResult{}, fmt.Errorf("%w: zero received rate", ErrBench)
+	}
+	return NativeResult{
+		NFltr:           n + r,
+		R:               r,
+		ReceivedRate:    recvRate,
+		DispatchedRate:  dispRate,
+		OverallRate:     recvRate + dispRate,
+		MeanServiceTime: 1 / recvRate,
+	}, nil
+}
+
+// StudyGrid is the sweep of a native study.
+type StudyGrid struct {
+	// NValues are the counts of additional non-matching filters.
+	NValues []int
+	// RValues are the replication grades.
+	RValues []int
+}
+
+// PaperGrid returns the paper's full grid.
+func PaperGrid() StudyGrid {
+	return StudyGrid{NValues: PaperNValues, RValues: PaperRValues}
+}
+
+// StudyResult is the outcome of a native parameter study.
+type StudyResult struct {
+	// Points are the measured data points.
+	Points []NativeResult
+	// Fit is the least-squares recovery of (t_rcv, t_fltr, t_tx) from the
+	// points — this machine's Table I.
+	Fit fit.Result
+}
+
+// RunNativeStudy sweeps the grid against the real broker and fits the cost
+// model, reproducing the paper's Table I derivation on local hardware.
+func RunNativeStudy(cfg NativeConfig, grid StudyGrid) (StudyResult, error) {
+	if len(grid.NValues) == 0 || len(grid.RValues) == 0 {
+		return StudyResult{}, fmt.Errorf("%w: empty grid", ErrBench)
+	}
+	var res StudyResult
+	var obs []fit.Observation
+	for _, n := range grid.NValues {
+		for _, r := range grid.RValues {
+			p, err := MeasureScenario(cfg, n, r)
+			if err != nil {
+				return StudyResult{}, fmt.Errorf("scenario n=%d r=%d: %w", n, r, err)
+			}
+			res.Points = append(res.Points, p)
+			obs = append(obs, fit.Observation{
+				NFltr:       p.NFltr,
+				R:           float64(p.R),
+				ServiceTime: p.MeanServiceTime,
+			})
+		}
+	}
+	f, err := fit.Fit(obs)
+	if err != nil {
+		return StudyResult{}, err
+	}
+	res.Fit = f
+	return res, nil
+}
+
+// Table1Series renders a study result as the repository's version of
+// Table I next to the paper's constants.
+func Table1Series(res StudyResult, ft core.FilterType) (Series, error) {
+	paper, err := core.TableI(ft)
+	if err != nil {
+		return Series{}, err
+	}
+	s := Series{
+		Name: fmt.Sprintf("Table I (%v): native fit vs paper", ft),
+		Cols: []string{"t_rcv_s", "t_fltr_s", "t_tx_s", "R2"},
+	}
+	if err := s.Append(res.Fit.Model.TRcv, res.Fit.Model.TFltr, res.Fit.Model.TTx, res.Fit.R2); err != nil {
+		return Series{}, err
+	}
+	if err := s.Append(paper.TRcv, paper.TFltr, paper.TTx, 1); err != nil {
+		return Series{}, err
+	}
+	return s, nil
+}
+
+// Fig4Native renders measured native points in Fig. 4's format: one series
+// per replication grade with measured overall throughput and this fit's
+// model prediction.
+func Fig4Native(res StudyResult) ([]Series, error) {
+	byR := make(map[int]*Series)
+	var order []int
+	for _, p := range res.Points {
+		s, ok := byR[p.R]
+		if !ok {
+			s = &Series{
+				Name: fmt.Sprintf("Fig4(native) R=%d", p.R),
+				Cols: []string{"n_fltr", "measured_overall_msgs_per_s", "fit_model_overall_msgs_per_s"},
+			}
+			byR[p.R] = s
+			order = append(order, p.R)
+		}
+		_, _, modelOverall := res.Fit.Model.Throughput(p.NFltr, float64(p.R))
+		if err := s.Append(float64(p.NFltr), p.OverallRate, modelOverall); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]Series, 0, len(order))
+	for _, r := range order {
+		out = append(out, *byR[r])
+	}
+	return out, nil
+}

@@ -1,0 +1,478 @@
+// Package broker implements the JMS-style publish/subscribe server whose
+// performance the paper studies. Its dispatch loop has exactly the structure
+// the paper's processing-time model assumes (Eq. 1):
+//
+//   - receive a message once (cost t_rcv),
+//   - test every installed filter of the topic linearly (cost n_fltr*t_fltr),
+//   - replicate and transmit one copy per matching subscriber (cost R*t_tx).
+//
+// The broker operates in the paper's persistent, non-durable mode: messages
+// are delivered reliably and in order to the subscribers that are currently
+// connected, and a bounded in-flight window applies push-back to publishers
+// instead of dropping messages ("the major part of the messages are queued
+// at the publisher site due to a kind of push-back mechanism").
+package broker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/jms"
+	"repro/internal/topic"
+)
+
+// Errors returned by the broker.
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("broker: closed")
+	// ErrQueueFull is returned by TryPublish when the topic's in-flight
+	// window is exhausted (the push-back condition).
+	ErrQueueFull = errors.New("broker: topic queue full")
+)
+
+// DispatchObserver receives a callback for every dispatched message. The
+// benchmark harness uses it to record the per-message filter count and
+// replication grade that parameterize the paper's model.
+type DispatchObserver interface {
+	// ObserveDispatch is called once per message after the filter scan:
+	// nFilters is the number of installed filters tested and replication
+	// the number of subscribers the message was forwarded to.
+	ObserveDispatch(topicName string, nFilters, replication int)
+}
+
+// Options configure a Broker.
+type Options struct {
+	// InFlight bounds the number of received-but-undispatched messages per
+	// topic. Publishers block when it is reached (push-back). Default 64.
+	InFlight int
+	// SubscriberBuffer is the per-subscriber delivery queue length.
+	// Default 64.
+	SubscriberBuffer int
+	// Observer, when non-nil, is invoked on the dispatch path.
+	Observer DispatchObserver
+	// WaitObserver, when non-nil, receives each message's waiting time:
+	// the span from Publish acceptance to dispatch start. Messages are
+	// timestamped on acceptance when it is set. This instruments the W of
+	// the paper's M/GI/1 analysis on the real broker.
+	WaitObserver func(wait time.Duration)
+}
+
+func (o Options) withDefaults() Options {
+	if o.InFlight <= 0 {
+		o.InFlight = 64
+	}
+	if o.SubscriberBuffer <= 0 {
+		o.SubscriberBuffer = 64
+	}
+	return o
+}
+
+// Stats are the broker's monotonic counters, in the units the paper
+// measures: messages received from publishers and messages dispatched
+// (transmitted, counting each replica) to subscribers.
+type Stats struct {
+	// Received counts messages accepted from publishers.
+	Received uint64
+	// Dispatched counts message copies forwarded to subscribers; the sum
+	// over messages of their replication grade R.
+	Dispatched uint64
+	// FilterEvals counts individual filter evaluations.
+	FilterEvals uint64
+	// Dropped counts non-persistent deliveries discarded on full queues.
+	Dropped uint64
+	// Expired counts messages discarded at dispatch time because their
+	// JMS expiration had passed.
+	Expired uint64
+}
+
+// Broker is a single JMS server instance.
+type Broker struct {
+	opts     Options
+	registry *topic.Registry
+
+	mu             sync.Mutex
+	dispatchers    map[string]*dispatcher
+	handles        map[topic.SubscriptionID]*Subscriber
+	durables       map[string]*durableSub
+	durableHandles map[*Subscriber]struct{}
+	closed         bool
+
+	wg sync.WaitGroup
+
+	received    atomic.Uint64
+	dispatched  atomic.Uint64
+	filterEvals atomic.Uint64
+	dropped     atomic.Uint64
+	expired     atomic.Uint64
+
+	// now is the dispatch clock; injectable for expiration tests.
+	now func() time.Time
+}
+
+// New creates a broker with the given options.
+func New(opts Options) *Broker {
+	return &Broker{
+		opts:           opts.withDefaults(),
+		registry:       topic.NewRegistry(),
+		dispatchers:    make(map[string]*dispatcher),
+		handles:        make(map[topic.SubscriptionID]*Subscriber),
+		durables:       make(map[string]*durableSub),
+		durableHandles: make(map[*Subscriber]struct{}),
+		now:            time.Now,
+	}
+}
+
+// dispatcher serializes dispatching for one topic, mirroring the single
+// message-processing resource (the server CPU) of the paper's model.
+type dispatcher struct {
+	topic *topic.Topic
+	in    chan *jms.Message
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// ConfigureTopic creates a topic and starts its dispatcher. Like on a real
+// JMS server, topics are configured before the system is used.
+func (b *Broker) ConfigureTopic(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	t, err := b.registry.Configure(name)
+	if err != nil {
+		return err
+	}
+	d := &dispatcher{
+		topic: t,
+		in:    make(chan *jms.Message, b.opts.InFlight),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	b.dispatchers[name] = d
+	b.wg.Add(1)
+	go b.dispatchLoop(d)
+	return nil
+}
+
+// Topics returns the names of all configured topics.
+func (b *Broker) Topics() []string { return b.registry.Topics() }
+
+// Publish delivers a message to the broker, blocking while the topic's
+// in-flight window is full (publisher push-back). The message must not be
+// modified by the caller afterwards.
+func (b *Broker) Publish(ctx context.Context, m *jms.Message) error {
+	d, err := b.dispatcherFor(m)
+	if err != nil {
+		return err
+	}
+	if b.opts.WaitObserver != nil && m.Header.Timestamp.IsZero() {
+		m.Header.Timestamp = b.now()
+	}
+	select {
+	case d.in <- m:
+		b.received.Add(1)
+		return nil
+	case <-d.stop:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryPublish is Publish without blocking: it returns ErrQueueFull when the
+// push-back window is exhausted.
+func (b *Broker) TryPublish(m *jms.Message) error {
+	d, err := b.dispatcherFor(m)
+	if err != nil {
+		return err
+	}
+	select {
+	case d.in <- m:
+		b.received.Add(1)
+		return nil
+	case <-d.stop:
+		return ErrClosed
+	default:
+		return ErrQueueFull
+	}
+}
+
+func (b *Broker) dispatcherFor(m *jms.Message) (*dispatcher, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	d, ok := b.dispatchers[m.Header.Topic]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", topic.ErrNoSuchTopic, m.Header.Topic)
+	}
+	return d, nil
+}
+
+// Subscriber is a subscription handle with its delivery queue. It is
+// either a regular (non-durable) subscription backed by a registry entry,
+// or the attached consumer of a durable subscription.
+type Subscriber struct {
+	sub     *topic.Subscription
+	broker  *Broker
+	ch      chan *jms.Message
+	gone    chan struct{}
+	once    sync.Once
+	durable *durableSub // nil for regular subscriptions
+
+	delivered atomic.Uint64
+}
+
+// Subscribe installs a filter on a topic and returns the subscription
+// handle. A nil filter receives every message of the topic.
+func (b *Broker) Subscribe(topicName string, f filter.Filter) (*Subscriber, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	h := &Subscriber{
+		broker: b,
+		ch:     make(chan *jms.Message, b.opts.SubscriberBuffer),
+		gone:   make(chan struct{}),
+	}
+	sub, err := b.registry.Subscribe(topicName, f, h)
+	if err != nil {
+		return nil, err
+	}
+	h.sub = sub
+	b.handles[sub.ID] = h
+	return h, nil
+}
+
+// Chan returns the delivery channel. It is closed when the broker shuts
+// down. After Unsubscribe the channel stops receiving new messages but is
+// left open; use Receive, which also observes unsubscription.
+func (s *Subscriber) Chan() <-chan *jms.Message { return s.ch }
+
+// Receive blocks for the next message. It returns ErrClosed after the
+// subscriber was unsubscribed or the broker shut down.
+func (s *Subscriber) Receive(ctx context.Context) (*jms.Message, error) {
+	select {
+	case m, ok := <-s.ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return m, nil
+	case <-s.gone:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Delivered returns the number of messages forwarded to this subscriber.
+func (s *Subscriber) Delivered() uint64 { return s.delivered.Load() }
+
+// ID returns the subscription ID (0 for durable consumer handles, whose
+// identity is their durable name).
+func (s *Subscriber) ID() topic.SubscriptionID {
+	if s.sub == nil {
+		return 0
+	}
+	return s.sub.ID
+}
+
+// Filter returns the installed filter.
+func (s *Subscriber) Filter() filter.Filter {
+	if s.durable != nil {
+		return s.durable.fltr
+	}
+	return s.sub.Filter
+}
+
+// Unsubscribe removes the subscription. Messages still queued may be
+// drained from Chan; Receive returns ErrClosed. For a durable consumer
+// handle this detaches the consumer — the durable subscription itself
+// keeps accumulating messages until UnsubscribeDurable.
+func (s *Subscriber) Unsubscribe() error {
+	var err error
+	s.once.Do(func() {
+		close(s.gone)
+		if s.durable != nil {
+			s.broker.detachDurable(s)
+			return
+		}
+		err = s.broker.removeSubscriber(s)
+	})
+	return err
+}
+
+func (b *Broker) removeSubscriber(s *Subscriber) error {
+	b.mu.Lock()
+	if !b.closed {
+		delete(b.handles, s.sub.ID)
+	}
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return nil
+	}
+	return b.registry.Unsubscribe(s.sub.Topic, s.sub.ID)
+}
+
+// dispatchLoop is the per-topic message processing loop: the paper's
+// t_rcv + n_fltr*t_fltr + R*t_tx structure in code.
+func (b *Broker) dispatchLoop(d *dispatcher) {
+	defer b.wg.Done()
+	for {
+		select {
+		case m := <-d.in:
+			b.dispatchOne(d, m)
+		case <-d.stop:
+			// Drain what was already accepted (persistent semantics: no
+			// loss for received messages).
+			for {
+				select {
+				case m := <-d.in:
+					b.dispatchOne(d, m)
+				default:
+					close(d.done)
+					return
+				}
+			}
+		}
+	}
+}
+
+func (b *Broker) dispatchOne(d *dispatcher, m *jms.Message) {
+	if obs := b.opts.WaitObserver; obs != nil && !m.Header.Timestamp.IsZero() {
+		obs(b.now().Sub(m.Header.Timestamp))
+	}
+	// Expired messages are discarded before any filter work, as a JMS
+	// server must not deliver a message past its JMSExpiration.
+	if !m.Header.Expiration.IsZero() && m.Expired(b.now()) {
+		b.expired.Add(1)
+		return
+	}
+	subs, _ := d.topic.Snapshot()
+
+	// Linear filter scan: every installed filter is checked for every
+	// message — the measured FioranoMQ behaviour (no optimization for
+	// identical filters, see §III-B of the paper).
+	b.filterEvals.Add(uint64(len(subs)))
+	matches := make([]*Subscriber, 0, 4)
+	for _, sub := range subs {
+		if !sub.Filter.Matches(m) {
+			continue
+		}
+		if h, ok := sub.Attachment.(*Subscriber); ok {
+			matches = append(matches, h)
+		}
+	}
+
+	// Replicate and transmit: R copies for R matching subscribers.
+	for _, h := range matches {
+		copyMsg := m
+		if len(matches) > 1 {
+			copyMsg = m.Clone()
+		}
+		if m.Header.DeliveryMode == jms.Persistent {
+			select {
+			case h.ch <- copyMsg:
+				h.delivered.Add(1)
+				b.dispatched.Add(1)
+			case <-h.gone:
+			case <-d.stop:
+				// Broker closing: best effort, do not block shutdown.
+				select {
+				case h.ch <- copyMsg:
+					h.delivered.Add(1)
+					b.dispatched.Add(1)
+				default:
+					b.dropped.Add(1)
+				}
+			}
+		} else {
+			select {
+			case h.ch <- copyMsg:
+				h.delivered.Add(1)
+				b.dispatched.Add(1)
+			default:
+				b.dropped.Add(1)
+			}
+		}
+	}
+
+	if obs := b.opts.Observer; obs != nil {
+		obs.ObserveDispatch(d.topic.Name(), len(subs), len(matches))
+	}
+}
+
+// Stats returns a snapshot of the broker counters.
+func (b *Broker) Stats() Stats {
+	return Stats{
+		Received:    b.received.Load(),
+		Dispatched:  b.dispatched.Load(),
+		FilterEvals: b.filterEvals.Load(),
+		Dropped:     b.dropped.Load(),
+		Expired:     b.expired.Load(),
+	}
+}
+
+// NumFilters returns the total number of installed filters — the paper's
+// n_fltr when a single topic is in use.
+func (b *Broker) NumFilters() int { return b.registry.TotalSubscriptions() }
+
+// Close shuts the broker down: publishers get ErrClosed, accepted messages
+// are drained, dispatchers stop, and all subscriber channels are closed.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.closed = true
+	dispatchers := make([]*dispatcher, 0, len(b.dispatchers))
+	for _, d := range b.dispatchers {
+		dispatchers = append(dispatchers, d)
+	}
+	handles := make([]*Subscriber, 0, len(b.handles))
+	for _, h := range b.handles {
+		handles = append(handles, h)
+	}
+	durables := make([]*durableSub, 0, len(b.durables))
+	for _, d := range b.durables {
+		durables = append(durables, d)
+	}
+	b.mu.Unlock()
+
+	// 1. Stop dispatchers; they drain already-accepted messages.
+	for _, d := range dispatchers {
+		close(d.stop)
+	}
+	for _, d := range dispatchers {
+		<-d.done
+	}
+	// 2. Stop durable pumps (they drain their relays, set pumpDone and
+	//    wake delivery goroutines, which then drain best-effort and close
+	//    their consumer channels).
+	for _, d := range durables {
+		d.signalStop()
+	}
+	b.wg.Wait()
+
+	// 3. Close regular subscriber channels (dispatchers have exited, so
+	//    no sender remains). Durable consumer channels are closed by
+	//    their delivery goroutines.
+	for _, h := range handles {
+		h.once.Do(func() { close(h.gone) })
+		close(h.ch)
+	}
+	return nil
+}

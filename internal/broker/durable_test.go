@@ -1,0 +1,341 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/jms"
+)
+
+func publishSeq(t testing.TB, b *Broker, topicName string, lo, hi int) {
+	t.Helper()
+	for i := lo; i < hi; i++ {
+		m := jms.NewMessage(topicName)
+		if err := m.SetInt64Property("seq", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Publish(context.Background(), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func receiveSeq(t testing.TB, s *Subscriber, want ...int64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, w := range want {
+		m, err := s.Receive(ctx)
+		if err != nil {
+			t.Fatalf("receive (want seq %d): %v", w, err)
+		}
+		seq, err := m.Int64Property("seq")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != w {
+			t.Fatalf("seq = %d, want %d", seq, w)
+		}
+	}
+}
+
+func TestDurableBuffersWhileOffline(t *testing.T) {
+	b := newTestBroker(t, Options{})
+
+	// Attach once to register, receive a message, detach.
+	c1, err := b.SubscribeDurable("t", "alice", nil, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishSeq(t, b, "t", 0, 2)
+	receiveSeq(t, c1, 0, 1)
+	if err := c1.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline: messages must accumulate.
+	publishSeq(t, b, "t", 2, 5)
+	waitFor(t, func() bool {
+		n, _, err := b.DurableBacklog("t", "alice")
+		return err == nil && n == 3
+	})
+
+	// Reattach: backlog replays in order, then live traffic follows.
+	c2, err := b.SubscribeDurable("t", "alice", nil, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiveSeq(t, c2, 2, 3, 4)
+	publishSeq(t, b, "t", 5, 6)
+	receiveSeq(t, c2, 5)
+}
+
+func TestDurableOrderAcrossManyDetachCycles(t *testing.T) {
+	b := newTestBroker(t, Options{SubscriberBuffer: 4})
+	c, err := b.SubscribeDurable("t", "d", nil, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := int64(0)
+	seq := 0
+	for cycle := 0; cycle < 5; cycle++ {
+		publishSeq(t, b, "t", seq, seq+7)
+		seq += 7
+		// Read only part of the traffic, then detach mid-stream.
+		want := make([]int64, 3)
+		for i := range want {
+			want[i] = next
+			next++
+		}
+		receiveSeq(t, c, want...)
+		if err := c.Unsubscribe(); err != nil {
+			t.Fatal(err)
+		}
+		c, err = b.SubscribeDurable("t", "d", nil, DurableOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The remaining 4 of this cycle arrive before anything newer.
+		want = make([]int64, 4)
+		for i := range want {
+			want[i] = next
+			next++
+		}
+		receiveSeq(t, c, want...)
+	}
+}
+
+func TestDurableSingleActiveConsumer(t *testing.T) {
+	b := newTestBroker(t, Options{})
+	c1, err := b.SubscribeDurable("t", "d", nil, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SubscribeDurable("t", "d", nil, DurableOptions{}); !errors.Is(err, ErrDurableActive) {
+		t.Errorf("second attach err = %v, want ErrDurableActive", err)
+	}
+	if err := c1.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SubscribeDurable("t", "d", nil, DurableOptions{}); err != nil {
+		t.Errorf("reattach after detach err = %v", err)
+	}
+}
+
+func TestDurableFilterMismatch(t *testing.T) {
+	b := newTestBroker(t, Options{})
+	f0, err := filter.NewCorrelationID("#0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.SubscribeDurable("t", "d", f0, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	f1, err := filter.NewCorrelationID("#1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SubscribeDurable("t", "d", f1, DurableOptions{}); !errors.Is(err, ErrDurableFilterMismatch) {
+		t.Errorf("filter change err = %v, want ErrDurableFilterMismatch", err)
+	}
+	// Delete, then re-register with the new filter.
+	if err := b.UnsubscribeDurable("t", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SubscribeDurable("t", "d", f1, DurableOptions{}); err != nil {
+		t.Errorf("re-register after delete err = %v", err)
+	}
+}
+
+func TestDurableFilterApplies(t *testing.T) {
+	b := newTestBroker(t, Options{})
+	f0, err := filter.NewCorrelationID("#0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.SubscribeDurable("t", "d", f0, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishCorr(t, b, "#1") // filtered out
+	publishCorr(t, b, "#0") // delivered
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m, err := c.Receive(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.CorrelationID != "#0" {
+		t.Errorf("corrID = %q", m.Header.CorrelationID)
+	}
+	if c.Filter().String() != "#0" {
+		t.Errorf("Filter() = %q", c.Filter())
+	}
+	if c.ID() != 0 {
+		t.Errorf("durable handle ID = %d, want 0", c.ID())
+	}
+}
+
+func TestDurableBacklogOverflowDropsOldest(t *testing.T) {
+	b := newTestBroker(t, Options{})
+	c, err := b.SubscribeDurable("t", "d", nil, DurableOptions{BacklogLimit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	publishSeq(t, b, "t", 0, 10)
+	waitFor(t, func() bool {
+		n, overflow, err := b.DurableBacklog("t", "d")
+		return err == nil && n == 3 && overflow == 7
+	})
+	c2, err := b.SubscribeDurable("t", "d", nil, DurableOptions{BacklogLimit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oldest dropped: the newest three remain.
+	receiveSeq(t, c2, 7, 8, 9)
+}
+
+func TestUnsubscribeDurableErrors(t *testing.T) {
+	b := newTestBroker(t, Options{})
+	if err := b.UnsubscribeDurable("t", "missing"); !errors.Is(err, ErrNoSuchDurable) {
+		t.Errorf("missing err = %v", err)
+	}
+	c, err := b.SubscribeDurable("t", "d", nil, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UnsubscribeDurable("t", "d"); !errors.Is(err, ErrDurableActive) {
+		t.Errorf("active delete err = %v", err)
+	}
+	if err := c.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UnsubscribeDurable("t", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.DurableBacklog("t", "d"); !errors.Is(err, ErrNoSuchDurable) {
+		t.Errorf("backlog after delete err = %v", err)
+	}
+	// The relay filter is gone too.
+	if n := b.NumFilters(); n != 0 {
+		t.Errorf("NumFilters = %d after durable delete", n)
+	}
+}
+
+func TestDurableEmptyNameRejected(t *testing.T) {
+	b := newTestBroker(t, Options{})
+	if _, err := b.SubscribeDurable("t", "", nil, DurableOptions{}); err == nil {
+		t.Error("empty durable name accepted")
+	}
+}
+
+func TestDurableCloseDrainsToConsumer(t *testing.T) {
+	b := New(Options{SubscriberBuffer: 64})
+	if err := b.ConfigureTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.SubscribeDurable("t", "d", nil, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishSeq(t, b, "t", 0, 10)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The channel closes after the stream ends; accepted messages are
+	// deliverable.
+	got := 0
+	for range c.Chan() {
+		got++
+	}
+	if got != 10 {
+		t.Errorf("drained %d after Close, want 10", got)
+	}
+}
+
+func TestDurableCloseWithIdleConsumer(t *testing.T) {
+	// Close must not deadlock when a durable consumer is attached but not
+	// reading and the backlog is empty.
+	b := New(Options{})
+	if err := b.ConfigureTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SubscribeDurable("t", "d", nil, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	doneCh := make(chan struct{})
+	go func() {
+		_ = b.Close()
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked with idle durable consumer")
+	}
+}
+
+func TestDurableSubscribeAfterClose(t *testing.T) {
+	b := New(Options{})
+	if err := b.ConfigureTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SubscribeDurable("t", "d", nil, DurableOptions{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("SubscribeDurable after Close err = %v", err)
+	}
+}
+
+func TestDurableNonDurableContrast(t *testing.T) {
+	// The paper's §II-A distinction in one test: a non-durable subscriber
+	// misses messages sent while it is gone; a durable one does not.
+	b := newTestBroker(t, Options{})
+
+	nd, err := b.Subscribe("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := b.SubscribeDurable("t", "d", nil, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+
+	publishSeq(t, b, "t", 0, 3)
+	// Wait until the dispatcher has processed all three (the durable
+	// backlog sees them) before the non-durable subscriber reappears.
+	waitFor(t, func() bool {
+		n, _, err := b.DurableBacklog("t", "d")
+		return err == nil && n == 3
+	})
+
+	nd2, err := b.Subscribe("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := b.SubscribeDurable("t", "d", nil, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiveSeq(t, d2, 0, 1, 2) // durable: nothing lost
+	if nd2.Delivered() != 0 {  // non-durable: missed everything
+		t.Errorf("non-durable subscriber got %d offline messages", nd2.Delivered())
+	}
+}

@@ -1,0 +1,94 @@
+package broker_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/filter"
+	"repro/internal/jms"
+)
+
+// Example demonstrates the basic publish/subscribe cycle with a selector
+// filter on an embedded broker.
+func Example() {
+	b := broker.New(broker.Options{})
+	defer func() { _ = b.Close() }()
+	if err := b.ConfigureTopic("stock"); err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := filter.NewProperty("symbol = 'ACME' AND price > 100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := b.Subscribe("stock", f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	quote := jms.NewMessage("stock")
+	_ = quote.SetStringProperty("symbol", "ACME")
+	_ = quote.SetFloat64Property("price", 101.5)
+	if err := b.Publish(ctx, quote); err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := sub.Receive(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	price, _ := m.Float64Property("price")
+	fmt.Printf("matched ACME at %.1f\n", price)
+	// Output: matched ACME at 101.5
+}
+
+// ExampleBroker_SubscribeDurable shows the durable mode: a named
+// subscription buffers matching messages while no consumer is attached.
+func ExampleBroker_SubscribeDurable() {
+	b := broker.New(broker.Options{})
+	defer func() { _ = b.Close() }()
+	if err := b.ConfigureTopic("audit"); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Register and immediately detach.
+	c, err := b.SubscribeDurable("audit", "ledger", nil, broker.DurableOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = c.Unsubscribe()
+
+	// Traffic while offline is buffered.
+	m := jms.NewMessage("audit")
+	_ = m.SetStringProperty("event", "login")
+	if err := b.Publish(ctx, m); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		if n, _, _ := b.DurableBacklog("audit", "ledger"); n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Reattach: the backlog replays.
+	c2, err := b.SubscribeDurable("audit", "ledger", nil, broker.DurableOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := c2.Receive(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	event, _ := got.StringProperty("event")
+	fmt.Println("replayed:", event)
+	// Output: replayed: login
+}

@@ -1,0 +1,366 @@
+// Package client provides the JMS-flavoured client API used by publishers
+// and subscribers: connect to a broker over TCP, publish messages with
+// acknowledgement-based push-back, and subscribe with a filter.
+//
+// Test clients in the paper are "derived from Fiorano's example Java
+// sources": each publisher or subscriber holds an exclusive connection to
+// the server. The benchmark harness follows the same pattern with one
+// Client per publisher/subscriber thread.
+package client
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/jms"
+	"repro/internal/wire"
+)
+
+// Errors returned by the client.
+var (
+	// ErrClosed is returned after Close or when the server disconnects.
+	ErrClosed = errors.New("client: connection closed")
+)
+
+// ServerError is a request failure reported by the broker.
+type ServerError struct {
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ServerError) Error() string { return "client: server error: " + e.Msg }
+
+// Client is one connection to a broker. It is safe for concurrent use.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	reqID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan result
+	subs    map[uint64]*Subscription
+	// pendingSubs holds pre-created subscriptions by request ID so the
+	// read loop can register them the moment SUBSCRIBE_OK arrives — a
+	// durable reattach replays its backlog immediately afterwards, and
+	// TCP ordering then guarantees no delivery outruns registration.
+	pendingSubs map[uint64]*Subscription
+	closed      bool
+	readErr     error
+
+	done chan struct{}
+}
+
+type result struct {
+	frame wire.Frame
+	err   error
+}
+
+// Dial connects to a broker at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:        conn,
+		pending:     make(map[uint64]chan result),
+		subs:        make(map[uint64]*Subscription),
+		pendingSubs: make(map[uint64]*Subscription),
+		done:        make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close terminates the connection. Pending requests fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		f, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		c.dispatch(f)
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.readErr = err
+	for id, ch := range c.pending {
+		ch <- result{err: ErrClosed}
+		delete(c.pending, id)
+	}
+	for _, sub := range c.subs {
+		sub.closeOnce()
+	}
+	c.subs = nil
+}
+
+func (c *Client) dispatch(f wire.Frame) {
+	switch f.Type {
+	case wire.FrameSubscribeOK:
+		if len(f.Payload) < 16 {
+			return
+		}
+		reqID := binary.BigEndian.Uint64(f.Payload)
+		subID := binary.BigEndian.Uint64(f.Payload[8:])
+		c.mu.Lock()
+		if sub, ok := c.pendingSubs[reqID]; ok {
+			delete(c.pendingSubs, reqID)
+			sub.id = subID
+			if c.subs != nil {
+				c.subs[subID] = sub
+			}
+		}
+		c.mu.Unlock()
+		c.complete(reqID, result{frame: f})
+
+	case wire.FramePubAck, wire.FrameUnsubscribeOK,
+		wire.FrameConfigureTopicOK, wire.FrameDeleteDurableOK:
+		if len(f.Payload) < 8 {
+			return
+		}
+		reqID := binary.BigEndian.Uint64(f.Payload)
+		c.complete(reqID, result{frame: f})
+
+	case wire.FrameError:
+		reqID, msg, err := wire.DecodeError(f.Payload)
+		if err != nil {
+			return
+		}
+		c.complete(reqID, result{err: &ServerError{Msg: msg}})
+
+	case wire.FrameMessage:
+		subID, m, err := wire.DecodeDelivery(f.Payload)
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		sub := c.subs[subID]
+		c.mu.Unlock()
+		if sub != nil {
+			select {
+			case sub.ch <- m:
+			case <-sub.gone:
+			}
+		}
+
+	case wire.FramePong:
+		// Liveness only.
+	}
+}
+
+func (c *Client) complete(reqID uint64, r result) {
+	c.mu.Lock()
+	ch, ok := c.pending[reqID]
+	if ok {
+		delete(c.pending, reqID)
+	}
+	c.mu.Unlock()
+	if ok {
+		ch <- r
+	}
+}
+
+// call sends a request frame and waits for its reply.
+func (c *Client) call(ctx context.Context, typ wire.FrameType, inner []byte) (wire.Frame, error) {
+	return c.callWithID(ctx, c.reqID.Add(1), typ, inner)
+}
+
+// callWithID is call with a caller-allocated request ID, so the caller can
+// register request-scoped state (e.g. a pending subscription) first.
+func (c *Client) callWithID(ctx context.Context, reqID uint64, typ wire.FrameType, inner []byte) (wire.Frame, error) {
+	ch := make(chan result, 1)
+
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		c.mu.Unlock()
+		return wire.Frame{}, ErrClosed
+	}
+	c.pending[reqID] = ch
+	c.mu.Unlock()
+
+	payload := make([]byte, 8, 8+len(inner))
+	binary.BigEndian.PutUint64(payload, reqID)
+	payload = append(payload, inner...)
+
+	c.writeMu.Lock()
+	err := wire.WriteFrame(c.conn, wire.Frame{Type: typ, Payload: payload})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return wire.Frame{}, fmt.Errorf("client: send: %w", err)
+	}
+
+	select {
+	case r := <-ch:
+		return r.frame, r.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return wire.Frame{}, ctx.Err()
+	}
+}
+
+// ConfigureTopic creates a topic on the broker.
+func (c *Client) ConfigureTopic(ctx context.Context, name string) error {
+	_, err := c.call(ctx, wire.FrameConfigureTopic, wire.EncodeString(name))
+	return err
+}
+
+// Publish sends a message and waits for the broker's acknowledgement. The
+// ack is delayed while the broker's in-flight window is full, which is the
+// network form of publisher push-back.
+func (c *Client) Publish(ctx context.Context, m *jms.Message) error {
+	_, err := c.call(ctx, wire.FramePublish, wire.EncodeMessage(m))
+	return err
+}
+
+// Subscription is a remote subscription's delivery stream.
+type Subscription struct {
+	client *Client
+	id     uint64
+	ch     chan *jms.Message
+	gone   chan struct{}
+	once   sync.Once
+}
+
+// Subscribe installs a filter on a topic. Buffer is the local delivery
+// queue length (values <= 0 default to 64).
+func (c *Client) Subscribe(ctx context.Context, topicName string, spec wire.FilterSpec, buffer int) (*Subscription, error) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	sub := &Subscription{
+		client: c,
+		ch:     make(chan *jms.Message, buffer),
+		gone:   make(chan struct{}),
+	}
+	// Register the subscription under the request ID before sending: the
+	// read loop moves it into the live table when SUBSCRIBE_OK arrives,
+	// so deliveries following the reply on the wire can never be lost.
+	reqID := c.reqID.Add(1)
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.pendingSubs[reqID] = sub
+	c.mu.Unlock()
+
+	f, err := c.callWithID(ctx, reqID, wire.FrameSubscribe, wire.EncodeSubscribe(topicName, spec))
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pendingSubs, reqID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	if len(f.Payload) < 16 {
+		return nil, errors.New("client: short SUBSCRIBE_OK payload")
+	}
+	// The read loop has already registered the subscription and set its
+	// ID before completing the call.
+	return sub, nil
+}
+
+// ID returns the server-assigned subscription ID.
+func (s *Subscription) ID() uint64 { return s.id }
+
+// Chan returns the delivery channel. It is closed when the subscription is
+// torn down.
+func (s *Subscription) Chan() <-chan *jms.Message { return s.ch }
+
+// Receive blocks for the next message. It returns ErrClosed after the
+// subscription was removed or the connection failed.
+func (s *Subscription) Receive(ctx context.Context) (*jms.Message, error) {
+	select {
+	case m, ok := <-s.ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return m, nil
+	case <-s.gone:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// closeOnce tears the subscription down from the read-loop side. It closes
+// the delivery channel, which is safe only because the read loop is the
+// sole sender and has stopped when this is called.
+func (s *Subscription) closeOnce() {
+	s.once.Do(func() {
+		close(s.gone)
+		close(s.ch)
+	})
+}
+
+// Unsubscribe removes the subscription on the broker. The delivery channel
+// stops receiving; Receive returns ErrClosed. The channel itself is closed
+// only on connection teardown (the read loop may still be delivering a
+// message that was in flight).
+func (s *Subscription) Unsubscribe(ctx context.Context) error {
+	c := s.client
+	c.mu.Lock()
+	if c.subs != nil {
+		delete(c.subs, s.id)
+	}
+	c.mu.Unlock()
+
+	s.once.Do(func() { close(s.gone) })
+	_, err := c.call(ctx, wire.FrameUnsubscribe, wire.EncodeU64(s.id))
+	return err
+}
+
+// DeleteDurable removes a named durable subscription from the broker,
+// discarding its backlog. It fails while a consumer is attached.
+func (c *Client) DeleteDurable(ctx context.Context, topicName, name string) error {
+	payload := wire.EncodeString(topicName)
+	payload = append(payload, wire.EncodeString(name)...)
+	_, err := c.call(ctx, wire.FrameDeleteDurable, payload)
+	return err
+}
+
+// Ping round-trips a liveness probe. Note: pongs carry no request ID, so
+// Ping must not run concurrently with other Pings on one client.
+func (c *Client) Ping(ctx context.Context) error {
+	c.writeMu.Lock()
+	err := wire.WriteFrame(c.conn, wire.Frame{Type: wire.FramePing, Payload: wire.EncodeU64(0)})
+	c.writeMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("client: ping: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+// Package cluster implements broker clustering, the paper's stated ongoing
+// work ("we investigate the message throughput performance of server
+// clusters and work on concepts to achieve true JMS system scalability").
+//
+// A cluster connects off-the-shelf brokers with bridges: a bridge
+// subscribes on a source broker and republishes everything it receives on
+// a target broker. A hop-count property prevents routing loops in cyclic
+// topologies (full meshes). Publishers and subscribers keep using plain
+// single-broker connections; the cluster makes every message reach every
+// member, so a subscriber's filters behave as if installed on one big
+// server — trading extra receive work (one t_rcv per member per message)
+// for distributing the n_fltr*t_fltr filter scans across machines.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/broker"
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/jms"
+)
+
+// hopProperty is the message property carrying the remaining forwarding
+// budget; it is stamped by bridges and never visible to the application
+// because filters on user properties ignore it by name.
+const hopProperty = "$jmsperfHops"
+
+// Errors of the cluster package.
+var (
+	// ErrParams is returned for invalid topology parameters.
+	ErrParams = errors.New("cluster: invalid parameters")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("cluster: closed")
+)
+
+// Bridge forwards messages of one topic from a source to a target broker.
+type Bridge struct {
+	src, dst *broker.Broker
+	sub      *broker.Subscriber
+	maxHops  int
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	forwarded, dropped uint64
+	mu                 sync.Mutex
+}
+
+// NewBridge starts forwarding topicName messages from src to dst. maxHops
+// bounds re-forwarding (1 = messages cross at most one bridge).
+func NewBridge(src, dst *broker.Broker, topicName string, maxHops int) (*Bridge, error) {
+	if src == nil || dst == nil || src == dst {
+		return nil, fmt.Errorf("%w: src/dst", ErrParams)
+	}
+	if maxHops < 1 {
+		return nil, fmt.Errorf("%w: maxHops=%d", ErrParams, maxHops)
+	}
+	sub, err := src.Subscribe(topicName, nil)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	b := &Bridge{
+		src:     src,
+		dst:     dst,
+		sub:     sub,
+		maxHops: maxHops,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	go b.pump(ctx)
+	return b, nil
+}
+
+func (b *Bridge) pump(ctx context.Context) {
+	defer close(b.done)
+	for {
+		var m *jms.Message
+		select {
+		case msg, ok := <-b.sub.Chan():
+			if !ok {
+				return
+			}
+			m = msg
+		case <-ctx.Done():
+			return
+		}
+		hops := b.maxHops
+		if v, err := m.Int64Property(hopProperty); err == nil {
+			hops = int(v)
+		}
+		if hops <= 0 {
+			b.mu.Lock()
+			b.dropped++
+			b.mu.Unlock()
+			continue
+		}
+		fwd := m.Clone()
+		if err := fwd.SetInt64Property(hopProperty, int64(hops-1)); err != nil {
+			continue
+		}
+		if err := b.dst.Publish(ctx, fwd); err != nil {
+			if ctx.Err() != nil || errors.Is(err, broker.ErrClosed) {
+				return
+			}
+			continue
+		}
+		b.mu.Lock()
+		b.forwarded++
+		b.mu.Unlock()
+	}
+}
+
+// Stats returns the number of forwarded and loop-dropped messages.
+func (b *Bridge) Stats() (forwarded, dropped uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.forwarded, b.dropped
+}
+
+// Close stops the bridge and waits for its pump to exit.
+func (b *Bridge) Close() error {
+	b.cancel()
+	err := b.sub.Unsubscribe()
+	<-b.done
+	return err
+}
+
+// Cluster is a full mesh of brokers bridged pairwise on one topic.
+type Cluster struct {
+	brokers []*broker.Broker
+	bridges []*Bridge
+	topic   string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewMesh builds a full mesh of k brokers over topicName. Every pair is
+// connected by two directed bridges with maxHops=1: a message published on
+// any member reaches every other member exactly once, and the hop budget
+// stops it from echoing further.
+func NewMesh(k int, topicName string, opts broker.Options) (*Cluster, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("%w: mesh size %d", ErrParams, k)
+	}
+	c := &Cluster{topic: topicName}
+	for i := 0; i < k; i++ {
+		b := broker.New(opts)
+		if err := b.ConfigureTopic(topicName); err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		c.brokers = append(c.brokers, b)
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			br, err := NewBridge(c.brokers[i], c.brokers[j], topicName, 1)
+			if err != nil {
+				_ = c.Close()
+				return nil, err
+			}
+			c.bridges = append(c.bridges, br)
+		}
+	}
+	return c, nil
+}
+
+// Brokers returns the cluster members.
+func (c *Cluster) Brokers() []*broker.Broker {
+	out := make([]*broker.Broker, len(c.brokers))
+	copy(out, c.brokers)
+	return out
+}
+
+// Publish sends a message through member i.
+func (c *Cluster) Publish(ctx context.Context, member int, m *jms.Message) error {
+	if member < 0 || member >= len(c.brokers) {
+		return fmt.Errorf("%w: member %d of %d", ErrParams, member, len(c.brokers))
+	}
+	return c.brokers[member].Publish(ctx, m)
+}
+
+// Subscribe installs a filter on member i only; the mesh guarantees the
+// member sees every message of the topic, so the subscriber behaves as if
+// its filter were installed on one big server.
+func (c *Cluster) Subscribe(member int, f filter.Filter) (*broker.Subscriber, error) {
+	if member < 0 || member >= len(c.brokers) {
+		return nil, fmt.Errorf("%w: member %d of %d", ErrParams, member, len(c.brokers))
+	}
+	return c.brokers[member].Subscribe(c.topic, f)
+}
+
+// Close shuts the bridges down first (so no forwarding races a closing
+// broker), then the members.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.closed = true
+	c.mu.Unlock()
+
+	var firstErr error
+	for _, br := range c.bridges {
+		if err := br.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, b := range c.brokers {
+		if err := b.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// MeshCapacity predicts the received-message capacity of a k-member mesh
+// carrying the same workload as a single server with n_fltr filters and
+// replication E[R], when subscribers (and their filters) are spread evenly
+// across members. Each member processes every message (k-1 extra receives
+// system-wide per message) but scans only n_fltr/k filters.
+func MeshCapacity(model core.CostModel, k, nFltr int, meanR, rho float64) (float64, error) {
+	if k < 1 || nFltr < 0 || meanR < 0 || rho <= 0 || rho > 1 {
+		return 0, fmt.Errorf("%w: k=%d nFltr=%d meanR=%g rho=%g", ErrParams, k, nFltr, meanR, rho)
+	}
+	if err := model.Valid(); err != nil {
+		return 0, err
+	}
+	// Per-member work per published message: one receive, a scan over its
+	// shard of filters, and its share of the transmissions.
+	perMember := model.TRcv + float64(nFltr)/float64(k)*model.TFltr + meanR/float64(k)*model.TTx
+	return rho / perMember, nil
+}

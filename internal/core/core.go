@@ -1,0 +1,208 @@
+// Package core implements the paper's primary contribution: the simple
+// model for the message processing time of a JMS server (Eq. 1),
+//
+//	E[B] = t_rcv + n_fltr * t_fltr + E[R] * t_tx,
+//
+// the measured overhead constants of Table I, the server capacity formula
+// (Eq. 2), and the filter-benefit rule (Eq. 3) that tells when installing
+// filters increases server capacity.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// FilterType selects the filter family whose Table I constants apply.
+type FilterType int
+
+// Filter families measured in the paper.
+const (
+	// CorrelationIDFiltering matches on the correlation ID header.
+	CorrelationIDFiltering FilterType = iota + 1
+	// ApplicationPropertyFiltering matches JMS selectors on properties.
+	ApplicationPropertyFiltering
+)
+
+// String names the filter type as in the paper.
+func (t FilterType) String() string {
+	switch t {
+	case CorrelationIDFiltering:
+		return "correlation ID filtering"
+	case ApplicationPropertyFiltering:
+		return "application property filtering"
+	default:
+		return "FilterType(" + strconv.Itoa(int(t)) + ")"
+	}
+}
+
+// CostModel holds the three per-message overhead constants of the paper's
+// processing-time model. All values are in seconds.
+type CostModel struct {
+	// TRcv is the fixed receive overhead per message, independent of
+	// filter installations.
+	TRcv float64
+	// TFltr is the per-installed-filter check overhead per message.
+	TFltr float64
+	// TTx is the per-replica transmission overhead.
+	TTx float64
+	// TByte is an extension beyond the paper's model: a per-body-byte
+	// cost applied once on receive and once per transmitted replica. The
+	// paper observed that "the message size has a significant impact on
+	// the message throughput" but kept a 0-byte body, making this term
+	// vanish; it is 0 in Table I.
+	TByte float64
+}
+
+// Table I of the paper: overhead constants measured for FioranoMQ 7.5 on
+// the authors' 3.2 GHz testbed.
+var (
+	// TableICorrelationID are the constants for correlation ID filtering.
+	TableICorrelationID = CostModel{TRcv: 8.52e-7, TFltr: 7.02e-6, TTx: 1.70e-5}
+	// TableIApplicationProperty are the constants for application property
+	// filtering.
+	TableIApplicationProperty = CostModel{TRcv: 4.10e-6, TFltr: 1.46e-5, TTx: 1.62e-5}
+)
+
+// TableI returns the paper's constants for the given filter type.
+func TableI(t FilterType) (CostModel, error) {
+	switch t {
+	case CorrelationIDFiltering:
+		return TableICorrelationID, nil
+	case ApplicationPropertyFiltering:
+		return TableIApplicationProperty, nil
+	default:
+		return CostModel{}, fmt.Errorf("core: unknown filter type %d", int(t))
+	}
+}
+
+// Errors returned by the model.
+var (
+	// ErrParams is returned for invalid model parameters.
+	ErrParams = errors.New("core: invalid parameters")
+	// ErrOverload is returned when a requested utilization is infeasible.
+	ErrOverload = errors.New("core: offered load exceeds capacity")
+)
+
+// Valid reports whether the model constants are usable.
+func (c CostModel) Valid() error {
+	if c.TRcv < 0 || c.TFltr < 0 || c.TTx < 0 {
+		return fmt.Errorf("%w: negative cost constants %+v", ErrParams, c)
+	}
+	if c.TRcv == 0 && c.TFltr == 0 && c.TTx == 0 {
+		return fmt.Errorf("%w: all cost constants zero", ErrParams)
+	}
+	if math.IsNaN(c.TRcv) || math.IsNaN(c.TFltr) || math.IsNaN(c.TTx) {
+		return fmt.Errorf("%w: NaN cost constants", ErrParams)
+	}
+	return nil
+}
+
+// MeanServiceTime evaluates Eq. 1: the expected processing time of one
+// message given n_fltr installed filters and mean replication grade meanR.
+func (c CostModel) MeanServiceTime(nFltr int, meanR float64) float64 {
+	return c.TRcv + float64(nFltr)*c.TFltr + meanR*c.TTx
+}
+
+// MeanServiceTimeSized extends Eq. 1 with the per-byte term: a body of
+// bodyBytes costs TByte once on receive and once per replica.
+func (c CostModel) MeanServiceTimeSized(nFltr int, meanR float64, bodyBytes int) float64 {
+	if bodyBytes < 0 {
+		bodyBytes = 0
+	}
+	return c.MeanServiceTime(nFltr, meanR) + float64(bodyBytes)*c.TByte*(1+meanR)
+}
+
+// ConstantPart returns D = t_rcv + n_fltr*t_fltr, the deterministic part
+// of the service time (Section IV-B.2).
+func (c CostModel) ConstantPart(nFltr int) float64 {
+	return c.TRcv + float64(nFltr)*c.TFltr
+}
+
+// MeanServiceDuration is MeanServiceTime as a time.Duration.
+func (c CostModel) MeanServiceDuration(nFltr int, meanR float64) time.Duration {
+	return time.Duration(c.MeanServiceTime(nFltr, meanR) * float64(time.Second))
+}
+
+// Capacity evaluates Eq. 2: the maximum supportable received-message rate
+// lambda_max (msgs/s) at server utilization rho.
+func (c CostModel) Capacity(rho float64, nFltr int, meanR float64) (float64, error) {
+	if rho <= 0 || rho > 1 || math.IsNaN(rho) {
+		return 0, fmt.Errorf("%w: utilization rho=%g outside (0,1]", ErrParams, rho)
+	}
+	eb := c.MeanServiceTime(nFltr, meanR)
+	if eb <= 0 {
+		return 0, fmt.Errorf("%w: non-positive service time %g", ErrParams, eb)
+	}
+	return rho / eb, nil
+}
+
+// Utilization returns rho = lambda * E[B] for a given received-message
+// rate.
+func (c CostModel) Utilization(lambda float64, nFltr int, meanR float64) (float64, error) {
+	if lambda < 0 || math.IsNaN(lambda) {
+		return 0, fmt.Errorf("%w: lambda=%g", ErrParams, lambda)
+	}
+	return lambda * c.MeanServiceTime(nFltr, meanR), nil
+}
+
+// Throughput predicts the saturated-server message rates for a scenario:
+// the received throughput 1/E[B], the dispatched throughput E[R]/E[B] and
+// their sum, the overall throughput — the quantity plotted in Fig. 4.
+func (c CostModel) Throughput(nFltr int, meanR float64) (received, dispatched, overall float64) {
+	eb := c.MeanServiceTime(nFltr, meanR)
+	received = 1 / eb
+	dispatched = meanR / eb
+	return received, dispatched, received + dispatched
+}
+
+// FilterBenefit evaluates Eq. 3 for one information consumer q that has
+// installed nFltrQ filters receiving a proportion pMatch of all messages:
+// installing the filters increases server capacity iff
+//
+//	nFltrQ * t_fltr < (1 - pMatch) * t_tx.
+func (c CostModel) FilterBenefit(nFltrQ int, pMatch float64) bool {
+	return float64(nFltrQ)*c.TFltr < (1-pMatch)*c.TTx
+}
+
+// BreakEvenMatchProbability returns the largest match probability for
+// which installing nFltrQ filters still increases server capacity
+// (solving Eq. 3 for pMatch). A negative result means the filters can
+// never pay off: "three or more [correlation ID] filters per consumer slow
+// down the server more than forwarding any message".
+func (c CostModel) BreakEvenMatchProbability(nFltrQ int) float64 {
+	if c.TTx == 0 {
+		return math.Inf(-1)
+	}
+	return 1 - float64(nFltrQ)*c.TFltr/c.TTx
+}
+
+// EquivalentFilters returns the number of filters whose checking cost
+// equals the transmission cost of replication grade r — the paper's
+// observation that E[R]=10 without filters degrades capacity like
+// n_fltr = 22 filters at E[R]=1 (correlation ID filtering).
+func (c CostModel) EquivalentFilters(r float64) float64 {
+	if c.TFltr == 0 {
+		return math.Inf(1)
+	}
+	return (r - 1) * c.TTx / c.TFltr
+}
+
+// MaxFiltersForRate inverts Eq. 2: the largest n_fltr that still supports
+// the received rate lambda at utilization rho and mean replication meanR.
+func (c CostModel) MaxFiltersForRate(lambda, rho, meanR float64) (int, error) {
+	if lambda <= 0 || rho <= 0 || rho > 1 {
+		return 0, fmt.Errorf("%w: lambda=%g rho=%g", ErrParams, lambda, rho)
+	}
+	budget := rho/lambda - c.TRcv - meanR*c.TTx
+	if budget < 0 {
+		return 0, fmt.Errorf("%w: rate %g msgs/s infeasible even with 0 filters", ErrOverload, lambda)
+	}
+	if c.TFltr == 0 {
+		return math.MaxInt32, nil
+	}
+	return int(budget / c.TFltr), nil
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTableIConstants(t *testing.T) {
+	corr, err := TableI(CorrelationIDFiltering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr.TRcv != 8.52e-7 || corr.TFltr != 7.02e-6 || corr.TTx != 1.70e-5 {
+		t.Errorf("correlation ID constants = %+v", corr)
+	}
+	app, err := TableI(ApplicationPropertyFiltering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.TRcv != 4.10e-6 || app.TFltr != 1.46e-5 || app.TTx != 1.62e-5 {
+		t.Errorf("application property constants = %+v", app)
+	}
+	if _, err := TableI(FilterType(9)); err == nil {
+		t.Error("unknown filter type accepted")
+	}
+	if err := corr.Valid(); err != nil {
+		t.Errorf("Table I invalid: %v", err)
+	}
+}
+
+func TestFilterTypeString(t *testing.T) {
+	if CorrelationIDFiltering.String() != "correlation ID filtering" {
+		t.Error("String mismatch")
+	}
+	if ApplicationPropertyFiltering.String() != "application property filtering" {
+		t.Error("String mismatch")
+	}
+	if FilterType(9).String() != "FilterType(9)" {
+		t.Error("unknown String mismatch")
+	}
+}
+
+func TestMeanServiceTimeEq1(t *testing.T) {
+	// Eq. 1 with hand-computed values.
+	c := TableICorrelationID
+	// n_fltr = 100, E[R] = 10:
+	want := 8.52e-7 + 100*7.02e-6 + 10*1.70e-5
+	if got := c.MeanServiceTime(100, 10); math.Abs(got-want) > 1e-18 {
+		t.Errorf("E[B] = %g, want %g", got, want)
+	}
+	// Zero filters, zero replication: only t_rcv remains.
+	if got := c.MeanServiceTime(0, 0); got != c.TRcv {
+		t.Errorf("E[B](0,0) = %g, want %g", got, c.TRcv)
+	}
+	if got := c.ConstantPart(10); math.Abs(got-(8.52e-7+10*7.02e-6)) > 1e-18 {
+		t.Errorf("D = %g", got)
+	}
+}
+
+func TestMeanServiceDuration(t *testing.T) {
+	c := CostModel{TRcv: 0.001, TFltr: 0, TTx: 0}
+	if got := c.MeanServiceDuration(0, 0); got != time.Millisecond {
+		t.Errorf("duration = %v, want 1ms", got)
+	}
+}
+
+func TestCapacityEq2(t *testing.T) {
+	c := TableICorrelationID
+	// lambda_max = rho / E[B].
+	eb := c.MeanServiceTime(10, 1)
+	got, err := c.Capacity(0.9, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.9/eb) > 1e-9 {
+		t.Errorf("capacity = %g, want %g", got, 0.9/eb)
+	}
+	for _, rho := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := c.Capacity(rho, 10, 1); !errors.Is(err, ErrParams) {
+			t.Errorf("Capacity(rho=%g) err = %v", rho, err)
+		}
+	}
+}
+
+func TestCapacityDecreasesInFiltersAndReplication(t *testing.T) {
+	c := TableICorrelationID
+	prev := math.Inf(1)
+	for _, n := range []int{0, 10, 100, 1000} {
+		cap1, err := c.Capacity(0.9, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cap1 >= prev {
+			t.Errorf("capacity not decreasing in n_fltr at n=%d", n)
+		}
+		prev = cap1
+	}
+	prev = math.Inf(1)
+	for _, r := range []float64{1, 10, 100} {
+		cap1, err := c.Capacity(0.9, 0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cap1 >= prev {
+			t.Errorf("capacity not decreasing in E[R] at r=%g", r)
+		}
+		prev = cap1
+	}
+}
+
+func TestUtilizationInvertsCapacity(t *testing.T) {
+	c := TableIApplicationProperty
+	lambda, err := c.Capacity(0.9, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := c.Utilization(lambda, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-0.9) > 1e-12 {
+		t.Errorf("rho = %g, want 0.9", rho)
+	}
+	if _, err := c.Utilization(-1, 0, 0); !errors.Is(err, ErrParams) {
+		t.Error("negative lambda accepted")
+	}
+}
+
+func TestThroughputComposition(t *testing.T) {
+	c := TableICorrelationID
+	recv, disp, overall := c.Throughput(45, 5)
+	if math.Abs(overall-(recv+disp)) > 1e-9 {
+		t.Errorf("overall %g != received %g + dispatched %g", overall, recv, disp)
+	}
+	if math.Abs(disp/recv-5) > 1e-9 {
+		t.Errorf("dispatched/received = %g, want E[R]=5", disp/recv)
+	}
+}
+
+func TestFilterBenefitBreakEvenPaperValues(t *testing.T) {
+	// Section IV-A.2: one or two correlation ID filters pay off iff their
+	// match probability is below 58.7% / 17.4%; a single application
+	// property filter below 9.9%; three or more correlation ID filters
+	// (two or more app property filters) never pay off.
+	corr := TableICorrelationID
+	app := TableIApplicationProperty
+
+	tests := []struct {
+		model CostModel
+		nQ    int
+		want  float64 // break-even match probability
+	}{
+		{model: corr, nQ: 1, want: 0.587},
+		{model: corr, nQ: 2, want: 0.174},
+		{model: app, nQ: 1, want: 0.099},
+	}
+	for _, tt := range tests {
+		got := tt.model.BreakEvenMatchProbability(tt.nQ)
+		if math.Abs(got-tt.want) > 0.0006 {
+			t.Errorf("break-even(n=%d) = %.4f, want %.3f", tt.nQ, got, tt.want)
+		}
+		// Consistency with the inequality form.
+		if !tt.model.FilterBenefit(tt.nQ, got-0.001) {
+			t.Errorf("FilterBenefit just below break-even should hold (n=%d)", tt.nQ)
+		}
+		if tt.model.FilterBenefit(tt.nQ, got+0.001) {
+			t.Errorf("FilterBenefit just above break-even should fail (n=%d)", tt.nQ)
+		}
+	}
+
+	// Three correlation ID filters can never increase capacity.
+	if be := corr.BreakEvenMatchProbability(3); be > 0 {
+		t.Errorf("3 corrID filters break-even = %g, want <= 0", be)
+	}
+	if corr.FilterBenefit(3, 0) {
+		t.Error("3 corrID filters at pMatch=0 must not pay off")
+	}
+	// Two application property filters can never increase capacity.
+	if be := app.BreakEvenMatchProbability(2); be > 0 {
+		t.Errorf("2 appProp filters break-even = %g, want <= 0", be)
+	}
+}
+
+func TestEquivalentFiltersPaperObservation(t *testing.T) {
+	// Fig. 6 observation: E[R]=10 (100) without filters costs the same as
+	// E[R]=1 with n_fltr = 22 (240) correlation ID filters.
+	c := TableICorrelationID
+	if got := c.EquivalentFilters(10); math.Abs(got-21.8) > 0.05 {
+		t.Errorf("EquivalentFilters(10) = %.2f, want ~21.8 (paper: 22)", got)
+	}
+	if got := c.EquivalentFilters(100); math.Abs(got-239.7) > 0.5 {
+		t.Errorf("EquivalentFilters(100) = %.2f, want ~240", got)
+	}
+	// Cross-check: capacities must indeed agree at those points.
+	capR10, err := c.Capacity(0.9, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capN22, err := c.Capacity(0.9, 22, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(capR10-capN22)/capR10 > 0.01 {
+		t.Errorf("capacity(R=10) = %g vs capacity(n=22,R=1) = %g; want within 1%%", capR10, capN22)
+	}
+}
+
+func TestMaxFiltersForRate(t *testing.T) {
+	c := TableICorrelationID
+	// Find the filter budget for 1000 msgs/s at rho=0.9, E[R]=1, then
+	// verify the capacity at that filter count is still >= 1000 and at
+	// one more filter is < 1000.
+	n, err := c.MaxFiltersForRate(1000, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capAtN, err := c.Capacity(0.9, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capAtN1, err := c.Capacity(0.9, n+1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capAtN < 1000 {
+		t.Errorf("capacity at n=%d is %g < 1000", n, capAtN)
+	}
+	if capAtN1 >= 1000 {
+		t.Errorf("capacity at n+1=%d is %g >= 1000", n+1, capAtN1)
+	}
+	// An infeasible rate errors.
+	if _, err := c.MaxFiltersForRate(1e9, 0.9, 1); !errors.Is(err, ErrOverload) {
+		t.Errorf("infeasible rate err = %v", err)
+	}
+	if _, err := c.MaxFiltersForRate(-1, 0.9, 1); !errors.Is(err, ErrParams) {
+		t.Errorf("negative rate err = %v", err)
+	}
+}
+
+func TestValid(t *testing.T) {
+	bad := []CostModel{
+		{TRcv: -1, TFltr: 1, TTx: 1},
+		{},
+		{TRcv: math.NaN(), TFltr: 1, TTx: 1},
+	}
+	for _, c := range bad {
+		if err := c.Valid(); !errors.Is(err, ErrParams) {
+			t.Errorf("Valid(%+v) = %v, want ErrParams", c, err)
+		}
+	}
+}
+
+// TestCapacityUtilizationRoundTrip is a property test: Utilization of
+// Capacity is the requested rho for any valid parameters.
+func TestCapacityUtilizationRoundTrip(t *testing.T) {
+	c := TableICorrelationID
+	f := func(nRaw uint16, rRaw uint16, rhoRaw uint16) bool {
+		n := int(nRaw % 10000)
+		r := float64(rRaw % 1000)
+		rho := (float64(rhoRaw%999) + 1) / 1000 // (0, 1)
+		lambda, err := c.Capacity(rho, n, r)
+		if err != nil {
+			return false
+		}
+		got, err := c.Utilization(lambda, n, r)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-rho) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMeanServiceTime(b *testing.B) {
+	c := TableICorrelationID
+	for i := 0; i < b.N; i++ {
+		_ = c.MeanServiceTime(100, 10)
+	}
+}
+
+func TestMeanServiceTimeSized(t *testing.T) {
+	c := TableICorrelationID
+	// Table I has no per-byte term: sized and unsized agree.
+	if c.MeanServiceTimeSized(10, 2, 1<<20) != c.MeanServiceTime(10, 2) {
+		t.Error("TByte=0 model should ignore body size")
+	}
+	// With a per-byte term, the body costs once on receive plus once per
+	// replica.
+	c.TByte = 1e-9
+	base := c.MeanServiceTime(10, 2)
+	want := base + 1000*1e-9*(1+2)
+	if got := c.MeanServiceTimeSized(10, 2, 1000); math.Abs(got-want) > 1e-18 {
+		t.Errorf("sized = %g, want %g", got, want)
+	}
+	// Negative sizes clamp to zero.
+	if c.MeanServiceTimeSized(10, 2, -5) != base {
+		t.Error("negative body size not clamped")
+	}
+}

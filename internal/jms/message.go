@@ -1,0 +1,349 @@
+// Package jms implements the message model of the Java Messaging Service as
+// used by the paper: a message consists of a fixed header section (including
+// the 128-byte correlation ID), a user-defined property section with typed
+// values, and an opaque payload.
+//
+// The model follows the JMS 1.1 specification closely enough that the two
+// filter families studied in the paper — correlation-ID filters and
+// application-property filters (message selectors) — operate on the same
+// message anatomy as on a real JMS server.
+package jms
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// MaxCorrelationIDLen is the maximum length of a correlation ID. The paper
+// describes correlation IDs as "ordinary 128 byte strings".
+const MaxCorrelationIDLen = 128
+
+// DeliveryMode selects the JMS delivery mode of a message.
+type DeliveryMode int
+
+// Delivery modes. The paper studies the persistent but non-durable mode, so
+// Persistent is the default used throughout this repository.
+const (
+	// NonPersistent messages may be lost on broker failure.
+	NonPersistent DeliveryMode = iota + 1
+	// Persistent messages are delivered reliably and in order.
+	Persistent
+)
+
+// String returns the JMS name of the delivery mode.
+func (m DeliveryMode) String() string {
+	switch m {
+	case NonPersistent:
+		return "NON_PERSISTENT"
+	case Persistent:
+		return "PERSISTENT"
+	default:
+		return "DeliveryMode(" + strconv.Itoa(int(m)) + ")"
+	}
+}
+
+// Valid reports whether m is a known delivery mode.
+func (m DeliveryMode) Valid() bool {
+	return m == NonPersistent || m == Persistent
+}
+
+// PropertyType enumerates the JMS property value types supported in the
+// user-defined property header section.
+type PropertyType int
+
+// Supported property types, mirroring the JMS typed property accessors.
+const (
+	TypeBool PropertyType = iota + 1
+	TypeInt32
+	TypeInt64
+	TypeFloat64
+	TypeString
+)
+
+// String returns a human-readable name of the property type.
+func (t PropertyType) String() string {
+	switch t {
+	case TypeBool:
+		return "bool"
+	case TypeInt32:
+		return "int32"
+	case TypeInt64:
+		return "int64"
+	case TypeFloat64:
+		return "float64"
+	case TypeString:
+		return "string"
+	default:
+		return "PropertyType(" + strconv.Itoa(int(t)) + ")"
+	}
+}
+
+// Property is a single typed value in the message property section.
+type Property struct {
+	Type PropertyType
+	B    bool
+	I    int64
+	F    float64
+	S    string
+}
+
+// Errors reported by the message model.
+var (
+	// ErrCorrelationIDTooLong is returned when a correlation ID exceeds
+	// MaxCorrelationIDLen bytes.
+	ErrCorrelationIDTooLong = errors.New("jms: correlation ID exceeds 128 bytes")
+	// ErrBadPropertyName is returned for property names that are not valid
+	// JMS identifiers.
+	ErrBadPropertyName = errors.New("jms: invalid property name")
+	// ErrNoSuchProperty is returned when a typed accessor misses.
+	ErrNoSuchProperty = errors.New("jms: no such property")
+	// ErrPropertyType is returned when a typed accessor finds a value of a
+	// different type.
+	ErrPropertyType = errors.New("jms: property has different type")
+)
+
+// Header carries the fixed JMS header fields relevant to this study.
+type Header struct {
+	// MessageID uniquely identifies the message within a broker.
+	MessageID uint64
+	// CorrelationID is the 128-byte application correlation string matched
+	// by correlation-ID filters.
+	CorrelationID string
+	// Topic names the destination topic.
+	Topic string
+	// DeliveryMode is Persistent for all experiments in the paper.
+	DeliveryMode DeliveryMode
+	// Priority is the JMS priority (0..9); unused by the model but carried
+	// for completeness.
+	Priority int
+	// Timestamp is the publisher-side send time.
+	Timestamp time.Time
+	// Expiration is the absolute expiry; zero means never.
+	Expiration time.Time
+}
+
+// Message is a JMS message: header, property section, payload.
+type Message struct {
+	Header     Header
+	properties map[string]Property
+	// Body is the opaque payload. The paper's default body size is 0 bytes
+	// (all information in the headers).
+	Body []byte
+}
+
+// NewMessage returns an empty persistent message for the given topic.
+func NewMessage(topic string) *Message {
+	return &Message{
+		Header: Header{
+			Topic:        topic,
+			DeliveryMode: Persistent,
+			Priority:     4, // JMS default priority
+		},
+	}
+}
+
+// SetCorrelationID sets the correlation ID, enforcing the 128-byte limit.
+func (m *Message) SetCorrelationID(id string) error {
+	if len(id) > MaxCorrelationIDLen {
+		return fmt.Errorf("%w: %d bytes", ErrCorrelationIDTooLong, len(id))
+	}
+	m.Header.CorrelationID = id
+	return nil
+}
+
+// validPropertyName reports whether name is a valid JMS identifier: a
+// letter, '_' or '$' followed by letters, digits, '_' or '$'.
+func validPropertyName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		isLetter := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == '$'
+		isDigit := r >= '0' && r <= '9'
+		if i == 0 && !isLetter {
+			return false
+		}
+		if !isLetter && !isDigit {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Message) setProperty(name string, p Property) error {
+	if !validPropertyName(name) {
+		return fmt.Errorf("%w: %q", ErrBadPropertyName, name)
+	}
+	if m.properties == nil {
+		m.properties = make(map[string]Property, 4)
+	}
+	m.properties[name] = p
+	return nil
+}
+
+// SetBoolProperty sets a boolean property.
+func (m *Message) SetBoolProperty(name string, v bool) error {
+	return m.setProperty(name, Property{Type: TypeBool, B: v})
+}
+
+// SetInt32Property sets a 32-bit integer property.
+func (m *Message) SetInt32Property(name string, v int32) error {
+	return m.setProperty(name, Property{Type: TypeInt32, I: int64(v)})
+}
+
+// SetInt64Property sets a 64-bit integer property.
+func (m *Message) SetInt64Property(name string, v int64) error {
+	return m.setProperty(name, Property{Type: TypeInt64, I: v})
+}
+
+// SetFloat64Property sets a floating-point property.
+func (m *Message) SetFloat64Property(name string, v float64) error {
+	return m.setProperty(name, Property{Type: TypeFloat64, F: v})
+}
+
+// SetStringProperty sets a string property.
+func (m *Message) SetStringProperty(name string, v string) error {
+	return m.setProperty(name, Property{Type: TypeString, S: v})
+}
+
+// Property returns the raw property and whether it exists.
+func (m *Message) Property(name string) (Property, bool) {
+	p, ok := m.properties[name]
+	return p, ok
+}
+
+// BoolProperty returns a boolean property.
+func (m *Message) BoolProperty(name string) (bool, error) {
+	p, ok := m.properties[name]
+	if !ok {
+		return false, fmt.Errorf("%w: %q", ErrNoSuchProperty, name)
+	}
+	if p.Type != TypeBool {
+		return false, fmt.Errorf("%w: %q is %v", ErrPropertyType, name, p.Type)
+	}
+	return p.B, nil
+}
+
+// Int64Property returns an integer property (either 32- or 64-bit).
+func (m *Message) Int64Property(name string) (int64, error) {
+	p, ok := m.properties[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchProperty, name)
+	}
+	if p.Type != TypeInt32 && p.Type != TypeInt64 {
+		return 0, fmt.Errorf("%w: %q is %v", ErrPropertyType, name, p.Type)
+	}
+	return p.I, nil
+}
+
+// Float64Property returns a floating-point property.
+func (m *Message) Float64Property(name string) (float64, error) {
+	p, ok := m.properties[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchProperty, name)
+	}
+	if p.Type != TypeFloat64 {
+		return 0, fmt.Errorf("%w: %q is %v", ErrPropertyType, name, p.Type)
+	}
+	return p.F, nil
+}
+
+// StringProperty returns a string property.
+func (m *Message) StringProperty(name string) (string, error) {
+	p, ok := m.properties[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoSuchProperty, name)
+	}
+	if p.Type != TypeString {
+		return "", fmt.Errorf("%w: %q is %v", ErrPropertyType, name, p.Type)
+	}
+	return p.S, nil
+}
+
+// PropertyNames returns the sorted names of all properties.
+func (m *Message) PropertyNames() []string {
+	if len(m.properties) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(m.properties))
+	for name := range m.properties {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumProperties returns the number of properties.
+func (m *Message) NumProperties() int { return len(m.properties) }
+
+// ClearProperties removes all properties.
+func (m *Message) ClearProperties() { m.properties = nil }
+
+// Clone returns a deep copy of the message. The broker replicates a message
+// R times when dispatching it to R matching subscribers; Clone is the unit
+// of that replication.
+func (m *Message) Clone() *Message {
+	c := &Message{Header: m.Header}
+	if m.properties != nil {
+		c.properties = make(map[string]Property, len(m.properties))
+		for k, v := range m.properties {
+			c.properties[k] = v
+		}
+	}
+	if m.Body != nil {
+		c.Body = make([]byte, len(m.Body))
+		copy(c.Body, m.Body)
+	}
+	return c
+}
+
+// Expired reports whether the message has expired at time now.
+func (m *Message) Expired(now time.Time) bool {
+	return !m.Header.Expiration.IsZero() && now.After(m.Header.Expiration)
+}
+
+// Validate checks the message invariants enforced by the broker on receive.
+func (m *Message) Validate() error {
+	if m.Header.Topic == "" {
+		return errors.New("jms: message has no topic")
+	}
+	if len(m.Header.CorrelationID) > MaxCorrelationIDLen {
+		return fmt.Errorf("%w: %d bytes", ErrCorrelationIDTooLong, len(m.Header.CorrelationID))
+	}
+	if !m.Header.DeliveryMode.Valid() {
+		return fmt.Errorf("jms: invalid delivery mode %d", int(m.Header.DeliveryMode))
+	}
+	if m.Header.Priority < 0 || m.Header.Priority > 9 {
+		return fmt.Errorf("jms: priority %d out of range [0,9]", m.Header.Priority)
+	}
+	for name := range m.properties {
+		if !validPropertyName(name) {
+			return fmt.Errorf("%w: %q", ErrBadPropertyName, name)
+		}
+	}
+	return nil
+}
+
+// Size returns the approximate wire size of the message in bytes: header
+// fields plus properties plus body. Used by the metrics subsystem to track
+// network utilization the way the paper's testbed monitored it with sar.
+func (m *Message) Size() int {
+	size := 8 /* id */ + len(m.Header.CorrelationID) + len(m.Header.Topic) + 1 /* mode */ + 1 /* prio */ + 16 /* timestamps */
+	for name, p := range m.properties {
+		size += len(name) + 1
+		switch p.Type {
+		case TypeBool:
+			size++
+		case TypeInt32:
+			size += 4
+		case TypeInt64, TypeFloat64:
+			size += 8
+		case TypeString:
+			size += len(p.S)
+		}
+	}
+	return size + len(m.Body)
+}

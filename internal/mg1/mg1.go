@@ -1,0 +1,350 @@
+// Package mg1 implements the paper's M/GI/1-∞ waiting-time analysis
+// (Section IV-B): Poisson message arrivals, a general service time B
+// composed of a constant part D = t_rcv + n_fltr*t_fltr and a variable part
+// V = R*t_tx (Eqs. 7–9), the Pollaczek–Khinchine moments of the waiting
+// time (Eqs. 4–5), and the Gamma approximation of the waiting-time
+// distribution of delayed messages (Eqs. 19–20) with its quantiles.
+package mg1
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/replication"
+	"repro/internal/specfunc"
+)
+
+// Errors returned by the analysis.
+var (
+	// ErrUnstable is returned when rho = lambda*E[B] >= 1.
+	ErrUnstable = errors.New("mg1: utilization >= 1, queue unstable")
+	// ErrParams is returned for invalid inputs.
+	ErrParams = errors.New("mg1: invalid parameters")
+)
+
+// ServiceMoments are the first three raw moments of the service time B.
+type ServiceMoments struct {
+	M1 float64 // E[B]
+	M2 float64 // E[B^2]
+	M3 float64 // E[B^3]
+}
+
+// Valid checks elementary moment consistency.
+func (s ServiceMoments) Valid() error {
+	if s.M1 <= 0 || s.M2 <= 0 || s.M3 < 0 {
+		return fmt.Errorf("%w: non-positive moments %+v", ErrParams, s)
+	}
+	if s.M2 < s.M1*s.M1*(1-1e-12) {
+		return fmt.Errorf("%w: E[B^2]=%g < E[B]^2=%g", ErrParams, s.M2, s.M1*s.M1)
+	}
+	return nil
+}
+
+// CVar returns the coefficient of variation of B (Eq. 10).
+func (s ServiceMoments) CVar() float64 {
+	v := s.M2 - s.M1*s.M1
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v) / s.M1
+}
+
+// MomentsFromReplication evaluates Eqs. 7–9: the service-time moments for
+// B = D + R*ttx with D the constant part and R the replication grade.
+func MomentsFromReplication(d, ttx float64, r replication.Distribution) (ServiceMoments, error) {
+	if d < 0 || ttx < 0 {
+		return ServiceMoments{}, fmt.Errorf("%w: D=%g ttx=%g", ErrParams, d, ttx)
+	}
+	er := r.Mean()
+	er2 := r.Moment2()
+	er3 := r.Moment3()
+	m := ServiceMoments{
+		M1: d + er*ttx,
+		M2: d*d + 2*d*ttx*er + ttx*ttx*er2,
+		M3: d*d*d + 3*d*d*ttx*er + 3*d*ttx*ttx*er2 + ttx*ttx*ttx*er3,
+	}
+	if err := m.Valid(); err != nil {
+		return ServiceMoments{}, err
+	}
+	return m, nil
+}
+
+// Family selects the replication-grade model used when fitting a service
+// time to a target mean and coefficient of variation (Section IV-B.2).
+type Family int
+
+// Replication-grade families.
+const (
+	// DeterministicFamily is the constant replication grade.
+	DeterministicFamily Family = iota + 1
+	// ScaledBernoulliFamily is the all-or-nothing model.
+	ScaledBernoulliFamily
+	// BinomialFamily is the independent-filters model.
+	BinomialFamily
+)
+
+// String names the family.
+func (f Family) String() string {
+	switch f {
+	case DeterministicFamily:
+		return "deterministic"
+	case ScaledBernoulliFamily:
+		return "scaled Bernoulli"
+	case BinomialFamily:
+		return "binomial"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// FitReplication performs the paper's parameter-study construction: given
+// the constant part D, the per-copy cost ttx, a target mean service time
+// meanB and target coefficient of variation cvarB, it computes the
+// required E[R] from Eq. 7 and E[R^2] from Eq. 8, then instantiates the
+// requested family so Eq. 9 supplies E[B^3].
+func FitReplication(d, ttx, meanB, cvarB float64, fam Family) (replication.Distribution, error) {
+	if ttx <= 0 || meanB <= 0 || cvarB < 0 || d < 0 {
+		return nil, fmt.Errorf("%w: d=%g ttx=%g meanB=%g cvarB=%g", ErrParams, d, ttx, meanB, cvarB)
+	}
+	if meanB <= d {
+		return nil, fmt.Errorf("%w: meanB=%g must exceed constant part D=%g", ErrParams, meanB, d)
+	}
+	er := (meanB - d) / ttx // Eq. 7 solved for E[R]
+	m2B := meanB * meanB * (1 + cvarB*cvarB)
+	er2 := (m2B - d*d - 2*d*ttx*er) / (ttx * ttx) // Eq. 8 solved for E[R^2]
+	if er2 < er*er*(1-1e-9) {
+		return nil, fmt.Errorf("%w: targets imply Var[R] < 0", ErrParams)
+	}
+
+	switch fam {
+	case DeterministicFamily:
+		if cvarB > 1e-9 {
+			return nil, fmt.Errorf("%w: deterministic family requires cvarB = 0", ErrParams)
+		}
+		return replication.NewDeterministic(er)
+	case ScaledBernoulliFamily:
+		return replication.ScaledBernoulliFromMoments(er, er2)
+	case BinomialFamily:
+		// Var[R] = np(1-p), E[R] = np  =>  p = 1 - Var/E[R].
+		variance := er2 - er*er
+		p := 1 - variance/er
+		if p <= 0 || p > 1 {
+			return nil, fmt.Errorf("%w: targets imply binomial p=%g outside (0,1]", ErrParams, p)
+		}
+		n := int(math.Round(er / p))
+		if n < 1 {
+			n = 1
+		}
+		return replication.NewBinomial(n, p)
+	default:
+		return nil, fmt.Errorf("%w: unknown family %d", ErrParams, int(fam))
+	}
+}
+
+// Queue is an M/GI/1-∞ queue: Poisson arrivals at rate Lambda, service
+// moments B.
+type Queue struct {
+	Lambda float64
+	B      ServiceMoments
+}
+
+// NewQueue validates the parameters and requires stability (rho < 1).
+func NewQueue(lambda float64, b ServiceMoments) (Queue, error) {
+	if lambda <= 0 || math.IsNaN(lambda) {
+		return Queue{}, fmt.Errorf("%w: lambda=%g", ErrParams, lambda)
+	}
+	if err := b.Valid(); err != nil {
+		return Queue{}, err
+	}
+	q := Queue{Lambda: lambda, B: b}
+	if q.Rho() >= 1 {
+		return Queue{}, fmt.Errorf("%w: rho=%g", ErrUnstable, q.Rho())
+	}
+	return q, nil
+}
+
+// QueueAtUtilization builds the queue with arrival rate lambda = rho/E[B],
+// the parameterization of the paper's normalized figures.
+func QueueAtUtilization(rho float64, b ServiceMoments) (Queue, error) {
+	if rho <= 0 || rho >= 1 || math.IsNaN(rho) {
+		return Queue{}, fmt.Errorf("%w: rho=%g outside (0,1)", ErrParams, rho)
+	}
+	if err := b.Valid(); err != nil {
+		return Queue{}, err
+	}
+	return Queue{Lambda: rho / b.M1, B: b}, nil
+}
+
+// Rho returns the server utilization rho = lambda * E[B] (Eq. 6).
+func (q Queue) Rho() float64 { return q.Lambda * q.B.M1 }
+
+// MeanWait returns E[W] by Pollaczek–Khinchine (Eq. 4).
+func (q Queue) MeanWait() float64 {
+	return q.Lambda * q.B.M2 / (2 * (1 - q.Rho()))
+}
+
+// WaitMoment2 returns E[W^2] (Eq. 5).
+func (q Queue) WaitMoment2() float64 {
+	ew := q.MeanWait()
+	return 2*ew*ew + q.Lambda*q.B.M3/(3*(1-q.Rho()))
+}
+
+// WaitStdDev returns the standard deviation of W.
+func (q Queue) WaitStdDev() float64 {
+	ew := q.MeanWait()
+	v := q.WaitMoment2() - ew*ew
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// WaitingProbability returns P(W > 0) = rho for the M/GI/1 queue.
+func (q Queue) WaitingProbability() float64 { return q.Rho() }
+
+// MeanResponse returns the mean sojourn time E[T] = E[W] + E[B].
+func (q Queue) MeanResponse() float64 { return q.MeanWait() + q.B.M1 }
+
+// MeanQueueLength returns the mean number of waiting messages
+// L_q = lambda * E[W] (Little's law) — the paper's "estimate on the
+// required buffer space at the JMS server" in expectation terms.
+func (q Queue) MeanQueueLength() float64 { return q.Lambda * q.MeanWait() }
+
+// MeanInSystem returns the mean number of messages in the server
+// L = lambda * E[T].
+func (q Queue) MeanInSystem() float64 { return q.Lambda * q.MeanResponse() }
+
+// BufferQuantile estimates the buffer space needed so that a message
+// arriving at a p-quantile waiting time finds room: by Little's-law style
+// scaling, roughly lambda * Q_p[W] messages wait ahead of it. This is the
+// paper's use of the 99.99% quantile as a buffer-sizing estimate.
+func (q Queue) BufferQuantile(p float64) (float64, error) {
+	dist, err := q.GammaApprox()
+	if err != nil {
+		return 0, err
+	}
+	qp, err := dist.Quantile(p)
+	if err != nil {
+		return 0, err
+	}
+	return q.Lambda * qp, nil
+}
+
+// DelayedWaitMoments returns the first two moments of W1, the waiting time
+// conditioned on messages that must wait (Eq. 19).
+func (q Queue) DelayedWaitMoments() (m1, m2 float64) {
+	rho := q.Rho()
+	return q.MeanWait() / rho, q.WaitMoment2() / rho
+}
+
+// WaitDist is the Gamma approximation of the waiting-time distribution
+// (Eq. 20): P(W <= t) = (1-rho) + rho * P(W1 <= t) with W1 ~ Gamma(alpha,
+// beta) fitted to the delayed-call moments.
+type WaitDist struct {
+	rho   float64
+	alpha float64
+	beta  float64
+	// det is set when W1 is (numerically) deterministic; the Gamma fit
+	// degenerates and a unit step at m1 is used instead.
+	det   bool
+	detAt float64
+}
+
+// GammaApprox fits the waiting-time distribution of the queue.
+func (q Queue) GammaApprox() (WaitDist, error) {
+	m1, m2 := q.DelayedWaitMoments()
+	if m1 <= 0 {
+		return WaitDist{}, fmt.Errorf("%w: E[W1]=%g", ErrParams, m1)
+	}
+	v := m2 - m1*m1
+	if v <= 1e-300*m1*m1 {
+		return WaitDist{rho: q.Rho(), det: true, detAt: m1}, nil
+	}
+	cvar2 := v / (m1 * m1)
+	alpha := 1 / cvar2
+	beta := m1 / alpha
+	return WaitDist{rho: q.Rho(), alpha: alpha, beta: beta}, nil
+}
+
+// Rho returns the waiting probability of the fitted distribution.
+func (d WaitDist) Rho() float64 { return d.rho }
+
+// AlphaBeta returns the fitted Gamma parameters (0,0 in the degenerate
+// deterministic case).
+func (d WaitDist) AlphaBeta() (alpha, beta float64) { return d.alpha, d.beta }
+
+// CDF returns P(W <= t) per Eq. 20.
+func (d WaitDist) CDF(t float64) (float64, error) {
+	if math.IsNaN(t) {
+		return 0, fmt.Errorf("%w: t=NaN", ErrParams)
+	}
+	if t < 0 {
+		return 0, nil
+	}
+	if d.det {
+		if t >= d.detAt {
+			return 1, nil
+		}
+		return 1 - d.rho, nil
+	}
+	p, err := specfunc.GammaP(d.alpha, t/d.beta)
+	if err != nil {
+		return 0, err
+	}
+	return (1 - d.rho) + d.rho*p, nil
+}
+
+// CCDF returns P(W > t), the complementary distribution plotted in
+// Fig. 11.
+func (d WaitDist) CCDF(t float64) (float64, error) {
+	if math.IsNaN(t) {
+		return 0, fmt.Errorf("%w: t=NaN", ErrParams)
+	}
+	if t < 0 {
+		return 1, nil
+	}
+	if d.det {
+		if t >= d.detAt {
+			return 0, nil
+		}
+		return d.rho, nil
+	}
+	q, err := specfunc.GammaQ(d.alpha, t/d.beta)
+	if err != nil {
+		return 0, err
+	}
+	return d.rho * q, nil
+}
+
+// Quantile returns Q_p[W], the smallest t with P(W <= t) >= p (Section
+// IV-B.5). For p <= 1-rho the quantile is 0: that fraction of messages
+// does not wait at all.
+func (d WaitDist) Quantile(p float64) (float64, error) {
+	if p < 0 || p >= 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("%w: quantile p=%g outside [0,1)", ErrParams, p)
+	}
+	if p <= 1-d.rho {
+		return 0, nil
+	}
+	pw1 := (p - (1 - d.rho)) / d.rho
+	if d.det {
+		return d.detAt, nil
+	}
+	x, err := specfunc.GammaPInv(d.alpha, pw1)
+	if err != nil {
+		return 0, err
+	}
+	return x * d.beta, nil
+}
+
+// MeanWaitNormalized returns E[W]/E[B] for utilization rho and service
+// coefficient of variation cvarB — the closed form behind Fig. 10:
+//
+//	E[W]/E[B] = rho * (1 + cvarB^2) / (2 * (1 - rho)).
+func MeanWaitNormalized(rho, cvarB float64) (float64, error) {
+	if rho <= 0 || rho >= 1 || cvarB < 0 {
+		return 0, fmt.Errorf("%w: rho=%g cvarB=%g", ErrParams, rho, cvarB)
+	}
+	return rho * (1 + cvarB*cvarB) / (2 * (1 - rho)), nil
+}

@@ -1,0 +1,505 @@
+package mg1
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/replication"
+)
+
+func almost(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return math.Abs(a-b) < tol
+	}
+	return math.Abs(a-b)/scale < tol
+}
+
+// expMoments returns the moments of an exponential service time with mean m.
+func expMoments(m float64) ServiceMoments {
+	return ServiceMoments{M1: m, M2: 2 * m * m, M3: 6 * m * m * m}
+}
+
+// detMoments returns the moments of a deterministic service time m.
+func detMoments(m float64) ServiceMoments {
+	return ServiceMoments{M1: m, M2: m * m, M3: m * m * m}
+}
+
+func TestMM1AgainstClosedForm(t *testing.T) {
+	// For M/M/1, E[W] = rho/(1-rho) * E[B]; W is exponential with an atom:
+	// P(W > t) = rho * exp(-(mu - lambda) t).
+	const meanB = 0.01
+	const rho = 0.9
+	q, err := QueueAtUtilization(rho, expMoments(meanB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := rho / (1 - rho) * meanB
+	if got := q.MeanWait(); !almost(got, wantMean, 1e-12) {
+		t.Errorf("E[W] = %g, want %g", got, wantMean)
+	}
+	// E[W^2] for M/M/1: with W1 ~ Exp(mu - lambda), E[W1^2] = 2/(mu-lambda)^2;
+	// E[W^2] = rho * E[W1^2].
+	mu := 1 / meanB
+	lambda := q.Lambda
+	wantM2 := rho * 2 / ((mu - lambda) * (mu - lambda))
+	if got := q.WaitMoment2(); !almost(got, wantM2, 1e-9) {
+		t.Errorf("E[W^2] = %g, want %g", got, wantM2)
+	}
+
+	// The Gamma approximation is exact for exponential service times.
+	dist, err := q.GammaApprox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, beta := dist.AlphaBeta()
+	if !almost(alpha, 1, 1e-9) {
+		t.Errorf("alpha = %g, want 1 (W1 exponential)", alpha)
+	}
+	if !almost(beta, 1/(mu-lambda), 1e-9) {
+		t.Errorf("beta = %g, want %g", beta, 1/(mu-lambda))
+	}
+	for _, x := range []float64{0, 0.5, 1, 2, 5} {
+		tt := x * wantMean
+		got, err := dist.CCDF(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rho * math.Exp(-(mu-lambda)*tt)
+		if !almost(got, want, 1e-9) {
+			t.Errorf("CCDF(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestMD1MeanWait(t *testing.T) {
+	// M/D/1: E[W] = rho * E[B] / (2(1-rho)).
+	const meanB = 2.0
+	for _, rho := range []float64{0.1, 0.5, 0.9, 0.99} {
+		q, err := QueueAtUtilization(rho, detMoments(meanB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rho * meanB / (2 * (1 - rho))
+		if got := q.MeanWait(); !almost(got, want, 1e-12) {
+			t.Errorf("rho=%g: E[W] = %g, want %g", rho, got, want)
+		}
+	}
+}
+
+func TestRhoAndStability(t *testing.T) {
+	b := expMoments(1)
+	q, err := NewQueue(0.5, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Rho() != 0.5 || q.WaitingProbability() != 0.5 {
+		t.Errorf("rho = %g", q.Rho())
+	}
+	if _, err := NewQueue(1.0, b); !errors.Is(err, ErrUnstable) {
+		t.Errorf("rho=1 err = %v, want ErrUnstable", err)
+	}
+	if _, err := NewQueue(2.0, b); !errors.Is(err, ErrUnstable) {
+		t.Errorf("rho=2 err = %v, want ErrUnstable", err)
+	}
+	if _, err := NewQueue(-1, b); !errors.Is(err, ErrParams) {
+		t.Errorf("negative lambda err = %v", err)
+	}
+	if _, err := QueueAtUtilization(1.0, b); !errors.Is(err, ErrParams) {
+		t.Errorf("rho=1 err = %v", err)
+	}
+	if _, err := NewQueue(0.5, ServiceMoments{M1: 1, M2: 0.5, M3: 1}); !errors.Is(err, ErrParams) {
+		t.Errorf("inconsistent moments err = %v", err)
+	}
+}
+
+func TestServiceMomentsFromReplicationEqs7to9(t *testing.T) {
+	// Hand-check Eqs. 7-9 for a deterministic R.
+	det, err := replication.NewDeterministic(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const d = 0.001
+	const ttx = 0.0002
+	m, err := MomentsFromReplication(d, ttx, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d + 5*ttx
+	if !almost(m.M1, b, 1e-12) || !almost(m.M2, b*b, 1e-12) || !almost(m.M3, b*b*b, 1e-12) {
+		t.Errorf("moments = %+v, want powers of %g", m, b)
+	}
+	if m.CVar() != 0 {
+		t.Errorf("CVar = %g, want 0", m.CVar())
+	}
+
+	// For a random R: verify against direct moment algebra using scaled
+	// Bernoulli (closed-form E[R^k] = p n^k).
+	sb, err := replication.NewScaledBernoulli(40, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = MomentsFromReplication(d, ttx, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, er2, er3 := sb.Mean(), sb.Moment2(), sb.Moment3()
+	if !almost(m.M1, d+er*ttx, 1e-12) {
+		t.Errorf("M1 = %g", m.M1)
+	}
+	if !almost(m.M2, d*d+2*d*ttx*er+ttx*ttx*er2, 1e-12) {
+		t.Errorf("M2 = %g", m.M2)
+	}
+	if !almost(m.M3, d*d*d+3*d*d*ttx*er+3*d*ttx*ttx*er2+ttx*ttx*ttx*er3, 1e-12) {
+		t.Errorf("M3 = %g", m.M3)
+	}
+}
+
+func TestFitReplicationRoundTrip(t *testing.T) {
+	// Fit a scaled Bernoulli / binomial replication model to a target
+	// (E[B], cvar) and verify the resulting service moments hit the target.
+	const d = 0.0005
+	const ttx = 1.7e-5
+	const meanB = 0.002
+
+	// Feasible cvar ranges differ per family: a binomial replication grade
+	// has Var[R] <= E[R], which caps cvar[B] (the content of Fig. 9), while
+	// scaled Bernoulli reaches much higher variability (Fig. 8).
+	targets := map[Family][]float64{
+		ScaledBernoulliFamily: {0.1, 0.2, 0.4},
+		BinomialFamily:        {0.01, 0.03, 0.05},
+	}
+	for fam, cvars := range targets {
+		for _, cvar := range cvars {
+			r, err := FitReplication(d, ttx, meanB, cvar, fam)
+			if err != nil {
+				t.Fatalf("%v cvar=%g: %v", fam, cvar, err)
+			}
+			m, err := MomentsFromReplication(d, ttx, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almost(m.M1, meanB, 0.02) {
+				t.Errorf("%v cvar=%g: fitted mean %g, want %g", fam, cvar, m.M1, meanB)
+			}
+			// Binomial n is rounded to an integer, so allow a small error.
+			if !almost(m.CVar(), cvar, 0.05) {
+				t.Errorf("%v: fitted cvar %g, want %g", fam, m.CVar(), cvar)
+			}
+		}
+	}
+
+	// Deterministic family needs cvar = 0.
+	if _, err := FitReplication(d, ttx, meanB, 0.2, DeterministicFamily); !errors.Is(err, ErrParams) {
+		t.Errorf("deterministic with cvar>0 err = %v", err)
+	}
+	r, err := FitReplication(d, ttx, meanB, 0, DeterministicFamily)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r.Mean(), (meanB-d)/ttx, 1e-9) {
+		t.Errorf("deterministic fitted mean R = %g", r.Mean())
+	}
+
+	// meanB below the constant part is infeasible.
+	if _, err := FitReplication(d, ttx, d/2, 0.1, BinomialFamily); !errors.Is(err, ErrParams) {
+		t.Errorf("meanB < D err = %v", err)
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if DeterministicFamily.String() != "deterministic" ||
+		ScaledBernoulliFamily.String() != "scaled Bernoulli" ||
+		BinomialFamily.String() != "binomial" {
+		t.Error("Family.String mismatch")
+	}
+	if Family(9).String() != "Family(9)" {
+		t.Error("unknown Family.String mismatch")
+	}
+}
+
+func TestDelayedWaitMoments(t *testing.T) {
+	q, err := QueueAtUtilization(0.9, expMoments(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := q.DelayedWaitMoments()
+	if !almost(m1, q.MeanWait()/0.9, 1e-12) {
+		t.Errorf("E[W1] = %g", m1)
+	}
+	if !almost(m2, q.WaitMoment2()/0.9, 1e-12) {
+		t.Errorf("E[W1^2] = %g", m2)
+	}
+}
+
+func TestWaitDistBasicShape(t *testing.T) {
+	q, err := QueueAtUtilization(0.9, expMoments(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := q.GammaApprox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CDF(0) = 1 - rho (the atom at zero).
+	c0, err := dist.CDF(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(c0, 0.1, 1e-9) {
+		t.Errorf("CDF(0) = %g, want 0.1", c0)
+	}
+	cc0, err := dist.CCDF(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(cc0, 0.9, 1e-9) {
+		t.Errorf("CCDF(0) = %g, want 0.9", cc0)
+	}
+	// Negative times.
+	if c, _ := dist.CDF(-1); c != 0 {
+		t.Error("CDF(-1) != 0")
+	}
+	if c, _ := dist.CCDF(-1); c != 1 {
+		t.Error("CCDF(-1) != 1")
+	}
+	// Monotone CDF, CDF+CCDF = 1.
+	prev := -1.0
+	for x := 0.0; x < 20; x += 0.5 {
+		tt := x * q.B.M1
+		c, err := dist.CDF(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := dist.CCDF(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(c+cc, 1, 1e-9) {
+			t.Errorf("CDF+CCDF = %g at t=%g", c+cc, tt)
+		}
+		if c < prev-1e-12 {
+			t.Errorf("CDF not monotone at t=%g", tt)
+		}
+		prev = c
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	q, err := QueueAtUtilization(0.9, expMoments(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := q.GammaApprox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.9999} {
+		x, err := dist.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := dist.CDF(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(back, p, 1e-6) {
+			t.Errorf("CDF(Quantile(%g)) = %g", p, back)
+		}
+	}
+	// Below the atom, the quantile is 0.
+	x, err := dist.Quantile(0.05)
+	if err != nil || x != 0 {
+		t.Errorf("Quantile(0.05) = %g, %v; want 0", x, err)
+	}
+	if _, err := dist.Quantile(1); !errors.Is(err, ErrParams) {
+		t.Errorf("Quantile(1) err = %v", err)
+	}
+	if _, err := dist.Quantile(-0.1); !errors.Is(err, ErrParams) {
+		t.Errorf("Quantile(-0.1) err = %v", err)
+	}
+}
+
+func TestPaperQuantileBound(t *testing.T) {
+	// Section IV-B.5: at rho = 0.9 the message waiting time stays below
+	// 50*E[B] with probability 99.99% for the cvar values of the study.
+	// The scaled Bernoulli family covers the full cvar range (Fig. 11
+	// shows Bernoulli and binomial waiting distributions are nearly
+	// indistinguishable).
+	const d = 0.0005
+	const ttx = 1.7e-5
+	const meanB = 0.02
+	for _, cvar := range []float64{0.0001, 0.2, 0.4} {
+		r, err := FitReplication(d, ttx, meanB, cvar, ScaledBernoulliFamily)
+		if err != nil {
+			t.Fatalf("cvar=%g: %v", cvar, err)
+		}
+		m, err := MomentsFromReplication(d, ttx, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := QueueAtUtilization(0.9, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := q.GammaApprox()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q9999, err := dist.Quantile(0.9999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The paper reads "about 50*E[B]" off Fig. 12; allow the rounding
+		// slack of a figure read-off while pinning the order of magnitude.
+		if q9999 > 52*m.M1 {
+			t.Errorf("cvar=%g: Q_0.9999 = %g = %.1f E[B], want <~ 50 E[B]",
+				cvar, q9999, q9999/m.M1)
+		}
+		if q9999 < 20*m.M1 {
+			t.Errorf("cvar=%g: Q_0.9999 = %.1f E[B], implausibly small", cvar, q9999/m.M1)
+		}
+	}
+}
+
+func TestQuantilesIncreaseWithCvarAndRho(t *testing.T) {
+	// Fig. 12's qualitative content.
+	quantile := func(rho, cvar float64) float64 {
+		t.Helper()
+		// Build consistent three-moment service times from a scaled
+		// Bernoulli replication fit with no constant part.
+		r, err := FitReplication(0, 0.001, 1, cvar, ScaledBernoulliFamily)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm, err := MomentsFromReplication(0, 0.001, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := QueueAtUtilization(rho, mm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := q.GammaApprox()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := dist.Quantile(0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if !(quantile(0.9, 0.4) > quantile(0.9, 0.1)) {
+		t.Error("Q99 should increase with cvar at fixed rho")
+	}
+	if !(quantile(0.9, 0.2) > quantile(0.5, 0.2)) {
+		t.Error("Q99 should increase with rho at fixed cvar")
+	}
+}
+
+func TestDeterministicWaitDistDegenerate(t *testing.T) {
+	// A (nearly) deterministic W1 falls back to a step distribution.
+	d := WaitDist{rho: 0.5, det: true, detAt: 2}
+	if c, _ := d.CDF(1); c != 0.5 {
+		t.Errorf("CDF(1) = %g", c)
+	}
+	if c, _ := d.CDF(3); c != 1 {
+		t.Errorf("CDF(3) = %g", c)
+	}
+	if c, _ := d.CCDF(1); c != 0.5 {
+		t.Errorf("CCDF(1) = %g", c)
+	}
+	if x, _ := d.Quantile(0.9); x != 2 {
+		t.Errorf("Quantile(0.9) = %g", x)
+	}
+}
+
+func TestMeanWaitNormalizedFig10(t *testing.T) {
+	// The closed form behind Fig. 10 and its consistency with the queue.
+	for _, rho := range []float64{0.3, 0.6, 0.9} {
+		for _, cvar := range []float64{0, 0.2, 0.4, 0.65} {
+			norm, err := MeanWaitNormalized(rho, cvar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := rho * (1 + cvar*cvar) / (2 * (1 - rho))
+			if !almost(norm, want, 1e-12) {
+				t.Errorf("normalized wait(%g, %g) = %g", rho, cvar, norm)
+			}
+			// Consistency with a concrete queue at that cvar.
+			m := ServiceMoments{M1: 1, M2: 1 + cvar*cvar, M3: 10}
+			q, err := QueueAtUtilization(rho, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almost(q.MeanWait(), norm, 1e-9) {
+				t.Errorf("queue mean wait %g != closed form %g", q.MeanWait(), norm)
+			}
+		}
+	}
+	if _, err := MeanWaitNormalized(1.2, 0); !errors.Is(err, ErrParams) {
+		t.Error("rho > 1 accepted")
+	}
+}
+
+func BenchmarkWaitQuantile(b *testing.B) {
+	q, err := QueueAtUtilization(0.9, expMoments(0.02))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist, err := q.GammaApprox()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dist.Quantile(0.9999); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestLittlesLawQuantities(t *testing.T) {
+	// M/M/1 closed forms: L = rho/(1-rho), Lq = rho^2/(1-rho).
+	const meanB = 0.01
+	for _, rho := range []float64{0.3, 0.6, 0.9} {
+		q, err := QueueAtUtilization(rho, expMoments(meanB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantL := rho / (1 - rho)
+		wantLq := rho * rho / (1 - rho)
+		if got := q.MeanInSystem(); !almost(got, wantL, 1e-9) {
+			t.Errorf("rho=%g: L = %g, want %g", rho, got, wantL)
+		}
+		if got := q.MeanQueueLength(); !almost(got, wantLq, 1e-9) {
+			t.Errorf("rho=%g: Lq = %g, want %g", rho, got, wantLq)
+		}
+		if got := q.MeanResponse(); !almost(got, q.MeanWait()+meanB, 1e-12) {
+			t.Errorf("rho=%g: E[T] = %g", rho, got)
+		}
+	}
+}
+
+func TestBufferQuantile(t *testing.T) {
+	q, err := QueueAtUtilization(0.9, expMoments(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf9999, err := q.BufferQuantile(0.9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The buffer estimate must exceed the mean queue length substantially.
+	if buf9999 <= q.MeanQueueLength() {
+		t.Errorf("buffer estimate %g <= mean queue length %g", buf9999, q.MeanQueueLength())
+	}
+	if _, err := q.BufferQuantile(1.5); err == nil {
+		t.Error("p > 1 accepted")
+	}
+}

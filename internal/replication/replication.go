@@ -1,0 +1,197 @@
+// Package replication models the message replication grade R — the number
+// of subscribers a message is forwarded to. Its distribution drives the
+// variability of the message service time and thereby the waiting time
+// (Section IV-B.2 of the paper). Three models are provided, as in the
+// paper:
+//
+//   - Deterministic: R is a constant r (Eqs. 11–12).
+//   - Scaled Bernoulli: with probability p_match the message matches all
+//     n_fltr filters, otherwise none (Eqs. 13–15).
+//   - Binomial: the n_fltr filters match independently with probability
+//     p_match (Eqs. 16–18).
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// ErrParams is returned for invalid distribution parameters.
+var ErrParams = errors.New("replication: invalid parameters")
+
+// Distribution is a model of the replication grade R providing its first
+// three raw moments and a sampler for simulation.
+type Distribution interface {
+	// Mean returns E[R].
+	Mean() float64
+	// Moment2 returns E[R^2].
+	Moment2() float64
+	// Moment3 returns E[R^3].
+	Moment3() float64
+	// Sample draws one replication grade.
+	Sample(rng *stats.RNG) int
+	// String names the model with its parameters.
+	String() string
+}
+
+// Deterministic is a constant replication grade (Eqs. 11–12). "This model
+// is very static and probably not appropriate to characterize real world
+// scenarios", but it is the zero-variability baseline of the study.
+type Deterministic struct {
+	r float64
+}
+
+var _ Distribution = Deterministic{}
+
+// NewDeterministic returns the constant model R = r.
+func NewDeterministic(r float64) (Deterministic, error) {
+	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return Deterministic{}, fmt.Errorf("%w: deterministic r=%g", ErrParams, r)
+	}
+	return Deterministic{r: r}, nil
+}
+
+// Mean returns r.
+func (d Deterministic) Mean() float64 { return d.r }
+
+// Moment2 returns r^2.
+func (d Deterministic) Moment2() float64 { return d.r * d.r }
+
+// Moment3 returns r^3.
+func (d Deterministic) Moment3() float64 { return d.r * d.r * d.r }
+
+// Sample returns r rounded to the nearest integer.
+func (d Deterministic) Sample(*stats.RNG) int { return int(math.Round(d.r)) }
+
+// String names the model.
+func (d Deterministic) String() string { return fmt.Sprintf("Deterministic(r=%g)", d.r) }
+
+// ScaledBernoulli is the all-or-nothing model: R = n_fltr with probability
+// p_match, else 0. Raw moments: E[R^k] = p_match * n_fltr^k, so
+// E[R^3] = E[R^2]^2 / E[R] (Eq. 15).
+type ScaledBernoulli struct {
+	n int
+	p float64
+}
+
+var _ Distribution = ScaledBernoulli{}
+
+// NewScaledBernoulli returns the scaled Bernoulli model for n filters and
+// match probability p.
+func NewScaledBernoulli(n int, p float64) (ScaledBernoulli, error) {
+	if n < 0 || p < 0 || p > 1 || math.IsNaN(p) {
+		return ScaledBernoulli{}, fmt.Errorf("%w: scaled Bernoulli n=%d p=%g", ErrParams, n, p)
+	}
+	return ScaledBernoulli{n: n, p: p}, nil
+}
+
+// ScaledBernoulliFromMoments recovers (n_fltr, p_match) from the first two
+// moments: n_fltr = E[R^2]/E[R] and p_match = E[R]^2/E[R^2].
+func ScaledBernoulliFromMoments(mean, moment2 float64) (ScaledBernoulli, error) {
+	if mean <= 0 || moment2 <= 0 {
+		return ScaledBernoulli{}, fmt.Errorf("%w: moments %g, %g", ErrParams, mean, moment2)
+	}
+	n := moment2 / mean
+	p := mean * mean / moment2
+	if p > 1 {
+		return ScaledBernoulli{}, fmt.Errorf("%w: moments imply p=%g > 1", ErrParams, p)
+	}
+	return ScaledBernoulli{n: int(math.Round(n)), p: p}, nil
+}
+
+// Mean returns p*n (Eq. 13).
+func (d ScaledBernoulli) Mean() float64 { return d.p * float64(d.n) }
+
+// Moment2 returns p*n^2 (Eq. 14).
+func (d ScaledBernoulli) Moment2() float64 { return d.p * float64(d.n) * float64(d.n) }
+
+// Moment3 returns p*n^3, equivalently E[R^2]^2/E[R] (Eq. 15).
+func (d ScaledBernoulli) Moment3() float64 {
+	return d.p * float64(d.n) * float64(d.n) * float64(d.n)
+}
+
+// Sample returns n with probability p, else 0.
+func (d ScaledBernoulli) Sample(rng *stats.RNG) int {
+	if rng.Bernoulli(d.p) {
+		return d.n
+	}
+	return 0
+}
+
+// String names the model.
+func (d ScaledBernoulli) String() string {
+	return fmt.Sprintf("ScaledBernoulli(n=%d, p=%g)", d.n, d.p)
+}
+
+// Params returns (n_fltr, p_match).
+func (d ScaledBernoulli) Params() (int, float64) { return d.n, d.p }
+
+// Binomial models n_fltr independent filters each matching with
+// probability p_match (Eq. 16).
+type Binomial struct {
+	n int
+	p float64
+}
+
+var _ Distribution = Binomial{}
+
+// NewBinomial returns the binomial model for n filters and match
+// probability p.
+func NewBinomial(n int, p float64) (Binomial, error) {
+	if n < 0 || p < 0 || p > 1 || math.IsNaN(p) {
+		return Binomial{}, fmt.Errorf("%w: binomial n=%d p=%g", ErrParams, n, p)
+	}
+	return Binomial{n: n, p: p}, nil
+}
+
+// Mean returns n*p.
+func (d Binomial) Mean() float64 { return float64(d.n) * d.p }
+
+// Moment2 returns the second raw moment n*p*(1-p) + (n*p)^2 (variance plus
+// squared mean, Eq. 17).
+func (d Binomial) Moment2() float64 {
+	mean := d.Mean()
+	return float64(d.n)*d.p*(1-d.p) + mean*mean
+}
+
+// Moment3 returns the third raw moment of Binomial(n, p):
+//
+//	E[R^3] = np(1-3p+2p^2) + 3(np)^2(1-p) + (np)^3
+//
+// (Eq. 18 of the paper in raw-moment form).
+func (d Binomial) Moment3() float64 {
+	np := d.Mean()
+	p := d.p
+	return np*(1-3*p+2*p*p) + 3*np*np*(1-p) + np*np*np
+}
+
+// Sample draws a Binomial(n, p) replication grade.
+func (d Binomial) Sample(rng *stats.RNG) int { return rng.Binomial(d.n, d.p) }
+
+// String names the model.
+func (d Binomial) String() string { return fmt.Sprintf("Binomial(n=%d, p=%g)", d.n, d.p) }
+
+// Params returns (n_fltr, p_match).
+func (d Binomial) Params() (int, float64) { return d.n, d.p }
+
+// Variance returns E[R^2] - E[R]^2 for any distribution.
+func Variance(d Distribution) float64 {
+	m := d.Mean()
+	return d.Moment2() - m*m
+}
+
+// CVar returns the coefficient of variation of R, or 0 for a zero mean.
+func CVar(d Distribution) float64 {
+	m := d.Mean()
+	if m == 0 {
+		return 0
+	}
+	v := Variance(d)
+	if v < 0 {
+		v = 0 // guard tiny negative from floating point
+	}
+	return math.Sqrt(v) / m
+}

@@ -1,0 +1,255 @@
+package replication
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// enumMoments computes exact moments of a distribution over a finite
+// support by enumeration, as an independent oracle.
+func binomialMomentsExact(n int, p float64) (m1, m2, m3 float64) {
+	// P(R=k) = C(n,k) p^k (1-p)^(n-k), computed iteratively.
+	pk := math.Pow(1-p, float64(n)) // k = 0
+	for k := 0; k <= n; k++ {
+		if k > 0 {
+			pk *= float64(n-k+1) / float64(k) * p / (1 - p)
+		}
+		kf := float64(k)
+		m1 += pk * kf
+		m2 += pk * kf * kf
+		m3 += pk * kf * kf * kf
+	}
+	return m1, m2, m3
+}
+
+func TestDeterministicMoments(t *testing.T) {
+	d, err := NewDeterministic(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean() != 7 || d.Moment2() != 49 || d.Moment3() != 343 {
+		t.Errorf("moments = %g %g %g", d.Mean(), d.Moment2(), d.Moment3())
+	}
+	if CVar(d) != 0 {
+		t.Errorf("CVar = %g, want 0 (Eq. 11-12: deterministic has no variance)", CVar(d))
+	}
+	if d.Sample(stats.NewRNG(1)) != 7 {
+		t.Error("Sample != 7")
+	}
+	if _, err := NewDeterministic(-1); !errors.Is(err, ErrParams) {
+		t.Errorf("negative r err = %v", err)
+	}
+	if d.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestScaledBernoulliMoments(t *testing.T) {
+	const n = 40
+	const p = 0.3
+	d, err := NewScaledBernoulli(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[R^k] = p * n^k.
+	if got, want := d.Mean(), p*n; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+	if got, want := d.Moment2(), p*n*n; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Moment2 = %g, want %g", got, want)
+	}
+	if got, want := d.Moment3(), p*n*n*n; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Moment3 = %g, want %g", got, want)
+	}
+	// Eq. 15: E[R^3] = E[R^2]^2 / E[R].
+	if got, want := d.Moment3(), d.Moment2()*d.Moment2()/d.Mean(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Eq.15 violated: %g vs %g", got, want)
+	}
+}
+
+func TestScaledBernoulliFromMoments(t *testing.T) {
+	orig, err := NewScaledBernoulli(40, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recover parameters from the first two moments (the paper's
+	// "vice-versa" identities).
+	rec, err := ScaledBernoulliFromMoments(orig.Mean(), orig.Moment2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, p := rec.Params()
+	if n != 40 || math.Abs(p-0.3) > 1e-12 {
+		t.Errorf("recovered (n=%d, p=%g), want (40, 0.3)", n, p)
+	}
+	if _, err := ScaledBernoulliFromMoments(0, 1); !errors.Is(err, ErrParams) {
+		t.Errorf("zero mean err = %v", err)
+	}
+	// Moments implying p > 1 (mean^2 > moment2) are invalid.
+	if _, err := ScaledBernoulliFromMoments(10, 50); !errors.Is(err, ErrParams) {
+		t.Errorf("p>1 moments err = %v", err)
+	}
+}
+
+func TestScaledBernoulliSampleMoments(t *testing.T) {
+	d, err := NewScaledBernoulli(20, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(7)
+	const samples = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < samples; i++ {
+		k := float64(d.Sample(g))
+		if k != 0 && k != 20 {
+			t.Fatalf("scaled Bernoulli sample %g not in {0, 20}", k)
+		}
+		sum += k
+		sumSq += k * k
+	}
+	if mean := sum / samples; math.Abs(mean-d.Mean()) > 0.1 {
+		t.Errorf("sample mean = %g, want %g", mean, d.Mean())
+	}
+	if m2 := sumSq / samples; math.Abs(m2-d.Moment2())/d.Moment2() > 0.02 {
+		t.Errorf("sample m2 = %g, want %g", m2, d.Moment2())
+	}
+}
+
+func TestBinomialMomentsAgainstEnumeration(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{n: 1, p: 0.5},
+		{n: 5, p: 0.1},
+		{n: 40, p: 0.3},
+		{n: 160, p: 0.9},
+		{n: 100, p: 0.01},
+	}
+	for _, tc := range cases {
+		d, err := NewBinomial(tc.n, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1, m2, m3 := binomialMomentsExact(tc.n, tc.p)
+		if !close(d.Mean(), m1) {
+			t.Errorf("n=%d p=%g: Mean = %g, enum %g", tc.n, tc.p, d.Mean(), m1)
+		}
+		if !close(d.Moment2(), m2) {
+			t.Errorf("n=%d p=%g: Moment2 = %g, enum %g", tc.n, tc.p, d.Moment2(), m2)
+		}
+		if !close(d.Moment3(), m3) {
+			t.Errorf("n=%d p=%g: Moment3 = %g, enum %g", tc.n, tc.p, d.Moment3(), m3)
+		}
+	}
+}
+
+func close(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
+}
+
+// TestBinomialMomentsQuick cross-checks the closed forms against
+// enumeration for random parameters.
+func TestBinomialMomentsQuick(t *testing.T) {
+	f := func(nRaw uint8, pRaw uint16) bool {
+		n := int(nRaw%60) + 1
+		p := float64(pRaw%1000) / 1000
+		d, err := NewBinomial(n, p)
+		if err != nil {
+			return false
+		}
+		m1, m2, m3 := binomialMomentsExact(n, p)
+		return close(d.Mean(), m1) && close(d.Moment2(), m2) && close(d.Moment3(), m3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialDegenerateCases(t *testing.T) {
+	// p=1 behaves deterministically: all filters match.
+	d, err := NewBinomial(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean() != 10 || d.Moment2() != 100 || d.Moment3() != 1000 {
+		t.Errorf("p=1 moments = %g %g %g", d.Mean(), d.Moment2(), d.Moment3())
+	}
+	if CVar(d) != 0 {
+		t.Errorf("p=1 CVar = %g", CVar(d))
+	}
+	// p=0: nothing ever matches.
+	d0, err := NewBinomial(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0.Mean() != 0 || d0.Moment2() != 0 || d0.Moment3() != 0 {
+		t.Error("p=0 moments non-zero")
+	}
+	if CVar(d0) != 0 {
+		t.Error("p=0 CVar should be 0 by convention")
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	if _, err := NewScaledBernoulli(-1, 0.5); !errors.Is(err, ErrParams) {
+		t.Error("negative n accepted")
+	}
+	if _, err := NewScaledBernoulli(5, 1.5); !errors.Is(err, ErrParams) {
+		t.Error("p > 1 accepted")
+	}
+	if _, err := NewBinomial(5, -0.1); !errors.Is(err, ErrParams) {
+		t.Error("negative p accepted")
+	}
+	if _, err := NewBinomial(-2, 0.5); !errors.Is(err, ErrParams) {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestVarianceComparison(t *testing.T) {
+	// For the same mean, scaled Bernoulli has (much) higher variance than
+	// binomial — the reason the paper's Fig. 8 curves exceed Fig. 9's.
+	sb, err := NewScaledBernoulli(40, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := NewBinomial(40, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Mean() != bin.Mean() {
+		t.Fatalf("means differ: %g vs %g", sb.Mean(), bin.Mean())
+	}
+	if Variance(sb) <= Variance(bin) {
+		t.Errorf("Var(scaledBernoulli)=%g should exceed Var(binomial)=%g",
+			Variance(sb), Variance(bin))
+	}
+}
+
+func TestBinomialSampleMoments(t *testing.T) {
+	d, err := NewBinomial(40, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(11)
+	const samples = 100000
+	sum := 0.0
+	for i := 0; i < samples; i++ {
+		k := d.Sample(g)
+		if k < 0 || k > 40 {
+			t.Fatalf("sample %d out of range", k)
+		}
+		sum += float64(k)
+	}
+	if mean := sum / samples; math.Abs(mean-12) > 0.1 {
+		t.Errorf("sample mean = %g, want 12", mean)
+	}
+}

@@ -1,0 +1,283 @@
+package selector
+
+import (
+	"testing"
+
+	"repro/internal/jms"
+)
+
+// newTestMessage builds a message with a representative property section.
+func newTestMessage(t testing.TB) *jms.Message {
+	t.Helper()
+	m := jms.NewMessage("presence")
+	if err := m.SetCorrelationID("#0"); err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.SetStringProperty("user", "alice"))
+	must(m.SetInt32Property("age", 30))
+	must(m.SetInt64Property("ts", 1700000000000))
+	must(m.SetFloat64Property("score", 2.5))
+	must(m.SetBoolProperty("online", true))
+	return m
+}
+
+func TestEvalComparisons(t *testing.T) {
+	m := newTestMessage(t)
+	tests := []struct {
+		src  string
+		want Tri
+	}{
+		{src: "age = 30", want: True},
+		{src: "age = 31", want: False},
+		{src: "age <> 31", want: True},
+		{src: "age < 31", want: True},
+		{src: "age <= 30", want: True},
+		{src: "age > 30", want: False},
+		{src: "age >= 30", want: True},
+		{src: "user = 'alice'", want: True},
+		{src: "user = 'bob'", want: False},
+		{src: "user <> 'bob'", want: True},
+		{src: "score = 2.5", want: True},
+		{src: "score > 2", want: True},
+		{src: "score < 2", want: False},
+		// Mixed int/float promotion.
+		{src: "age = 30.0", want: True},
+		{src: "score > 2.4999", want: True},
+		// Booleans.
+		{src: "online = TRUE", want: True},
+		{src: "online = FALSE", want: False},
+		{src: "online <> FALSE", want: True},
+		{src: "online", want: True},
+		{src: "NOT online", want: False},
+		// String ordering comparisons are undefined -> UNKNOWN.
+		{src: "user < 'zzz'", want: Unknown},
+		// Cross-type comparisons are UNKNOWN.
+		{src: "user = 1", want: Unknown},
+		{src: "age = 'x'", want: Unknown},
+		{src: "online = 1", want: Unknown},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			node := MustParse(tt.src)
+			if got := Eval(node, m); got != tt.want {
+				t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvalNullPropagation(t *testing.T) {
+	m := newTestMessage(t)
+	tests := []struct {
+		src  string
+		want Tri
+	}{
+		{src: "missing = 1", want: Unknown},
+		{src: "missing <> 1", want: Unknown},
+		{src: "NOT missing = 1", want: Unknown},
+		{src: "missing IS NULL", want: True},
+		{src: "missing IS NOT NULL", want: False},
+		{src: "user IS NULL", want: False},
+		{src: "user IS NOT NULL", want: True},
+		// UNKNOWN AND FALSE = FALSE; UNKNOWN AND TRUE = UNKNOWN.
+		{src: "missing = 1 AND age = 31", want: False},
+		{src: "missing = 1 AND age = 30", want: Unknown},
+		// UNKNOWN OR TRUE = TRUE; UNKNOWN OR FALSE = UNKNOWN.
+		{src: "missing = 1 OR age = 30", want: True},
+		{src: "missing = 1 OR age = 31", want: Unknown},
+		// Arithmetic with NULL is NULL.
+		{src: "missing + 1 = 2", want: Unknown},
+		// Division by zero is NULL.
+		{src: "age / 0 = 1", want: Unknown},
+		{src: "score / 0.0 = 1", want: Unknown},
+		// JMSType is always NULL in this implementation.
+		{src: "JMSType IS NULL", want: True},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			node := MustParse(tt.src)
+			if got := Eval(node, m); got != tt.want {
+				t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	m := newTestMessage(t)
+	tests := []struct {
+		src  string
+		want Tri
+	}{
+		{src: "age + 1 = 31", want: True},
+		{src: "age - 1 = 29", want: True},
+		{src: "age * 2 = 60", want: True},
+		{src: "age / 2 = 15", want: True},
+		{src: "age / 4 = 7", want: True}, // integer division
+		{src: "score * 2 = 5.0", want: True},
+		{src: "score + age = 32.5", want: True},
+		{src: "-age = -30", want: True},
+		{src: "-(score) = -2.5", want: True},
+		{src: "age + 2 * 5 = 40", want: True},
+		{src: "(age + 2) * 5 = 160", want: True},
+		// Arithmetic on strings is NULL.
+		{src: "user + 1 = 2", want: Unknown},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			node := MustParse(tt.src)
+			if got := Eval(node, m); got != tt.want {
+				t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvalBetweenInLike(t *testing.T) {
+	m := newTestMessage(t)
+	tests := []struct {
+		src  string
+		want Tri
+	}{
+		{src: "age BETWEEN 21 AND 40", want: True},
+		{src: "age BETWEEN 30 AND 30", want: True},
+		{src: "age BETWEEN 31 AND 40", want: False},
+		{src: "age NOT BETWEEN 31 AND 40", want: True},
+		{src: "missing BETWEEN 1 AND 2", want: Unknown},
+		{src: "age BETWEEN missing AND 40", want: Unknown},
+		// BETWEEN with partial knowledge: age(30) >= 31 is FALSE, so AND is
+		// FALSE even though the upper bound is NULL.
+		{src: "age BETWEEN 31 AND missing", want: False},
+		{src: "user IN ('alice', 'bob')", want: True},
+		{src: "user IN ('bob', 'carol')", want: False},
+		{src: "user NOT IN ('bob')", want: True},
+		{src: "missing IN ('x')", want: Unknown},
+		{src: "age IN ('30')", want: Unknown}, // non-string property
+		{src: "user LIKE 'ali%'", want: True},
+		{src: "user LIKE 'a_ice'", want: True},
+		{src: "user LIKE 'bob%'", want: False},
+		{src: "user NOT LIKE 'bob%'", want: True},
+		{src: "missing LIKE 'x%'", want: Unknown},
+		{src: "age LIKE '3%'", want: Unknown}, // LIKE on non-string
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			node := MustParse(tt.src)
+			if got := Eval(node, m); got != tt.want {
+				t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvalHeaderFields(t *testing.T) {
+	m := newTestMessage(t)
+	tests := []struct {
+		src  string
+		want Tri
+	}{
+		{src: "JMSCorrelationID = '#0'", want: True},
+		{src: "JMSCorrelationID = '#1'", want: False},
+		{src: "JMSPriority = 4", want: True},
+		{src: "JMSPriority BETWEEN 0 AND 9", want: True},
+		{src: "JMSDeliveryMode = 'PERSISTENT'", want: True},
+		{src: "JMSCorrelationID LIKE '#%'", want: True},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			node := MustParse(tt.src)
+			if got := Eval(node, m); got != tt.want {
+				t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+			}
+		})
+	}
+
+	// Empty correlation ID is NULL.
+	empty := jms.NewMessage("t")
+	if got := Eval(MustParse("JMSCorrelationID IS NULL"), empty); got != True {
+		t.Errorf("empty correlation ID IS NULL = %v, want TRUE", got)
+	}
+}
+
+func TestMatchesOnlyTrue(t *testing.T) {
+	m := newTestMessage(t)
+	if !Matches(MustParse("age = 30"), m) {
+		t.Error("Matches(TRUE case) = false")
+	}
+	if Matches(MustParse("age = 31"), m) {
+		t.Error("Matches(FALSE case) = true")
+	}
+	// UNKNOWN must reject.
+	if Matches(MustParse("missing = 1"), m) {
+		t.Error("Matches(UNKNOWN case) = true; UNKNOWN must not match")
+	}
+}
+
+func TestTriTables(t *testing.T) {
+	vals := []Tri{True, False, Unknown}
+	for _, a := range vals {
+		for _, b := range vals {
+			and := triAnd(a, b)
+			or := triOr(a, b)
+			// Commutativity.
+			if and != triAnd(b, a) {
+				t.Errorf("AND not commutative for %v,%v", a, b)
+			}
+			if or != triOr(b, a) {
+				t.Errorf("OR not commutative for %v,%v", a, b)
+			}
+			// De Morgan: NOT(a AND b) == (NOT a) OR (NOT b).
+			if triNot(and) != triOr(triNot(a), triNot(b)) {
+				t.Errorf("De Morgan violated for %v,%v", a, b)
+			}
+		}
+		// Double negation.
+		if triNot(triNot(a)) != a {
+			t.Errorf("double negation violated for %v", a)
+		}
+	}
+	if True.String() != "TRUE" || False.String() != "FALSE" || Unknown.String() != "UNKNOWN" {
+		t.Error("Tri.String() mismatch")
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	// FALSE AND <unknown> must be FALSE, and TRUE OR <unknown> must be TRUE,
+	// even when the right side references missing properties.
+	m := jms.NewMessage("t")
+	if got := Eval(MustParse("FALSE AND missing = 1"), m); got != False {
+		t.Errorf("FALSE AND UNKNOWN = %v, want FALSE", got)
+	}
+	if got := Eval(MustParse("TRUE OR missing = 1"), m); got != True {
+		t.Errorf("TRUE OR UNKNOWN = %v, want TRUE", got)
+	}
+}
+
+func BenchmarkEvalSimpleEquality(b *testing.B) {
+	m := jms.NewMessage("t")
+	if err := m.SetInt32Property("prop", 0); err != nil {
+		b.Fatal(err)
+	}
+	node := MustParse("prop = 0")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Eval(node, m) != True {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkEvalComplexAndOr(b *testing.B) {
+	m := newTestMessage(b)
+	node := MustParse("user = 'alice' AND age BETWEEN 21 AND 40 OR score > 3.0 AND online")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Eval(node, m)
+	}
+}

@@ -1,0 +1,194 @@
+package selector
+
+// Constant folding for selector ASTs. JMS providers compile selectors once
+// per subscription; folding literal subexpressions at compile time removes
+// work from the per-message evaluation path (the t_fltr of the paper's
+// model). Folding is semantics-preserving under SQL three-valued logic:
+//
+//   - arithmetic on numeric literals is evaluated (division by zero is
+//     left in place: it yields NULL at runtime, which has no literal form),
+//   - comparisons of literals become TRUE/FALSE,
+//   - TRUE/FALSE absorb through AND/OR exactly as the truth tables allow
+//     (FALSE AND x = FALSE and TRUE OR x = TRUE even when x is UNKNOWN),
+//   - NOT of a boolean literal flips it.
+
+// Fold returns an equivalent, possibly smaller AST. The input is not
+// modified.
+func Fold(n Node) Node {
+	switch x := n.(type) {
+	case *Binary:
+		l := Fold(x.L)
+		r := Fold(x.R)
+		switch x.Op {
+		case OpAnd:
+			if b, ok := l.(*BoolLit); ok {
+				if !b.Value {
+					return &BoolLit{Value: false}
+				}
+				return r
+			}
+			if b, ok := r.(*BoolLit); ok {
+				if !b.Value {
+					return &BoolLit{Value: false}
+				}
+				return l
+			}
+		case OpOr:
+			if b, ok := l.(*BoolLit); ok {
+				if b.Value {
+					return &BoolLit{Value: true}
+				}
+				return r
+			}
+			if b, ok := r.(*BoolLit); ok {
+				if b.Value {
+					return &BoolLit{Value: true}
+				}
+				return l
+			}
+		case OpAdd, OpSub, OpMul, OpDiv:
+			if lit, ok := foldArith(x.Op, l, r); ok {
+				return lit
+			}
+		case OpEq, OpNeq, OpLt, OpLeq, OpGt, OpGeq:
+			if lit, ok := foldComparison(x.Op, l, r); ok {
+				return lit
+			}
+		}
+		return &Binary{Op: x.Op, L: l, R: r}
+
+	case *Not:
+		inner := Fold(x.X)
+		if b, ok := inner.(*BoolLit); ok {
+			return &BoolLit{Value: !b.Value}
+		}
+		return &Not{X: inner}
+
+	case *Neg:
+		inner := Fold(x.X)
+		switch lit := inner.(type) {
+		case *IntLit:
+			return &IntLit{Value: -lit.Value}
+		case *FloatLit:
+			return &FloatLit{Value: -lit.Value}
+		}
+		return &Neg{X: inner}
+
+	case *Between:
+		xx := Fold(x.X)
+		lo := Fold(x.Lo)
+		hi := Fold(x.Hi)
+		geq, okL := foldComparison(OpGeq, xx, lo)
+		leq, okU := foldComparison(OpLeq, xx, hi)
+		if okL && okU {
+			res := geq.Value && leq.Value
+			if x.Negate {
+				res = !res
+			}
+			return &BoolLit{Value: res}
+		}
+		// Partial knowledge: X >= lo false already decides (FALSE AND _).
+		if okL && !geq.Value {
+			return &BoolLit{Value: x.Negate}
+		}
+		if okU && !leq.Value {
+			return &BoolLit{Value: x.Negate}
+		}
+		return &Between{X: xx, Lo: lo, Hi: hi, Negate: x.Negate}
+
+	default:
+		// Leaves (literals, identifiers) and identifier-rooted predicates
+		// (IN, LIKE, IS NULL) have nothing to fold.
+		return n
+	}
+}
+
+// numeric extracts a numeric literal value.
+func numeric(n Node) (isInt bool, i int64, f float64, ok bool) {
+	switch lit := n.(type) {
+	case *IntLit:
+		return true, lit.Value, float64(lit.Value), true
+	case *FloatLit:
+		return false, 0, lit.Value, true
+	default:
+		return false, 0, 0, false
+	}
+}
+
+func foldArith(op BinaryOp, l, r Node) (Node, bool) {
+	lInt, li, lf, lok := numeric(l)
+	rInt, ri, rf, rok := numeric(r)
+	if !lok || !rok {
+		return nil, false
+	}
+	if lInt && rInt {
+		switch op {
+		case OpAdd:
+			return &IntLit{Value: li + ri}, true
+		case OpSub:
+			return &IntLit{Value: li - ri}, true
+		case OpMul:
+			return &IntLit{Value: li * ri}, true
+		case OpDiv:
+			if ri == 0 {
+				return nil, false // NULL at runtime; no literal form
+			}
+			return &IntLit{Value: li / ri}, true
+		}
+		return nil, false
+	}
+	switch op {
+	case OpAdd:
+		return &FloatLit{Value: lf + rf}, true
+	case OpSub:
+		return &FloatLit{Value: lf - rf}, true
+	case OpMul:
+		return &FloatLit{Value: lf * rf}, true
+	case OpDiv:
+		if rf == 0 {
+			return nil, false
+		}
+		return &FloatLit{Value: lf / rf}, true
+	}
+	return nil, false
+}
+
+func foldComparison(op BinaryOp, l, r Node) (*BoolLit, bool) {
+	// String literal comparisons: only = and <>.
+	if ls, ok := l.(*StringLit); ok {
+		rs, ok := r.(*StringLit)
+		if !ok {
+			return nil, false
+		}
+		switch op {
+		case OpEq:
+			return &BoolLit{Value: ls.Value == rs.Value}, true
+		case OpNeq:
+			return &BoolLit{Value: ls.Value != rs.Value}, true
+		}
+		return nil, false
+	}
+	// Boolean literal comparisons: only = and <>.
+	if lb, ok := l.(*BoolLit); ok {
+		rb, ok := r.(*BoolLit)
+		if !ok {
+			return nil, false
+		}
+		switch op {
+		case OpEq:
+			return &BoolLit{Value: lb.Value == rb.Value}, true
+		case OpNeq:
+			return &BoolLit{Value: lb.Value != rb.Value}, true
+		}
+		return nil, false
+	}
+	lInt, li, lf, lok := numeric(l)
+	rInt, ri, rf, rok := numeric(r)
+	if !lok || !rok {
+		return nil, false
+	}
+	if lInt && rInt {
+		return &BoolLit{Value: compareOrd(li, ri, op)}, true
+	}
+	return &BoolLit{Value: compareOrd(lf, rf, op)}, true
+}

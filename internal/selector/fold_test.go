@@ -1,0 +1,119 @@
+package selector
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/jms"
+)
+
+func TestFoldConstants(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string // folded normal form
+	}{
+		{src: "1 + 2 = 3", want: "TRUE"},
+		{src: "1 + 2 = 4", want: "FALSE"},
+		{src: "2 * 3 + 1 = 7", want: "TRUE"},
+		{src: "10 / 4 = 2", want: "TRUE"}, // integer division
+		{src: "10.0 / 4 = 2.5", want: "TRUE"},
+		{src: "1 < 2", want: "TRUE"},
+		{src: "'a' = 'a'", want: "TRUE"},
+		{src: "'a' <> 'b'", want: "TRUE"},
+		{src: "TRUE AND x = 1", want: "(x = 1)"},
+		{src: "FALSE AND x = 1", want: "FALSE"},
+		{src: "x = 1 AND FALSE", want: "FALSE"},
+		{src: "TRUE OR x = 1", want: "TRUE"},
+		{src: "x = 1 OR FALSE", want: "(x = 1)"},
+		{src: "NOT TRUE", want: "FALSE"},
+		{src: "NOT (1 > 2)", want: "TRUE"},
+		{src: "5 BETWEEN 1 AND 10", want: "TRUE"},
+		{src: "0 BETWEEN 1 AND 10", want: "FALSE"},
+		{src: "0 NOT BETWEEN 1 AND 10", want: "TRUE"},
+		// An empty range over an identifier must NOT fold: x may be NULL,
+		// making the result UNKNOWN rather than FALSE (see the dedicated
+		// test below).
+		{src: "x BETWEEN 5 AND 3", want: "(x BETWEEN 5 AND 3)"},
+		{src: "x = 1 + 2", want: "(x = 3)"},
+		{src: "x = -(3)", want: "(x = -3)"},
+		{src: "x = 2 AND 3 > 1", want: "(x = 2)"},
+		// Division by zero cannot fold (NULL at runtime).
+		{src: "1 / 0 = 1", want: "((1 / 0) = 1)"},
+		// Identifier-rooted predicates are untouched.
+		{src: "a LIKE 'x%'", want: "(a LIKE 'x%')"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			folded := Fold(MustParse(tt.src))
+			if got := folded.String(); got != tt.want {
+				t.Errorf("Fold(%q) = %s, want %s", tt.src, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFoldEmptyBetweenRange(t *testing.T) {
+	// x BETWEEN 5 AND 3 cannot be TRUE for any x, but x may be NULL, in
+	// which case the result is UNKNOWN, not FALSE. Folding it to FALSE is
+	// still correct for Matches (UNKNOWN and FALSE both reject) but would
+	// change NOT semantics: NOT(UNKNOWN)=UNKNOWN rejects while
+	// NOT(FALSE)=TRUE accepts. Verify Fold is conservative here only when
+	// it can prove the bound comparisons independent of x. Our fold of
+	// "x BETWEEN 5 AND 3" relies on lo>hi deciding (x>=5 AND x<=3); with x
+	// unknown both comparisons are UNKNOWN, so folding to FALSE flips
+	// "NOT BETWEEN". Confirm the implementation does NOT fold that case.
+	folded := Fold(MustParse("x NOT BETWEEN 5 AND 3"))
+	m := jms.NewMessage("t")
+	// x missing: original evaluates to UNKNOWN -> no match.
+	if Matches(folded, m) != Matches(MustParse("x NOT BETWEEN 5 AND 3"), m) {
+		t.Errorf("folding changed NOT BETWEEN semantics for NULL x: %s", folded)
+	}
+}
+
+// TestFoldPreservesSemantics: folding any generated expression never
+// changes its evaluation, for messages with and without the referenced
+// properties.
+func TestFoldPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		g := &oracleGen{r: r, m: jms.NewMessage("t")}
+		src, _ := g.tree(3)
+		node := MustParse(src)
+		folded := Fold(node)
+		if got, want := Eval(folded, g.m), Eval(node, g.m); got != want {
+			t.Fatalf("Fold changed semantics: %q -> %q: %v vs %v", src, folded, got, want)
+		}
+		// Also against an empty message (all properties NULL).
+		empty := jms.NewMessage("t")
+		if got, want := Eval(folded, empty), Eval(node, empty); got != want {
+			t.Fatalf("Fold changed NULL semantics: %q -> %q: %v vs %v", src, folded, got, want)
+		}
+	}
+}
+
+func TestFoldShrinksConstantTrees(t *testing.T) {
+	node := MustParse("(1 < 2 AND 3 < 4) OR (x = 1 AND 2 = 2)")
+	folded := Fold(node)
+	if folded.String() != "TRUE" {
+		t.Errorf("folded = %s, want TRUE", folded)
+	}
+}
+
+func BenchmarkEvalFoldedVsUnfolded(b *testing.B) {
+	m := jms.NewMessage("t")
+	if err := m.SetInt32Property("x", 7); err != nil {
+		b.Fatal(err)
+	}
+	node := MustParse("x > 1 + 2 AND x < 10 * 10 AND 2 < 3")
+	folded := Fold(node)
+	b.Run("unfolded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Eval(node, m)
+		}
+	})
+	b.Run("folded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Eval(folded, m)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package selector
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SyntaxError describes a lexical or grammatical error in a selector string
+// together with the byte offset at which it was detected.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("selector: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer scans a selector source string into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+// Lex tokenizes a selector string. It returns the token stream terminated by
+// a TokEOF token, or the first lexical error encountered.
+func Lex(src string) ([]Token, error) {
+	lx := lexer{src: src}
+	var toks []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\f' || b == '\v'
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func isIdentStart(b byte) bool {
+	return (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || b == '_' || b == '$'
+}
+
+func isIdentCont(b byte) bool { return isIdentStart(b) || isDigit(b) }
+
+func (lx *lexer) next() (Token, error) {
+	for lx.pos < len(lx.src) && isSpace(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	start := lx.pos
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	b := lx.src[lx.pos]
+	switch {
+	case isIdentStart(b):
+		return lx.lexIdent(), nil
+	case isDigit(b):
+		return lx.lexNumber()
+	case b == '.':
+		if lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1]) {
+			return lx.lexNumber()
+		}
+		return Token{}, errAt(start, "unexpected '.'")
+	case b == '\'':
+		return lx.lexString()
+	}
+
+	// Operators.
+	lx.pos++
+	switch b {
+	case '=':
+		return Token{Kind: TokEq, Pos: start}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: start}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: start}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: start}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: start}, nil
+	case '(':
+		return Token{Kind: TokLParen, Pos: start}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: start}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: start}, nil
+	case '<':
+		if lx.pos < len(lx.src) {
+			switch lx.src[lx.pos] {
+			case '>':
+				lx.pos++
+				return Token{Kind: TokNeq, Pos: start}, nil
+			case '=':
+				lx.pos++
+				return Token{Kind: TokLeq, Pos: start}, nil
+			}
+		}
+		return Token{Kind: TokLt, Pos: start}, nil
+	case '>':
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '=' {
+			lx.pos++
+			return Token{Kind: TokGeq, Pos: start}, nil
+		}
+		return Token{Kind: TokGt, Pos: start}, nil
+	}
+	return Token{}, errAt(start, "unexpected character %q", string(rune(b)))
+}
+
+func (lx *lexer) lexIdent() Token {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentCont(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	if kind, ok := keywords[strings.ToUpper(text)]; ok {
+		return Token{Kind: kind, Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: start}
+}
+
+func (lx *lexer) lexNumber() (Token, error) {
+	start := lx.pos
+	sawDot, sawExp := false, false
+	for lx.pos < len(lx.src) {
+		b := lx.src[lx.pos]
+		switch {
+		case isDigit(b):
+			lx.pos++
+		case b == '.' && !sawDot && !sawExp:
+			sawDot = true
+			lx.pos++
+		case (b == 'e' || b == 'E') && !sawExp && lx.pos > start:
+			sawExp = true
+			lx.pos++
+			if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+				lx.pos++
+			}
+			if lx.pos >= len(lx.src) || !isDigit(lx.src[lx.pos]) {
+				return Token{}, errAt(lx.pos, "malformed exponent")
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := lx.src[start:lx.pos]
+	if !sawDot && !sawExp {
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			// Out-of-range integer literal: fall back to float per SQL.
+			f, ferr := strconv.ParseFloat(text, 64)
+			if ferr != nil {
+				return Token{}, errAt(start, "malformed number %q", text)
+			}
+			return Token{Kind: TokFloat, Float: f, Pos: start}, nil
+		}
+		return Token{Kind: TokInt, Int: v, Pos: start}, nil
+	}
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return Token{}, errAt(start, "malformed number %q", text)
+	}
+	return Token{Kind: TokFloat, Float: v, Pos: start}, nil
+}
+
+// lexString scans a single-quoted SQL string literal where a doubled quote
+// (”) is the escape for a single quote.
+func (lx *lexer) lexString() (Token, error) {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		b := lx.src[lx.pos]
+		if b == '\'' {
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(b)
+		lx.pos++
+	}
+	return Token{}, errAt(start, "unterminated string literal")
+}

@@ -1,0 +1,165 @@
+package selector
+
+import (
+	"errors"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex("user = 'alice' AND age >= 21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokIdent, TokEq, TokString, TokAnd, TokIdent, TokGeq, TokInt, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if toks[0].Text != "user" {
+		t.Errorf("ident text = %q", toks[0].Text)
+	}
+	if toks[2].Text != "alice" {
+		t.Errorf("string text = %q", toks[2].Text)
+	}
+	if toks[6].Int != 21 {
+		t.Errorf("int value = %d", toks[6].Int)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("= <> < <= > >= + - * / ( ) ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokEq, TokNeq, TokLt, TokLeq, TokGt, TokGeq,
+		TokPlus, TokMinus, TokStar, TokSlash, TokLParen, TokRParen, TokComma, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Lex("not Between IN like escape IS null TRUE false and OR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokNot, TokBetween, TokIn, TokLike, TokEscape, TokIs, TokNull,
+		TokTrue, TokFalse, TokAnd, TokOr, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	tests := []struct {
+		src      string
+		wantKind TokenKind
+		wantInt  int64
+		wantF    float64
+	}{
+		{src: "0", wantKind: TokInt, wantInt: 0},
+		{src: "42", wantKind: TokInt, wantInt: 42},
+		{src: "3.14", wantKind: TokFloat, wantF: 3.14},
+		{src: ".5", wantKind: TokFloat, wantF: 0.5},
+		{src: "1e3", wantKind: TokFloat, wantF: 1000},
+		{src: "2.5E-2", wantKind: TokFloat, wantF: 0.025},
+		{src: "1e+2", wantKind: TokFloat, wantF: 100},
+		// Integer overflow falls back to float.
+		{src: "99999999999999999999", wantKind: TokFloat, wantF: 1e20},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			toks, err := Lex(tt.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if toks[0].Kind != tt.wantKind {
+				t.Fatalf("kind = %v, want %v", toks[0].Kind, tt.wantKind)
+			}
+			if tt.wantKind == TokInt && toks[0].Int != tt.wantInt {
+				t.Errorf("int = %d, want %d", toks[0].Int, tt.wantInt)
+			}
+			if tt.wantKind == TokFloat && toks[0].Float != tt.wantF {
+				t.Errorf("float = %g, want %g", toks[0].Float, tt.wantF)
+			}
+		})
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex("'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "it's" {
+		t.Errorf("text = %q, want %q", toks[0].Text, "it's")
+	}
+	toks, err = Lex("''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "" {
+		t.Errorf("empty string text = %q", toks[0].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "a # b", "1e", "@x", "."} {
+		t.Run(src, func(t *testing.T) {
+			_, err := Lex(src)
+			if err == nil {
+				t.Fatalf("Lex(%q) succeeded, want error", src)
+			}
+			var syn *SyntaxError
+			if !errors.As(err, &syn) {
+				t.Errorf("error %v is not a *SyntaxError", err)
+			}
+		})
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a = 'b'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPos := []int{0, 2, 4, 7}
+	for i, want := range wantPos {
+		if toks[i].Pos != want {
+			t.Errorf("token %d pos = %d, want %d", i, toks[i].Pos, want)
+		}
+	}
+}
+
+func TestLexIdentWithDollarUnderscore(t *testing.T) {
+	toks, err := Lex("$state _x a$1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "$state" || toks[1].Text != "_x" || toks[2].Text != "a$1" {
+		t.Errorf("idents = %q %q %q", toks[0].Text, toks[1].Text, toks[2].Text)
+	}
+}

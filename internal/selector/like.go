@@ -1,0 +1,99 @@
+package selector
+
+import "fmt"
+
+// likeOpKind is the kind of a compiled LIKE pattern element.
+type likeOpKind int
+
+const (
+	likeLit  likeOpKind = iota + 1 // match a literal run
+	likeOne                        // '_' : exactly one character
+	likeMany                       // '%' : zero or more characters
+)
+
+type likeOp struct {
+	kind likeOpKind
+	lit  string
+}
+
+// likeProgram is a compiled LIKE pattern: a sequence of ops matched
+// greedily with backtracking on likeMany.
+type likeProgram []likeOp
+
+// compileLike compiles a SQL LIKE pattern with optional escape character.
+// In the pattern '%' matches any sequence of characters, '_' exactly one;
+// esc (if non-zero) escapes '%', '_' or itself.
+func compileLike(pattern string, esc byte) (likeProgram, error) {
+	var prog likeProgram
+	var lit []byte
+	flush := func() {
+		if len(lit) > 0 {
+			prog = append(prog, likeOp{kind: likeLit, lit: string(lit)})
+			lit = lit[:0]
+		}
+	}
+	for i := 0; i < len(pattern); i++ {
+		b := pattern[i]
+		switch {
+		case esc != 0 && b == esc:
+			if i+1 >= len(pattern) {
+				return nil, fmt.Errorf("dangling escape character at end of LIKE pattern")
+			}
+			i++
+			lit = append(lit, pattern[i])
+		case b == '%':
+			flush()
+			// Collapse consecutive '%' into one.
+			if len(prog) == 0 || prog[len(prog)-1].kind != likeMany {
+				prog = append(prog, likeOp{kind: likeMany})
+			}
+		case b == '_':
+			flush()
+			prog = append(prog, likeOp{kind: likeOne})
+		default:
+			lit = append(lit, b)
+		}
+	}
+	flush()
+	return prog, nil
+}
+
+// match reports whether s matches the compiled pattern. LIKE must match the
+// entire string.
+func (prog likeProgram) match(s string) bool {
+	return likeMatch(prog, s)
+}
+
+func likeMatch(prog likeProgram, s string) bool {
+	if len(prog) == 0 {
+		return s == ""
+	}
+	op := prog[0]
+	switch op.kind {
+	case likeLit:
+		if len(s) < len(op.lit) || s[:len(op.lit)] != op.lit {
+			return false
+		}
+		return likeMatch(prog[1:], s[len(op.lit):])
+	case likeOne:
+		if s == "" {
+			return false
+		}
+		return likeMatch(prog[1:], s[1:])
+	case likeMany:
+		// '%' at the end matches everything remaining.
+		if len(prog) == 1 {
+			return true
+		}
+		// Try every split point; because consecutive '%' are collapsed the
+		// next op consumes at least part of s deterministically.
+		for i := 0; i <= len(s); i++ {
+			if likeMatch(prog[1:], s[i:]) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

@@ -1,0 +1,153 @@
+package selector
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustCompile(t *testing.T, pattern string, esc byte) likeProgram {
+	t.Helper()
+	prog, err := compileLike(pattern, esc)
+	if err != nil {
+		t.Fatalf("compileLike(%q, %q): %v", pattern, esc, err)
+	}
+	return prog
+}
+
+func TestLikeMatch(t *testing.T) {
+	tests := []struct {
+		pattern string
+		esc     byte
+		input   string
+		want    bool
+	}{
+		{pattern: "abc", input: "abc", want: true},
+		{pattern: "abc", input: "abcd", want: false},
+		{pattern: "abc", input: "ab", want: false},
+		{pattern: "", input: "", want: true},
+		{pattern: "", input: "x", want: false},
+		{pattern: "%", input: "", want: true},
+		{pattern: "%", input: "anything", want: true},
+		{pattern: "a%", input: "a", want: true},
+		{pattern: "a%", input: "abc", want: true},
+		{pattern: "a%", input: "ba", want: false},
+		{pattern: "%a", input: "za", want: true},
+		{pattern: "%a", input: "az", want: false},
+		{pattern: "a%b", input: "ab", want: true},
+		{pattern: "a%b", input: "aXYZb", want: true},
+		{pattern: "a%b", input: "aXbY", want: false},
+		{pattern: "_", input: "x", want: true},
+		{pattern: "_", input: "", want: false},
+		{pattern: "_", input: "xy", want: false},
+		{pattern: "a_c", input: "abc", want: true},
+		{pattern: "a_c", input: "ac", want: false},
+		{pattern: "%_%", input: "x", want: true},
+		{pattern: "%_%", input: "", want: false},
+		{pattern: "%%", input: "abc", want: true},
+		{pattern: "a%c%e", input: "abcde", want: true},
+		{pattern: "a%c%e", input: "ace", want: true},
+		{pattern: "a%c%e", input: "aec", want: false},
+		// Escapes.
+		{pattern: "50\\%", esc: '\\', input: "50%", want: true},
+		{pattern: "50\\%", esc: '\\', input: "50x", want: false},
+		{pattern: "a\\_c", esc: '\\', input: "a_c", want: true},
+		{pattern: "a\\_c", esc: '\\', input: "abc", want: false},
+		{pattern: "a\\\\c", esc: '\\', input: "a\\c", want: true},
+		// Non-backslash escape char.
+		{pattern: "a#%b", esc: '#', input: "a%b", want: true},
+		{pattern: "a#%b", esc: '#', input: "axb", want: false},
+	}
+	for _, tt := range tests {
+		name := tt.pattern + "/" + tt.input
+		t.Run(name, func(t *testing.T) {
+			prog := mustCompile(t, tt.pattern, tt.esc)
+			if got := prog.match(tt.input); got != tt.want {
+				t.Errorf("match(%q ~ %q) = %v, want %v", tt.input, tt.pattern, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompileLikeDanglingEscape(t *testing.T) {
+	if _, err := compileLike("abc\\", '\\'); err == nil {
+		t.Error("dangling escape accepted")
+	}
+}
+
+func TestCompileLikeCollapsesPercents(t *testing.T) {
+	prog := mustCompile(t, "a%%%b", 0)
+	many := 0
+	for _, op := range prog {
+		if op.kind == likeMany {
+			many++
+		}
+	}
+	if many != 1 {
+		t.Errorf("got %d likeMany ops, want 1 (consecutive %% must collapse)", many)
+	}
+}
+
+// TestLikeLiteralProperty: a pattern with no wildcards matches exactly the
+// strings equal to it.
+func TestLikeLiteralProperty(t *testing.T) {
+	f := func(pattern, input string) bool {
+		if strings.ContainsAny(pattern, "%_") {
+			return true
+		}
+		prog, err := compileLike(pattern, 0)
+		if err != nil {
+			return false
+		}
+		return prog.match(input) == (pattern == input)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLikePercentPrefixProperty: "<lit>%" matches exactly the strings with
+// that literal prefix.
+func TestLikePercentPrefixProperty(t *testing.T) {
+	f := func(lit, input string) bool {
+		if strings.ContainsAny(lit, "%_") {
+			return true
+		}
+		prog, err := compileLike(lit+"%", 0)
+		if err != nil {
+			return false
+		}
+		return prog.match(input) == strings.HasPrefix(input, lit)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLikeUnderscoreLengthProperty: a pattern of n underscores matches
+// exactly the byte strings of length n.
+func TestLikeUnderscoreLengthProperty(t *testing.T) {
+	for n := 0; n <= 5; n++ {
+		prog := mustCompile(t, strings.Repeat("_", n), 0)
+		for l := 0; l <= 7; l++ {
+			input := strings.Repeat("x", l)
+			if got := prog.match(input); got != (l == n) {
+				t.Errorf("%d underscores vs len %d: match=%v", n, l, got)
+			}
+		}
+	}
+}
+
+func BenchmarkLikeMatch(b *testing.B) {
+	prog, err := compileLike("user-%-device-_", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := "user-12345-device-7"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !prog.match(input) {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package selector
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/jms"
+)
+
+// This file checks the evaluator against an independent oracle on randomly
+// generated expressions: leaves are comparisons whose truth value we can
+// compute directly from the generated operands; AND/OR/NOT trees are then
+// folded with the three-valued truth tables.
+
+type oracleGen struct {
+	r *rand.Rand
+	m *jms.Message
+	// next property index, to create fresh property names.
+	n int
+}
+
+// leaf returns a selector snippet and its expected truth value.
+func (g *oracleGen) leaf() (string, Tri) {
+	g.n++
+	name := fmt.Sprintf("p%d", g.n)
+	switch g.r.Intn(4) {
+	case 0: // integer comparison with a present property
+		val := int64(g.r.Intn(21) - 10)
+		lit := int64(g.r.Intn(21) - 10)
+		if err := g.m.SetInt64Property(name, val); err != nil {
+			panic(err)
+		}
+		op, truth := g.intOp(val, lit)
+		return fmt.Sprintf("%s %s %d", name, op, lit), truth
+	case 1: // string equality with a present property
+		vals := []string{"a", "b", "c"}
+		val := vals[g.r.Intn(len(vals))]
+		lit := vals[g.r.Intn(len(vals))]
+		if err := g.m.SetStringProperty(name, val); err != nil {
+			panic(err)
+		}
+		if g.r.Intn(2) == 0 {
+			return fmt.Sprintf("%s = '%s'", name, lit), boolTri(val == lit)
+		}
+		return fmt.Sprintf("%s <> '%s'", name, lit), boolTri(val != lit)
+	case 2: // missing property: comparisons are UNKNOWN
+		return fmt.Sprintf("%s = %d", name, g.r.Intn(10)), Unknown
+	default: // BETWEEN on a present integer property
+		val := int64(g.r.Intn(21) - 10)
+		lo := int64(g.r.Intn(21) - 10)
+		hi := lo + int64(g.r.Intn(10))
+		if err := g.m.SetInt64Property(name, val); err != nil {
+			panic(err)
+		}
+		return fmt.Sprintf("%s BETWEEN %d AND %d", name, lo, hi),
+			boolTri(val >= lo && val <= hi)
+	}
+}
+
+func (g *oracleGen) intOp(a, b int64) (string, Tri) {
+	switch g.r.Intn(6) {
+	case 0:
+		return "=", boolTri(a == b)
+	case 1:
+		return "<>", boolTri(a != b)
+	case 2:
+		return "<", boolTri(a < b)
+	case 3:
+		return "<=", boolTri(a <= b)
+	case 4:
+		return ">", boolTri(a > b)
+	default:
+		return ">=", boolTri(a >= b)
+	}
+}
+
+// tree builds a random boolean tree of the given depth and returns the
+// source plus its oracle truth value.
+func (g *oracleGen) tree(depth int) (string, Tri) {
+	if depth == 0 || g.r.Intn(3) == 0 {
+		return g.leaf()
+	}
+	switch g.r.Intn(3) {
+	case 0:
+		l, lt := g.tree(depth - 1)
+		r, rt := g.tree(depth - 1)
+		return "(" + l + " AND " + r + ")", triAnd(lt, rt)
+	case 1:
+		l, lt := g.tree(depth - 1)
+		r, rt := g.tree(depth - 1)
+		return "(" + l + " OR " + r + ")", triOr(lt, rt)
+	default:
+		x, xt := g.tree(depth - 1)
+		return "(NOT " + x + ")", triNot(xt)
+	}
+}
+
+func TestEvalAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(20260704))
+	for i := 0; i < 2000; i++ {
+		g := &oracleGen{r: r, m: jms.NewMessage("t")}
+		src, want := g.tree(3)
+		node, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated source failed to parse: %q: %v", src, err)
+		}
+		if got := Eval(node, g.m); got != want {
+			t.Fatalf("Eval(%q) = %v, oracle %v", src, got, want)
+		}
+		// The normalized rendering must evaluate identically.
+		again, err := Parse(node.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", node.String(), err)
+		}
+		if got := Eval(again, g.m); got != want {
+			t.Fatalf("Eval(reparse of %q) = %v, oracle %v", src, got, want)
+		}
+	}
+}
+
+// TestParseNeverPanics feeds the parser adversarial inputs; it must return
+// errors, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	alphabet := []string{
+		"a", "1", "'x'", "=", "<", ">", "(", ")", "AND", "OR", "NOT",
+		"BETWEEN", "IN", "LIKE", "ESCAPE", "IS", "NULL", ",", "+", "-",
+		"*", "/", "<>", "<=", ">=", "''", ".", "e9", "TRUE", "FALSE",
+	}
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(12) + 1
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = alphabet[r.Intn(len(alphabet))]
+		}
+		src := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Parse(%q) panicked: %v", src, p)
+				}
+			}()
+			node, err := Parse(src)
+			if err == nil {
+				// Valid by chance: evaluation must not panic either.
+				Eval(node, jms.NewMessage("t"))
+			}
+		}()
+	}
+}
+
+// TestLexNeverPanics feeds the lexer random bytes.
+func TestLexNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(40)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(r.Intn(128))
+		}
+		src := string(b)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Lex(%q) panicked: %v", src, p)
+				}
+			}()
+			_, _ = Lex(src)
+		}()
+	}
+}

@@ -1,0 +1,376 @@
+package selector
+
+import (
+	"fmt"
+)
+
+// Parse parses a selector string into its AST, performing the static checks
+// the JMS specification requires at subscription time (so that installing a
+// bad filter fails fast instead of poisoning the dispatch loop).
+func Parse(src string) (Node, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := parser{toks: toks}
+	node, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if tok := p.peek(); tok.Kind != TokEOF {
+		return nil, errAt(tok.Pos, "unexpected %s after expression", tok.Kind)
+	}
+	if err := checkBooleanRoot(node); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// MustParse is Parse but panics on error; for tests and package examples.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) advance() Token {
+	tok := p.toks[p.pos]
+	if tok.Kind != TokEOF {
+		p.pos++
+	}
+	return tok
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	tok := p.peek()
+	if tok.Kind != kind {
+		return Token{}, errAt(tok.Pos, "expected %s, found %s", kind, tok.Kind)
+	}
+	return p.advance(), nil
+}
+
+// Grammar (precedence low to high):
+//
+//	or     := and { OR and }
+//	and    := not { AND not }
+//	not    := NOT not | predicate
+//	pred   := sum [ compOp sum
+//	              | [NOT] BETWEEN sum AND sum
+//	              | [NOT] IN '(' string {',' string} ')'
+//	              | [NOT] LIKE string [ESCAPE string]
+//	              | IS [NOT] NULL ]
+//	sum    := term { ('+'|'-') term }
+//	term   := factor { ('*'|'/') factor }
+//	factor := ('-'|'+') factor | primary
+//	primary:= literal | ident | '(' or ')'
+func (p *parser) parseOr() (Node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokOr {
+		p.advance()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: OpOr, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokAnd {
+		p.advance()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: OpAnd, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.peek().Kind == TokNot {
+		p.advance()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Node, error) {
+	left, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+
+	negate := false
+	if p.peek().Kind == TokNot {
+		// NOT here must be followed by BETWEEN / IN / LIKE.
+		next := p.toks[p.pos+1].Kind
+		if next != TokBetween && next != TokIn && next != TokLike {
+			return nil, errAt(p.peek().Pos, "NOT must precede BETWEEN, IN or LIKE here")
+		}
+		p.advance()
+		negate = true
+	}
+
+	tok := p.peek()
+	switch tok.Kind {
+	case TokEq, TokNeq, TokLt, TokLeq, TokGt, TokGeq:
+		p.advance()
+		right, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		var op BinaryOp
+		switch tok.Kind {
+		case TokEq:
+			op = OpEq
+		case TokNeq:
+			op = OpNeq
+		case TokLt:
+			op = OpLt
+		case TokLeq:
+			op = OpLeq
+		case TokGt:
+			op = OpGt
+		default:
+			op = OpGeq
+		}
+		return &Binary{Op: op, L: left, R: right}, nil
+
+	case TokBetween:
+		p.advance()
+		lo, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAnd); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: left, Lo: lo, Hi: hi, Negate: negate}, nil
+
+	case TokIn:
+		ident, ok := left.(*Ident)
+		if !ok {
+			return nil, errAt(tok.Pos, "left side of IN must be an identifier")
+		}
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		var list []string
+		for {
+			s, err := p.expect(TokString)
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, s.Text)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.advance()
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		node := &In{X: ident, List: list, Negate: negate}
+		node.set = make(map[string]struct{}, len(list))
+		for _, s := range list {
+			node.set[s] = struct{}{}
+		}
+		return node, nil
+
+	case TokLike:
+		ident, ok := left.(*Ident)
+		if !ok {
+			return nil, errAt(tok.Pos, "left side of LIKE must be an identifier")
+		}
+		p.advance()
+		pat, err := p.expect(TokString)
+		if err != nil {
+			return nil, err
+		}
+		var esc byte
+		if p.peek().Kind == TokEscape {
+			p.advance()
+			escTok, err := p.expect(TokString)
+			if err != nil {
+				return nil, err
+			}
+			if len(escTok.Text) != 1 {
+				return nil, errAt(escTok.Pos, "ESCAPE must be a single character")
+			}
+			esc = escTok.Text[0]
+		}
+		node := &Like{X: ident, Pattern: pat.Text, Escape: esc, Negate: negate}
+		prog, err := compileLike(pat.Text, esc)
+		if err != nil {
+			return nil, errAt(pat.Pos, "%v", err)
+		}
+		node.prog = prog
+		return node, nil
+
+	case TokIs:
+		ident, ok := left.(*Ident)
+		if !ok {
+			return nil, errAt(tok.Pos, "left side of IS must be an identifier")
+		}
+		p.advance()
+		isNot := false
+		if p.peek().Kind == TokNot {
+			p.advance()
+			isNot = true
+		}
+		if _, err := p.expect(TokNull); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: ident, Negate: isNot}, nil
+	}
+
+	if negate {
+		return nil, errAt(tok.Pos, "expected BETWEEN, IN or LIKE after NOT")
+	}
+	return left, nil
+}
+
+func (p *parser) parseSum() (Node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok := p.peek()
+		if tok.Kind != TokPlus && tok.Kind != TokMinus {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		op := OpAdd
+		if tok.Kind == TokMinus {
+			op = OpSub
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseTerm() (Node, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok := p.peek()
+		if tok.Kind != TokStar && tok.Kind != TokSlash {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		op := OpMul
+		if tok.Kind == TokSlash {
+			op = OpDiv
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseFactor() (Node, error) {
+	tok := p.peek()
+	switch tok.Kind {
+	case TokMinus:
+		p.advance()
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of numeric literals.
+		switch lit := x.(type) {
+		case *IntLit:
+			return &IntLit{Value: -lit.Value}, nil
+		case *FloatLit:
+			return &FloatLit{Value: -lit.Value}, nil
+		}
+		return &Neg{X: x}, nil
+	case TokPlus:
+		p.advance()
+		return p.parseFactor()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	tok := p.advance()
+	switch tok.Kind {
+	case TokInt:
+		return &IntLit{Value: tok.Int}, nil
+	case TokFloat:
+		return &FloatLit{Value: tok.Float}, nil
+	case TokString:
+		return &StringLit{Value: tok.Text}, nil
+	case TokTrue:
+		return &BoolLit{Value: true}, nil
+	case TokFalse:
+		return &BoolLit{Value: false}, nil
+	case TokIdent:
+		return &Ident{Name: tok.Text}, nil
+	case TokLParen:
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return nil, errAt(tok.Pos, "unexpected %s", tok.Kind)
+}
+
+// checkBooleanRoot verifies the selector's root expression can be boolean:
+// a bare arithmetic expression such as "1+2" is not a valid selector.
+func checkBooleanRoot(n Node) error {
+	switch x := n.(type) {
+	case *Binary:
+		switch x.Op {
+		case OpAdd, OpSub, OpMul, OpDiv:
+			return fmt.Errorf("selector: expression is arithmetic, not boolean")
+		}
+		return nil
+	case *Not, *Between, *In, *Like, *IsNull, *BoolLit:
+		return nil
+	case *Ident:
+		// May be a boolean property; legal.
+		return nil
+	default:
+		return fmt.Errorf("selector: expression is not boolean")
+	}
+}

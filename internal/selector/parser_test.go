@@ -1,0 +1,149 @@
+package selector
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string // normalized String() output
+	}{
+		{src: "a = 1", want: "(a = 1)"},
+		{src: "a <> 'x'", want: "(a <> 'x')"},
+		{src: "a < 1 AND b > 2", want: "((a < 1) AND (b > 2))"},
+		{src: "a < 1 OR b > 2 AND c = 3", want: "((a < 1) OR ((b > 2) AND (c = 3)))"},
+		{src: "(a < 1 OR b > 2) AND c = 3", want: "(((a < 1) OR (b > 2)) AND (c = 3))"},
+		{src: "NOT a = 1", want: "(NOT (a = 1))"},
+		{src: "a BETWEEN 7 AND 13", want: "(a BETWEEN 7 AND 13)"},
+		{src: "a NOT BETWEEN 7 AND 13", want: "(a NOT BETWEEN 7 AND 13)"},
+		{src: "a IN ('x', 'y')", want: "(a IN ('x', 'y'))"},
+		{src: "a NOT IN ('x')", want: "(a NOT IN ('x'))"},
+		{src: "a LIKE 'ab%'", want: "(a LIKE 'ab%')"},
+		{src: "a NOT LIKE 'a_c' ESCAPE '\\'", want: "(a NOT LIKE 'a_c' ESCAPE '\\')"},
+		{src: "a IS NULL", want: "(a IS NULL)"},
+		{src: "a IS NOT NULL", want: "(a IS NOT NULL)"},
+		{src: "TRUE", want: "TRUE"},
+		{src: "a = 1 + 2 * 3", want: "(a = (1 + (2 * 3)))"},
+		{src: "a = (1 + 2) * 3", want: "(a = ((1 + 2) * 3))"},
+		{src: "a = -1", want: "(a = -1)"},
+		{src: "a = -(b)", want: "(a = (-b))"},
+		{src: "a = +1", want: "(a = 1)"},
+		{src: "a = 1.5e2", want: "(a = 150)"},
+		{src: "flag", want: "flag"},
+		{src: "a/2 = 3", want: "((a / 2) = 3)"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			node, err := Parse(tt.src)
+			if err != nil {
+				t.Fatalf("Parse(%q) error: %v", tt.src, err)
+			}
+			if got := node.String(); got != tt.want {
+				t.Errorf("String() = %s, want %s", got, tt.want)
+			}
+			// The normalized output must itself re-parse to the same form.
+			again, err := Parse(node.String())
+			if err != nil {
+				t.Fatalf("reparse of %q failed: %v", node.String(), err)
+			}
+			if again.String() != node.String() {
+				t.Errorf("reparse changed normal form: %s -> %s", node.String(), again.String())
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []string{
+		"",                       // empty
+		"a =",                    // missing rhs
+		"= 1",                    // missing lhs
+		"a BETWEEN 1",            // missing AND
+		"a BETWEEN 1 AND",        // missing hi
+		"a IN ()",                // empty IN list
+		"a IN ('x' 'y')",         // missing comma
+		"a IN (1)",               // non-string in list
+		"1 IN ('x')",             // non-ident lhs
+		"1 LIKE 'x'",             // non-ident lhs
+		"a LIKE 5",               // non-string pattern
+		"a LIKE 'x' ESCAPE 'ab'", // multi-char escape
+		"a LIKE 'x%' ESCAPE '%'", // dangling semantics: '%' escapes nothing at end? pattern 'x%' esc '%': trailing esc
+		"1 IS NULL",              // non-ident lhs
+		"a IS 1",                 // IS must be NULL
+		"a NOT = 1",              // NOT in wrong place
+		"a = 1 extra",            // trailing tokens
+		"1 + 2",                  // arithmetic root
+		"'str'",                  // string root
+		"((a = 1)",               // unbalanced parens
+		"a NOT NULL",             // NOT without BETWEEN/IN/LIKE
+	}
+	for _, src := range tests {
+		t.Run(src, func(t *testing.T) {
+			if _, err := Parse(src); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", src)
+			}
+		})
+	}
+}
+
+func TestParsePaperFilters(t *testing.T) {
+	// The filter styles used in the paper's experiments: application
+	// property filters matching attribute #0, and complex AND/OR rules.
+	for _, src := range []string{
+		"prop = 0",
+		"prop = 0 AND region = 'EU'",
+		"prop = 0 OR prop = 1",
+		"prop BETWEEN 7 AND 13",
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q) error: %v", src, err)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse of invalid selector did not panic")
+		}
+	}()
+	MustParse("a =")
+}
+
+func TestIdentifiers(t *testing.T) {
+	node := MustParse("a = 1 AND b LIKE 'x%' OR c IS NULL AND a > 2 AND d IN ('q')")
+	got := Identifiers(node)
+	want := []string{"a", "b", "c", "d"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("Identifiers = %v, want %v", got, want)
+	}
+}
+
+func TestIdentifiersBetweenAndNeg(t *testing.T) {
+	node := MustParse("x BETWEEN lo AND hi AND y = -z")
+	got := Identifiers(node)
+	want := []string{"x", "lo", "hi", "y", "z"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("Identifiers = %v, want %v", got, want)
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	// Parser must handle reasonable nesting without issue.
+	src := strings.Repeat("(", 50) + "a = 1" + strings.Repeat(")", 50)
+	if _, err := Parse(src); err != nil {
+		t.Errorf("Parse(deep nesting) error: %v", err)
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse("a = ")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "syntax error") {
+		t.Errorf("error %q does not mention syntax error", err)
+	}
+}

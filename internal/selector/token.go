@@ -1,0 +1,149 @@
+// Package selector implements the JMS message selector language, the SQL92
+// subset defined by the JMS 1.1 specification. Subscribers install a selector
+// string ("application property filter" in the paper's terminology); the
+// broker evaluates it against the property section and header fields of each
+// message using SQL three-valued logic.
+//
+// The implementation is a classic pipeline: Lex -> Parse -> (static check)
+// -> Eval. Parsing happens once per filter installation; evaluation runs on
+// the broker's hot dispatch path for every message and every installed
+// filter, which is exactly the n_fltr * t_fltr cost term of the paper.
+package selector
+
+import "strconv"
+
+// TokenKind identifies a lexical token class.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota + 1
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+
+	// Operators and punctuation.
+	TokEq     // =
+	TokNeq    // <>
+	TokLt     // <
+	TokLeq    // <=
+	TokGt     // >
+	TokGeq    // >=
+	TokPlus   // +
+	TokMinus  // -
+	TokStar   // *
+	TokSlash  // /
+	TokLParen // (
+	TokRParen // )
+	TokComma  // ,
+
+	// Keywords (case-insensitive in the source).
+	TokAnd
+	TokOr
+	TokNot
+	TokBetween
+	TokIn
+	TokLike
+	TokEscape
+	TokIs
+	TokNull
+	TokTrue
+	TokFalse
+)
+
+// String returns a printable name for the token kind.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokInt:
+		return "integer"
+	case TokFloat:
+		return "float"
+	case TokString:
+		return "string"
+	case TokEq:
+		return "'='"
+	case TokNeq:
+		return "'<>'"
+	case TokLt:
+		return "'<'"
+	case TokLeq:
+		return "'<='"
+	case TokGt:
+		return "'>'"
+	case TokGeq:
+		return "'>='"
+	case TokPlus:
+		return "'+'"
+	case TokMinus:
+		return "'-'"
+	case TokStar:
+		return "'*'"
+	case TokSlash:
+		return "'/'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokComma:
+		return "','"
+	case TokAnd:
+		return "AND"
+	case TokOr:
+		return "OR"
+	case TokNot:
+		return "NOT"
+	case TokBetween:
+		return "BETWEEN"
+	case TokIn:
+		return "IN"
+	case TokLike:
+		return "LIKE"
+	case TokEscape:
+		return "ESCAPE"
+	case TokIs:
+		return "IS"
+	case TokNull:
+		return "NULL"
+	case TokTrue:
+		return "TRUE"
+	case TokFalse:
+		return "FALSE"
+	default:
+		return "TokenKind(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	// Text is the raw text for identifiers; for strings it is the unquoted,
+	// unescaped value.
+	Text string
+	// Int is the value for TokInt.
+	Int int64
+	// Float is the value for TokFloat.
+	Float float64
+	// Pos is the byte offset of the token in the selector source.
+	Pos int
+}
+
+// keywords maps upper-cased keyword spellings to their token kinds. JMS
+// selector keywords are case-insensitive.
+var keywords = map[string]TokenKind{
+	"AND":     TokAnd,
+	"OR":      TokOr,
+	"NOT":     TokNot,
+	"BETWEEN": TokBetween,
+	"IN":      TokIn,
+	"LIKE":    TokLike,
+	"ESCAPE":  TokEscape,
+	"IS":      TokIs,
+	"NULL":    TokNull,
+	"TRUE":    TokTrue,
+	"FALSE":   TokFalse,
+}

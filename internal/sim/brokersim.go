@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/replication"
+	"repro/internal/stats"
+)
+
+// BrokerConfig describes a virtual-time broker scenario: the cost model
+// (e.g. the paper's Table I constants), the number of installed filters
+// and the replication-grade model.
+type BrokerConfig struct {
+	Model core.CostModel
+	// NFltr is the number of installed filters (all are checked for every
+	// message).
+	NFltr int
+	// R draws the per-message replication grade.
+	R replication.Distribution
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// ThroughputResult is the outcome of a saturated run — the quantities the
+// paper's measurement section reports.
+type ThroughputResult struct {
+	// Received is the received message throughput (msgs/s).
+	Received float64
+	// Dispatched is the dispatched (replicated) throughput (msgs/s).
+	Dispatched float64
+	// Overall is their sum, as plotted in Fig. 4.
+	Overall float64
+	// MeanServiceTime is the empirical E[B] in seconds.
+	MeanServiceTime float64
+	// MeanReplication is the empirical E[R].
+	MeanReplication float64
+}
+
+// SimulateSaturated reproduces the paper's measurement methodology in
+// virtual time: saturated publishers keep the server busy without pause, so
+// the received throughput is messages/busy-time. messages is the number of
+// simulated messages; warmup messages are excluded, mirroring the 5 s
+// warm-up cut.
+func SimulateSaturated(cfg BrokerConfig, messages, warmup int) (ThroughputResult, error) {
+	if err := cfg.Model.Valid(); err != nil {
+		return ThroughputResult{}, err
+	}
+	if cfg.NFltr < 0 {
+		return ThroughputResult{}, fmt.Errorf("%w: nFltr=%d", ErrSim, cfg.NFltr)
+	}
+	if cfg.R == nil {
+		return ThroughputResult{}, fmt.Errorf("%w: nil replication model", ErrSim)
+	}
+	if messages <= 0 || warmup < 0 || warmup >= messages {
+		return ThroughputResult{}, fmt.Errorf("%w: messages=%d warmup=%d", ErrSim, messages, warmup)
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	var busy float64
+	var copies uint64
+	n := 0
+	for i := 0; i < messages; i++ {
+		r := cfg.R.Sample(rng)
+		b := cfg.Model.MeanServiceTime(cfg.NFltr, float64(r))
+		if i < warmup {
+			continue
+		}
+		busy += b
+		copies += uint64(r)
+		n++
+	}
+	if busy <= 0 {
+		return ThroughputResult{}, fmt.Errorf("%w: zero busy time", ErrSim)
+	}
+	recv := float64(n) / busy
+	disp := float64(copies) / busy
+	return ThroughputResult{
+		Received:        recv,
+		Dispatched:      disp,
+		Overall:         recv + disp,
+		MeanServiceTime: busy / float64(n),
+		MeanReplication: float64(copies) / float64(n),
+	}, nil
+}
+
+// WaitResult is the outcome of a Poisson-arrivals run.
+type WaitResult struct {
+	// Waits are the observed waiting times in seconds.
+	Waits *stats.Summary
+	// ObservedRho is the busy fraction.
+	ObservedRho float64
+}
+
+// SimulateWaiting runs the broker as an M/G/1 queue in virtual time:
+// Poisson arrivals at rate lambda, service time t_rcv + n_fltr*t_fltr +
+// R*t_tx with R drawn from the configured model. It returns the observed
+// waiting times for comparison against the Gamma approximation.
+func SimulateWaiting(cfg BrokerConfig, lambda float64, messages, warmup int) (WaitResult, error) {
+	if err := cfg.Model.Valid(); err != nil {
+		return WaitResult{}, err
+	}
+	if cfg.R == nil {
+		return WaitResult{}, fmt.Errorf("%w: nil replication model", ErrSim)
+	}
+	meanB := cfg.Model.MeanServiceTime(cfg.NFltr, cfg.R.Mean())
+	if rho := lambda * meanB; rho >= 1 {
+		return WaitResult{}, fmt.Errorf("%w: offered rho=%g >= 1", ErrSim, rho)
+	}
+	res, err := SimulateMG1(MG1Config{
+		Lambda: lambda,
+		Service: func(rng *stats.RNG) float64 {
+			r := cfg.R.Sample(rng)
+			return cfg.Model.MeanServiceTime(cfg.NFltr, float64(r))
+		},
+		Customers: messages,
+		Warmup:    warmup,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return WaitResult{}, err
+	}
+	return WaitResult{Waits: res.Waits, ObservedRho: res.ObservedRho}, nil
+}
+
+// GammaService returns a ServiceSampler drawing Gamma-distributed service
+// times with the given mean and coefficient of variation — the generic
+// service model used in sensitivity experiments.
+func GammaService(mean, cvar float64) (ServiceSampler, error) {
+	if mean <= 0 || cvar < 0 {
+		return nil, fmt.Errorf("%w: mean=%g cvar=%g", ErrSim, mean, cvar)
+	}
+	if cvar == 0 {
+		return func(*stats.RNG) float64 { return mean }, nil
+	}
+	shape := 1 / (cvar * cvar)
+	scale := mean / shape
+	return func(rng *stats.RNG) float64 { return rng.Gamma(shape, scale) }, nil
+}
+
+// DeterministicService returns a constant service sampler.
+func DeterministicService(b float64) (ServiceSampler, error) {
+	if b <= 0 || math.IsNaN(b) {
+		return nil, fmt.Errorf("%w: service %g", ErrSim, b)
+	}
+	return func(*stats.RNG) float64 { return b }, nil
+}
+
+// ExponentialService returns an exponential service sampler with the given
+// mean.
+func ExponentialService(mean float64) (ServiceSampler, error) {
+	if mean <= 0 || math.IsNaN(mean) {
+		return nil, fmt.Errorf("%w: mean %g", ErrSim, mean)
+	}
+	return func(rng *stats.RNG) float64 { return rng.Exp(1 / mean) }, nil
+}

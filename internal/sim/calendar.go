@@ -1,0 +1,118 @@
+// Package sim provides the discrete-event simulation substrate of the
+// reproduction: a deterministic event calendar, an M/G/1-∞ queue simulator
+// used to cross-validate the paper's Gamma approximation (Section IV-B.4),
+// and a virtual-time broker simulator whose per-message service times follow
+// the paper's calibrated cost model, so the measurement figures can be
+// regenerated with the paper's Table I constants on any hardware.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSim is the base error of the simulator.
+var ErrSim = errors.New("sim: invalid simulation parameters")
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(event)
+	if !ok {
+		panic("sim: push of non-event")
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Calendar is a deterministic discrete-event calendar. Virtual time is a
+// float64 in seconds.
+type Calendar struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+}
+
+// NewCalendar returns an empty calendar at time zero.
+func NewCalendar() *Calendar { return &Calendar{} }
+
+// Now returns the current virtual time.
+func (c *Calendar) Now() float64 { return c.now }
+
+// Len returns the number of pending events.
+func (c *Calendar) Len() int { return len(c.events) }
+
+// Schedule enqueues fn to run after delay (>= 0) of virtual time.
+func (c *Calendar) Schedule(delay float64, fn func()) error {
+	if delay < 0 || math.IsNaN(delay) || math.IsInf(delay, 0) {
+		return fmt.Errorf("%w: delay %g", ErrSim, delay)
+	}
+	if fn == nil {
+		return fmt.Errorf("%w: nil event function", ErrSim)
+	}
+	c.seq++
+	heap.Push(&c.events, event{at: c.now + delay, seq: c.seq, fn: fn})
+	return nil
+}
+
+// Step runs the next event. It reports false when the calendar is empty.
+func (c *Calendar) Step() bool {
+	if len(c.events) == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&c.events).(event)
+	if !ok {
+		return false
+	}
+	c.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events with timestamps <= t and advances time to t.
+func (c *Calendar) RunUntil(t float64) error {
+	if t < c.now {
+		return fmt.Errorf("%w: RunUntil(%g) before now=%g", ErrSim, t, c.now)
+	}
+	for len(c.events) > 0 && c.events[0].at <= t {
+		c.Step()
+	}
+	c.now = t
+	return nil
+}
+
+// Drain runs events until the calendar is empty or maxEvents is reached.
+// It returns the number of events executed.
+func (c *Calendar) Drain(maxEvents int) int {
+	n := 0
+	for n < maxEvents && c.Step() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,384 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mg1"
+	"repro/internal/replication"
+	"repro/internal/stats"
+)
+
+func TestCalendarOrdering(t *testing.T) {
+	c := NewCalendar()
+	var order []int
+	add := func(delay float64, id int) {
+		t.Helper()
+		if err := c.Schedule(delay, func() { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(3, 3)
+	add(1, 1)
+	add(2, 2)
+	add(1, 11) // same time as id 1: FIFO tie-break
+	for c.Step() {
+	}
+	want := []int{1, 11, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if c.Now() != 3 {
+		t.Errorf("Now = %g", c.Now())
+	}
+}
+
+func TestCalendarNestedScheduling(t *testing.T) {
+	c := NewCalendar()
+	hits := 0
+	var tick func()
+	tick = func() {
+		hits++
+		if hits < 5 {
+			if err := c.Schedule(1, tick); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := c.Schedule(1, tick); err != nil {
+		t.Fatal(err)
+	}
+	n := c.Drain(100)
+	if n != 5 || hits != 5 {
+		t.Errorf("events=%d hits=%d", n, hits)
+	}
+	if c.Now() != 5 {
+		t.Errorf("Now = %g, want 5", c.Now())
+	}
+}
+
+func TestCalendarRunUntil(t *testing.T) {
+	c := NewCalendar()
+	hits := 0
+	for i := 1; i <= 10; i++ {
+		if err := c.Schedule(float64(i), func() { hits++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.RunUntil(5.5); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 5 {
+		t.Errorf("hits = %d, want 5", hits)
+	}
+	if c.Now() != 5.5 {
+		t.Errorf("Now = %g", c.Now())
+	}
+	if err := c.RunUntil(1); !errors.Is(err, ErrSim) {
+		t.Errorf("backwards RunUntil err = %v", err)
+	}
+	if c.Len() != 5 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCalendarScheduleErrors(t *testing.T) {
+	c := NewCalendar()
+	if err := c.Schedule(-1, func() {}); !errors.Is(err, ErrSim) {
+		t.Errorf("negative delay err = %v", err)
+	}
+	if err := c.Schedule(math.NaN(), func() {}); !errors.Is(err, ErrSim) {
+		t.Errorf("NaN delay err = %v", err)
+	}
+	if err := c.Schedule(1, nil); !errors.Is(err, ErrSim) {
+		t.Errorf("nil fn err = %v", err)
+	}
+}
+
+func TestSimulateMM1AgainstTheory(t *testing.T) {
+	// M/M/1 at rho = 0.8: E[W] = rho/(1-rho) * E[B] = 4 * E[B].
+	const meanB = 0.01
+	const rho = 0.8
+	svc, err := ExponentialService(meanB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateMG1(MG1Config{
+		Lambda:    rho / meanB,
+		Service:   svc,
+		Customers: 400000,
+		Warmup:    20000,
+		Seed:      42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanW, err := res.Waits.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rho / (1 - rho) * meanB
+	if math.Abs(meanW-want)/want > 0.05 {
+		t.Errorf("simulated E[W] = %g, theory %g (5%% tolerance)", meanW, want)
+	}
+	if math.Abs(res.ObservedRho-rho) > 0.03 {
+		t.Errorf("observed rho = %g, want %g", res.ObservedRho, rho)
+	}
+	if math.Abs(res.ObservedMeanService-meanB)/meanB > 0.03 {
+		t.Errorf("observed E[B] = %g, want %g", res.ObservedMeanService, meanB)
+	}
+}
+
+func TestSimulateMD1AgainstTheory(t *testing.T) {
+	// M/D/1 at rho = 0.5: E[W] = rho*E[B]/(2(1-rho)) = 0.5*E[B].
+	const meanB = 0.02
+	svc, err := DeterministicService(meanB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateMG1(MG1Config{
+		Lambda:    0.5 / meanB,
+		Service:   svc,
+		Customers: 200000,
+		Warmup:    10000,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanW, err := res.Waits.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * meanB / (2 * 0.5)
+	if math.Abs(meanW-want)/want > 0.05 {
+		t.Errorf("simulated E[W] = %g, theory %g", meanW, want)
+	}
+}
+
+func TestSimulateMG1Errors(t *testing.T) {
+	svc, err := DeterministicService(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []MG1Config{
+		{Lambda: 0, Service: svc, Customers: 10},
+		{Lambda: 1, Service: nil, Customers: 10},
+		{Lambda: 1, Service: svc, Customers: 0},
+		{Lambda: 1, Service: svc, Customers: 10, Warmup: 10},
+		{Lambda: 1, Service: svc, Customers: 10, Warmup: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := SimulateMG1(cfg); !errors.Is(err, ErrSim) {
+			t.Errorf("case %d err = %v, want ErrSim", i, err)
+		}
+	}
+	bad := MG1Config{
+		Lambda:    1,
+		Service:   func(*stats.RNG) float64 { return -1 },
+		Customers: 10,
+	}
+	if _, err := SimulateMG1(bad); !errors.Is(err, ErrSim) {
+		t.Errorf("negative service err = %v", err)
+	}
+}
+
+func TestGammaApproximationAgainstSimulation(t *testing.T) {
+	// Experiment X2 of DESIGN.md: the paper's Gamma approximation of the
+	// waiting-time distribution (Eq. 20) against a discrete-event M/G/1
+	// simulation, at rho = 0.9 for a binomial replication grade.
+	model := core.TableICorrelationID
+	r, err := replication.NewBinomial(40, 0.3) // E[R] = 12
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nFltr = 45
+	cfg := BrokerConfig{Model: model, NFltr: nFltr, R: r, Seed: 3}
+
+	meanB := model.MeanServiceTime(nFltr, r.Mean())
+	const rho = 0.9
+	lambda := rho / meanB
+
+	simRes, err := SimulateWaiting(cfg, lambda, 500000, 25000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	moments, err := mg1.MomentsFromReplication(model.ConstantPart(nFltr), model.TTx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := mg1.NewQueue(lambda, moments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := q.GammaApprox()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compare mean.
+	simMean, err := simRes.Waits.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(simMean-q.MeanWait())/q.MeanWait() > 0.08 {
+		t.Errorf("sim E[W] = %g, analytic %g", simMean, q.MeanWait())
+	}
+	// Compare the 99% quantile ("very good approximation results").
+	simQ99, err := simRes.Waits.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anaQ99, err := dist.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(simQ99-anaQ99)/anaQ99 > 0.10 {
+		t.Errorf("Q99: sim %g vs Gamma approx %g (>10%% apart)", simQ99, anaQ99)
+	}
+	// Compare waiting probability P(W>0) ~ rho.
+	cc0, err := dist.CCDF(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cc0-rho) > 1e-9 {
+		t.Errorf("analytic P(W>0) = %g", cc0)
+	}
+}
+
+func TestSimulateSaturatedMatchesEq1(t *testing.T) {
+	// Saturated virtual-time throughput must match Eq. 1's prediction for
+	// a deterministic replication grade.
+	model := core.TableICorrelationID
+	for _, rVal := range []float64{1, 5, 40} {
+		r, err := replication.NewDeterministic(rVal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nFltr := range []int{6, 45, 200} {
+			res, err := SimulateSaturated(BrokerConfig{Model: model, NFltr: nFltr, R: r, Seed: 1}, 20000, 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRecv, wantDisp, wantOverall := model.Throughput(nFltr, rVal)
+			if math.Abs(res.Received-wantRecv)/wantRecv > 1e-9 {
+				t.Errorf("n=%d R=%g: received %g, want %g", nFltr, rVal, res.Received, wantRecv)
+			}
+			if math.Abs(res.Dispatched-wantDisp)/math.Max(wantDisp, 1) > 1e-9 {
+				t.Errorf("n=%d R=%g: dispatched %g, want %g", nFltr, rVal, res.Dispatched, wantDisp)
+			}
+			if math.Abs(res.Overall-wantOverall)/wantOverall > 1e-9 {
+				t.Errorf("n=%d R=%g: overall %g, want %g", nFltr, rVal, res.Overall, wantOverall)
+			}
+		}
+	}
+}
+
+func TestSimulateSaturatedStochasticR(t *testing.T) {
+	// With a binomial R, throughput converges to the model's value at
+	// E[R].
+	model := core.TableIApplicationProperty
+	r, err := replication.NewBinomial(40, 0.25) // E[R] = 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateSaturated(BrokerConfig{Model: model, NFltr: 50, R: r, Seed: 5}, 200000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecv, _, _ := model.Throughput(50, 10)
+	if math.Abs(res.Received-wantRecv)/wantRecv > 0.01 {
+		t.Errorf("received %g, want ~%g", res.Received, wantRecv)
+	}
+	if math.Abs(res.MeanReplication-10) > 0.2 {
+		t.Errorf("mean R = %g, want ~10", res.MeanReplication)
+	}
+}
+
+func TestSimulateSaturatedErrors(t *testing.T) {
+	model := core.TableICorrelationID
+	r, err := replication.NewDeterministic(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateSaturated(BrokerConfig{Model: model, NFltr: -1, R: r}, 10, 1); !errors.Is(err, ErrSim) {
+		t.Errorf("negative filters err = %v", err)
+	}
+	if _, err := SimulateSaturated(BrokerConfig{Model: model, NFltr: 1, R: nil}, 10, 1); !errors.Is(err, ErrSim) {
+		t.Errorf("nil R err = %v", err)
+	}
+	if _, err := SimulateSaturated(BrokerConfig{Model: model, NFltr: 1, R: r}, 0, 0); !errors.Is(err, ErrSim) {
+		t.Errorf("zero messages err = %v", err)
+	}
+	if _, err := SimulateSaturated(BrokerConfig{Model: core.CostModel{}, NFltr: 1, R: r}, 10, 1); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestSimulateWaitingRejectsOverload(t *testing.T) {
+	model := core.TableICorrelationID
+	r, err := replication.NewDeterministic(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BrokerConfig{Model: model, NFltr: 10, R: r}
+	meanB := model.MeanServiceTime(10, 1)
+	if _, err := SimulateWaiting(cfg, 1.1/meanB, 1000, 10); !errors.Is(err, ErrSim) {
+		t.Errorf("overload err = %v", err)
+	}
+}
+
+func TestGammaServiceMoments(t *testing.T) {
+	svc, err := GammaService(0.5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(9)
+	sum, sumSq := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		x := svc(g)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-0.5)/0.5 > 0.02 {
+		t.Errorf("mean = %g", mean)
+	}
+	if math.Abs(sd/mean-0.3)/0.3 > 0.05 {
+		t.Errorf("cvar = %g", sd/mean)
+	}
+	// cvar = 0 degenerates to deterministic.
+	det, err := GammaService(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det(g) != 2 {
+		t.Error("cvar=0 sampler not deterministic")
+	}
+	if _, err := GammaService(-1, 0.1); !errors.Is(err, ErrSim) {
+		t.Errorf("negative mean err = %v", err)
+	}
+}
+
+func BenchmarkSimulateMG1(b *testing.B) {
+	svc, err := ExponentialService(0.001)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateMG1(MG1Config{Lambda: 500, Service: svc, Customers: 10000, Warmup: 100, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

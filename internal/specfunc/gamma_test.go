@@ -1,0 +1,192 @@
+package specfunc
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return diff < tol
+	}
+	return diff/scale < tol
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	// Reference values: P(a,x) for integer a equals the Erlang CDF
+	// 1 - e^{-x} sum_{k<a} x^k/k!, so compute references that way; plus a
+	// few half-integer cases tied to erf.
+	erlangCDF := func(a int, x float64) float64 {
+		sum := 0.0
+		term := 1.0
+		for k := 0; k < a; k++ {
+			if k > 0 {
+				term *= x / float64(k)
+			}
+			sum += term
+		}
+		return 1 - math.Exp(-x)*sum
+	}
+	for _, a := range []int{1, 2, 3, 5, 10, 50} {
+		for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10, 40, 100} {
+			got, err := GammaP(float64(a), x)
+			if err != nil {
+				t.Fatalf("GammaP(%d, %g): %v", a, x, err)
+			}
+			want := erlangCDF(a, x)
+			if !almostEqual(got, want, 1e-10) {
+				t.Errorf("GammaP(%d, %g) = %.15g, want %.15g", a, x, got, want)
+			}
+		}
+	}
+	// P(1/2, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.01, 0.25, 1, 4, 9} {
+		got, err := GammaP(0.5, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Erf(math.Sqrt(x))
+		if !almostEqual(got, want, 1e-10) {
+			t.Errorf("GammaP(0.5, %g) = %.15g, want %.15g", x, got, want)
+		}
+	}
+}
+
+func TestGammaPQComplementary(t *testing.T) {
+	for _, a := range []float64{0.1, 0.5, 1, 2.5, 7, 25, 123.4} {
+		for _, x := range []float64{0, 0.01, 0.3, 1, 3, 10, 100, 1000} {
+			p, err := GammaP(a, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := GammaQ(a, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(p+q, 1, 1e-10) {
+				t.Errorf("P+Q = %.15g for a=%g x=%g", p+q, a, x)
+			}
+			if p < 0 || p > 1 || q < 0 || q > 1 {
+				t.Errorf("out of range: P=%g Q=%g for a=%g x=%g", p, q, a, x)
+			}
+		}
+	}
+}
+
+func TestGammaPMonotoneInX(t *testing.T) {
+	for _, a := range []float64{0.3, 1, 4, 20} {
+		prev := -1.0
+		for x := 0.0; x <= 50; x += 0.5 {
+			p, err := GammaP(a, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p < prev-1e-12 {
+				t.Errorf("GammaP(%g, %g) = %g decreased from %g", a, x, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestGammaPBoundaries(t *testing.T) {
+	if p, err := GammaP(3, 0); err != nil || p != 0 {
+		t.Errorf("GammaP(3,0) = %g, %v", p, err)
+	}
+	if p, err := GammaP(3, math.Inf(1)); err != nil || p != 1 {
+		t.Errorf("GammaP(3,inf) = %g, %v", p, err)
+	}
+	if q, err := GammaQ(3, 0); err != nil || q != 1 {
+		t.Errorf("GammaQ(3,0) = %g, %v", q, err)
+	}
+	for _, bad := range [][2]float64{{0, 1}, {-1, 1}, {1, -0.5}, {math.NaN(), 1}, {1, math.NaN()}} {
+		if _, err := GammaP(bad[0], bad[1]); !errors.Is(err, ErrDomain) {
+			t.Errorf("GammaP(%g,%g) err = %v, want ErrDomain", bad[0], bad[1], err)
+		}
+		if _, err := GammaQ(bad[0], bad[1]); !errors.Is(err, ErrDomain) {
+			t.Errorf("GammaQ(%g,%g) err = %v, want ErrDomain", bad[0], bad[1], err)
+		}
+	}
+}
+
+func TestGammaPInvRoundTrip(t *testing.T) {
+	for _, a := range []float64{0.25, 0.5, 1, 2, 5, 17.3, 100} {
+		for _, p := range []float64{0, 1e-6, 0.01, 0.1, 0.5, 0.9, 0.99, 0.9999} {
+			x, err := GammaPInv(a, p)
+			if err != nil {
+				t.Fatalf("GammaPInv(%g, %g): %v", a, p, err)
+			}
+			back, err := GammaP(a, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(back, p, 1e-8) {
+				t.Errorf("GammaP(%g, GammaPInv(%g, %g)) = %.12g", a, a, p, back)
+			}
+		}
+	}
+}
+
+func TestGammaPInvExponentialCase(t *testing.T) {
+	// a=1 is the exponential distribution: inverse CDF is -ln(1-p).
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99, 0.9999} {
+		x, err := GammaPInv(1, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := -math.Log(1 - p)
+		if !almostEqual(x, want, 1e-9) {
+			t.Errorf("GammaPInv(1, %g) = %.12g, want %.12g", p, x, want)
+		}
+	}
+}
+
+func TestGammaPInvDomain(t *testing.T) {
+	for _, bad := range [][2]float64{{0, 0.5}, {-2, 0.5}, {1, -0.1}, {1, 1}, {1, 1.5}} {
+		if _, err := GammaPInv(bad[0], bad[1]); !errors.Is(err, ErrDomain) {
+			t.Errorf("GammaPInv(%g,%g) err = %v, want ErrDomain", bad[0], bad[1], err)
+		}
+	}
+	if x, err := GammaPInv(4, 0); err != nil || x != 0 {
+		t.Errorf("GammaPInv(4, 0) = %g, %v", x, err)
+	}
+}
+
+func TestErfInv(t *testing.T) {
+	for _, y := range []float64{-0.999, -0.9, -0.5, -0.1, 0, 0.1, 0.5, 0.9, 0.999, 0.999999} {
+		x, err := ErfInv(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(math.Erf(x), y, 1e-10) {
+			t.Errorf("Erf(ErfInv(%g)) = %.12g", y, math.Erf(x))
+		}
+	}
+	for _, bad := range []float64{-1, 1, 2, math.NaN()} {
+		if _, err := ErfInv(bad); !errors.Is(err, ErrDomain) {
+			t.Errorf("ErfInv(%g) err = %v, want ErrDomain", bad, err)
+		}
+	}
+}
+
+func BenchmarkGammaP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GammaP(7.3, 11.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGammaPInv(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GammaPInv(7.3, 0.9999); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package stats provides the statistical plumbing shared by the simulator
+// and the benchmark harness: a seedable RNG with the samplers the study
+// needs (exponential inter-arrival times, binomial replication grades), and
+// streaming summary statistics with confidence intervals and quantile
+// estimation, mirroring how the paper reduces repeated measurement runs.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/specfunc"
+)
+
+// ErrEmpty is returned when a summary has no observations.
+var ErrEmpty = errors.New("stats: no observations")
+
+// RNG wraps math/rand with the domain samplers used in this repository.
+// It is deterministic for a given seed, which keeps experiments
+// reproducible.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Exp returns an exponentially distributed sample with the given rate
+// (mean 1/rate). Inter-arrival times of the paper's Poisson arrival model.
+func (g *RNG) Exp(rate float64) float64 {
+	return g.r.ExpFloat64() / rate
+}
+
+// Bernoulli returns true with probability p.
+func (g *RNG) Bernoulli(p float64) bool { return g.r.Float64() < p }
+
+// Binomial returns a Binomial(n, p) sample: the paper's model for the
+// replication grade when n_fltr filters match independently with
+// probability p_match. Direct summation is O(n) and fine for the filter
+// counts in the study (n <= a few thousand); larger n uses a normal
+// approximation cutover.
+func (g *RNG) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	// For large n the exact loop is too slow; the normal approximation with
+	// continuity correction is accurate when np(1-p) is large.
+	if n > 10000 && float64(n)*p*(1-p) > 100 {
+		mean := float64(n) * p
+		sd := math.Sqrt(float64(n) * p * (1 - p))
+		k := int(math.Round(mean + sd*g.r.NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if g.r.Float64() < p {
+			k++
+		}
+	}
+	return k
+}
+
+// Gamma returns a Gamma(shape, scale) sample via Marsaglia–Tsang, used to
+// generate service times with a prescribed coefficient of variation.
+func (g *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+		u := g.r.Float64()
+		return g.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := g.r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := g.r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Summary accumulates observations for mean/variance/quantile reporting.
+type Summary struct {
+	values []float64
+	sorted bool
+}
+
+// NewSummary returns an empty summary.
+func NewSummary() *Summary { return &Summary{} }
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return len(s.values) }
+
+// Mean returns the sample mean.
+func (s *Summary) Mean() (float64, error) {
+	if len(s.values) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values)), nil
+}
+
+// Variance returns the unbiased sample variance.
+func (s *Summary) Variance() (float64, error) {
+	if len(s.values) < 2 {
+		return 0, fmt.Errorf("%w: need at least 2 observations", ErrEmpty)
+	}
+	mean, err := s.Mean()
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, v := range s.values {
+		d := v - mean
+		ss += d * d
+	}
+	return ss / float64(len(s.values)-1), nil
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() (float64, error) {
+	v, err := s.Variance()
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// CVar returns the coefficient of variation (stddev/mean).
+func (s *Summary) CVar() (float64, error) {
+	mean, err := s.Mean()
+	if err != nil {
+		return 0, err
+	}
+	if mean == 0 {
+		return 0, errors.New("stats: zero mean, CVar undefined")
+	}
+	sd, err := s.StdDev()
+	if err != nil {
+		return 0, err
+	}
+	return sd / mean, nil
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) using linear interpolation
+// between order statistics (type 7, the common default).
+func (s *Summary) Quantile(p float64) (float64, error) {
+	if len(s.values) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("stats: quantile %g outside [0,1]", p)
+	}
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+	if len(s.values) == 1 {
+		return s.values[0], nil
+	}
+	h := p * float64(len(s.values)-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= len(s.values) {
+		return s.values[len(s.values)-1], nil
+	}
+	frac := h - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac, nil
+}
+
+// ConfidenceInterval returns the half-width of the level-confidence
+// interval for the mean using the normal approximation (the paper notes
+// confidence intervals are "very narrow even for a few runs", so the
+// normal approximation is adequate).
+func (s *Summary) ConfidenceInterval(level float64) (float64, error) {
+	if level <= 0 || level >= 1 {
+		return 0, fmt.Errorf("stats: confidence level %g outside (0,1)", level)
+	}
+	sd, err := s.StdDev()
+	if err != nil {
+		return 0, err
+	}
+	z, err := NormalQuantile(0.5 + level/2)
+	if err != nil {
+		return 0, err
+	}
+	return z * sd / math.Sqrt(float64(len(s.values))), nil
+}
+
+// NormalQuantile returns the standard normal quantile for p in (0,1).
+func NormalQuantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("stats: normal quantile %g outside (0,1)", p)
+	}
+	x, err := specfunc.ErfInv(2*p - 1)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt2 * x, nil
+}
+
+// Moments computes the first three raw sample moments of the values — the
+// inputs the M/G/1 formulas need when fed from simulation instead of a
+// closed-form replication model.
+func Moments(values []float64) (m1, m2, m3 float64, err error) {
+	if len(values) == 0 {
+		return 0, 0, 0, ErrEmpty
+	}
+	n := float64(len(values))
+	for _, v := range values {
+		m1 += v
+		m2 += v * v
+		m3 += v * v * v
+	}
+	return m1 / n, m2 / n, m3 / n, nil
+}

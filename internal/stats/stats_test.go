@@ -1,0 +1,260 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	s := NewSummary()
+	if _, err := s.Mean(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty Mean err = %v", err)
+	}
+	if _, err := s.Quantile(0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty Quantile err = %v", err)
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	mean, err := s.Mean()
+	if err != nil || mean != 5 {
+		t.Errorf("Mean = %g, %v", mean, err)
+	}
+	// Sample variance of the classic dataset: population var is 4, sample
+	// var is 32/7.
+	v, err := s.Variance()
+	if err != nil || math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %g, %v", v, err)
+	}
+	sd, err := s.StdDev()
+	if err != nil || math.Abs(sd-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("StdDev = %g, %v", sd, err)
+	}
+	cv, err := s.CVar()
+	if err != nil || math.Abs(cv-sd/5) > 1e-12 {
+		t.Errorf("CVar = %g, %v", cv, err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := NewSummary()
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{p: 0, want: 1},
+		{p: 1, want: 100},
+		{p: 0.5, want: 50.5},
+		{p: 0.99, want: 99.01},
+	}
+	for _, tt := range tests {
+		got, err := s.Quantile(tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if _, err := s.Quantile(1.5); err == nil {
+		t.Error("out-of-range quantile accepted")
+	}
+	single := NewSummary()
+	single.Add(7)
+	if q, err := single.Quantile(0.9); err != nil || q != 7 {
+		t.Errorf("single-value quantile = %g, %v", q, err)
+	}
+}
+
+func TestQuantileAfterAdd(t *testing.T) {
+	// Adding after a quantile query must re-sort.
+	s := NewSummary()
+	s.Add(10)
+	s.Add(20)
+	if _, err := s.Quantile(0.5); err != nil {
+		t.Fatal(err)
+	}
+	s.Add(0)
+	q, err := s.Quantile(0)
+	if err != nil || q != 0 {
+		t.Errorf("Quantile(0) after Add = %g, %v", q, err)
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	tests := []struct {
+		p, want float64
+	}{
+		{p: 0.5, want: 0},
+		{p: 0.975, want: 1.959964},
+		{p: 0.995, want: 2.575829},
+		{p: 0.9999, want: 3.719016},
+	}
+	for _, tt := range tests {
+		got, err := NormalQuantile(tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-4 {
+			t.Errorf("NormalQuantile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	for _, bad := range []float64{0, 1, -1, 2} {
+		if _, err := NormalQuantile(bad); err == nil {
+			t.Errorf("NormalQuantile(%g) accepted", bad)
+		}
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	s := NewSummary()
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i % 10))
+	}
+	half, err := s.ConfidenceInterval(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, _ := s.StdDev()
+	want := 1.959964 * sd / 10
+	if math.Abs(half-want) > 1e-4 {
+		t.Errorf("CI = %g, want %g", half, want)
+	}
+	if _, err := s.ConfidenceInterval(1.5); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestRNGExp(t *testing.T) {
+	g := NewRNG(1)
+	const n = 200000
+	const rate = 4.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Exp(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Errorf("Exp mean = %g, want %g", mean, 1/rate)
+	}
+}
+
+func TestRNGBinomialMoments(t *testing.T) {
+	g := NewRNG(2)
+	const n = 50
+	const p = 0.3
+	const samples = 100000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < samples; i++ {
+		k := float64(g.Binomial(n, p))
+		sum += k
+		sumSq += k * k
+	}
+	mean := sum / samples
+	variance := sumSq/samples - mean*mean
+	if math.Abs(mean-n*p) > 0.1 {
+		t.Errorf("Binomial mean = %g, want %g", mean, float64(n)*p)
+	}
+	if math.Abs(variance-n*p*(1-p)) > 0.3 {
+		t.Errorf("Binomial variance = %g, want %g", variance, n*p*(1-p))
+	}
+}
+
+func TestRNGBinomialEdges(t *testing.T) {
+	g := NewRNG(3)
+	if g.Binomial(0, 0.5) != 0 || g.Binomial(10, 0) != 0 {
+		t.Error("degenerate binomial not 0")
+	}
+	if g.Binomial(10, 1) != 10 {
+		t.Error("p=1 binomial not n")
+	}
+	// Large-n normal approximation path stays in range.
+	for i := 0; i < 100; i++ {
+		k := g.Binomial(1000000, 0.5)
+		if k < 0 || k > 1000000 {
+			t.Fatalf("binomial out of range: %d", k)
+		}
+	}
+}
+
+func TestRNGGammaMoments(t *testing.T) {
+	g := NewRNG(4)
+	const shape, scale = 3.0, 2.0
+	const samples = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < samples; i++ {
+		x := g.Gamma(shape, scale)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / samples
+	variance := sumSq/samples - mean*mean
+	if math.Abs(mean-shape*scale)/(shape*scale) > 0.02 {
+		t.Errorf("Gamma mean = %g, want %g", mean, shape*scale)
+	}
+	if math.Abs(variance-shape*scale*scale)/(shape*scale*scale) > 0.05 {
+		t.Errorf("Gamma variance = %g, want %g", variance, shape*scale*scale)
+	}
+}
+
+func TestRNGGammaSmallShape(t *testing.T) {
+	g := NewRNG(5)
+	const shape, scale = 0.5, 1.0
+	const samples = 200000
+	sum := 0.0
+	for i := 0; i < samples; i++ {
+		x := g.Gamma(shape, scale)
+		if x < 0 {
+			t.Fatalf("negative gamma sample %g", x)
+		}
+		sum += x
+	}
+	mean := sum / samples
+	if math.Abs(mean-shape*scale)/(shape*scale) > 0.03 {
+		t.Errorf("Gamma(0.5) mean = %g, want %g", mean, shape*scale)
+	}
+}
+
+func TestRNGDeterministicForSeed(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestMoments(t *testing.T) {
+	m1, m2, m3, err := Moments([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != 2 || m2 != (1+4+9)/3.0 || m3 != (1+8+27)/3.0 {
+		t.Errorf("Moments = %g %g %g", m1, m2, m3)
+	}
+	if _, _, _, err := Moments(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty Moments err = %v", err)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	g := NewRNG(6)
+	hits := 0
+	const samples = 100000
+	for i := 0; i < samples; i++ {
+		if g.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / samples
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("Bernoulli(0.25) frequency = %g", frac)
+	}
+}

@@ -1,0 +1,195 @@
+// Package topic manages the broker's destination tables: the set of
+// configured topics and, per topic, the dynamically installed subscriptions
+// with their filters.
+//
+// As in the paper, topics are a coarse, static selection mechanism that must
+// be configured before system start ("topics virtually separate the JMS
+// server into several logical sub-servers"), while filters are installed and
+// removed dynamically during operation.
+package topic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/filter"
+)
+
+// Errors returned by the registry.
+var (
+	// ErrNoSuchTopic is returned when addressing an unconfigured topic.
+	ErrNoSuchTopic = errors.New("topic: no such topic")
+	// ErrDuplicateTopic is returned when configuring a topic twice.
+	ErrDuplicateTopic = errors.New("topic: duplicate topic")
+	// ErrNoSuchSubscription is returned when removing an unknown subscription.
+	ErrNoSuchSubscription = errors.New("topic: no such subscription")
+)
+
+// SubscriptionID identifies a subscription within a registry.
+type SubscriptionID uint64
+
+// Subscription is one subscriber's registration on a topic: exactly one
+// filter, as in the paper ("each subscriber has only a single filter").
+type Subscription struct {
+	ID     SubscriptionID
+	Topic  string
+	Filter filter.Filter
+	// Attachment is opaque owner data (e.g. the broker's delivery handle).
+	// It is set at subscription time and never modified afterwards, so
+	// dispatchers may read it without locking.
+	Attachment any
+}
+
+// Topic is one configured destination and its subscription list.
+type Topic struct {
+	name string
+
+	mu   sync.RWMutex
+	subs []*Subscription
+	// epoch increments on every subscription change so dispatchers can
+	// cache the subscription slice between changes.
+	epoch uint64
+}
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.name }
+
+// Snapshot returns the current subscription list and its epoch. The slice
+// is owned by the registry and must not be modified; a new slice is built
+// on every subscription change, so a returned snapshot stays immutable.
+func (t *Topic) Snapshot() ([]*Subscription, uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.subs, t.epoch
+}
+
+// NumSubscriptions returns the number of installed subscriptions.
+func (t *Topic) NumSubscriptions() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.subs)
+}
+
+func (t *Topic) add(s *Subscription) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	next := make([]*Subscription, len(t.subs), len(t.subs)+1)
+	copy(next, t.subs)
+	t.subs = append(next, s)
+	t.epoch++
+}
+
+func (t *Topic) remove(id SubscriptionID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, s := range t.subs {
+		if s.ID == id {
+			next := make([]*Subscription, 0, len(t.subs)-1)
+			next = append(next, t.subs[:i]...)
+			next = append(next, t.subs[i+1:]...)
+			t.subs = next
+			t.epoch++
+			return true
+		}
+	}
+	return false
+}
+
+// Registry is the broker's topic table.
+type Registry struct {
+	mu     sync.RWMutex
+	topics map[string]*Topic
+	nextID SubscriptionID
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{topics: make(map[string]*Topic)}
+}
+
+// Configure adds a topic. Topics must be configured before use, mirroring
+// the static topic setup of a JMS server.
+func (r *Registry) Configure(name string) (*Topic, error) {
+	if name == "" {
+		return nil, errors.New("topic: empty topic name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.topics[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateTopic, name)
+	}
+	t := &Topic{name: name}
+	r.topics[name] = t
+	return t, nil
+}
+
+// Lookup returns the topic with the given name.
+func (r *Registry) Lookup(name string) (*Topic, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTopic, name)
+	}
+	return t, nil
+}
+
+// Topics returns the sorted names of all configured topics.
+func (r *Registry) Topics() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.topics))
+	for name := range r.topics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Subscribe installs a subscription with the given filter on a topic and
+// returns it. A nil filter subscribes to every message of the topic. The
+// attachment is stored on the subscription before it becomes visible to
+// dispatchers.
+func (r *Registry) Subscribe(topicName string, f filter.Filter, attachment any) (*Subscription, error) {
+	t, err := r.Lookup(topicName)
+	if err != nil {
+		return nil, err
+	}
+	if f == nil {
+		f = filter.All{}
+	}
+	r.mu.Lock()
+	r.nextID++
+	id := r.nextID
+	r.mu.Unlock()
+
+	s := &Subscription{ID: id, Topic: topicName, Filter: f, Attachment: attachment}
+	t.add(s)
+	return s, nil
+}
+
+// Unsubscribe removes a subscription.
+func (r *Registry) Unsubscribe(topicName string, id SubscriptionID) error {
+	t, err := r.Lookup(topicName)
+	if err != nil {
+		return err
+	}
+	if !t.remove(id) {
+		return fmt.Errorf("%w: %d on %q", ErrNoSuchSubscription, id, topicName)
+	}
+	return nil
+}
+
+// TotalSubscriptions returns the number of subscriptions across all topics —
+// the paper's n_fltr when all subscribers sit on one topic.
+func (r *Registry) TotalSubscriptions() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total := 0
+	for _, t := range r.topics {
+		total += t.NumSubscriptions()
+	}
+	return total
+}

@@ -1,0 +1,234 @@
+package topic
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/jms"
+)
+
+func TestConfigureAndLookup(t *testing.T) {
+	r := NewRegistry()
+	tp, err := r.Configure("presence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Name() != "presence" {
+		t.Errorf("Name = %q", tp.Name())
+	}
+	got, err := r.Lookup("presence")
+	if err != nil || got != tp {
+		t.Errorf("Lookup = %v, %v", got, err)
+	}
+	if _, err := r.Lookup("missing"); !errors.Is(err, ErrNoSuchTopic) {
+		t.Errorf("Lookup(missing) err = %v, want ErrNoSuchTopic", err)
+	}
+	if _, err := r.Configure("presence"); !errors.Is(err, ErrDuplicateTopic) {
+		t.Errorf("duplicate Configure err = %v, want ErrDuplicateTopic", err)
+	}
+	if _, err := r.Configure(""); err == nil {
+		t.Error("empty topic name accepted")
+	}
+}
+
+func TestTopicsSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if _, err := r.Configure(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.Topics()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Topics = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSubscribeUnsubscribe(t *testing.T) {
+	r := NewRegistry()
+	tp, err := r.Configure("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1, err := r.Subscribe("t", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Filter.Kind() != filter.KindTopic {
+		t.Errorf("nil filter should become All; Kind = %v", s1.Filter.Kind())
+	}
+	corr, err := filter.NewCorrelationID("#0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.Subscribe("t", corr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.ID == s2.ID {
+		t.Error("subscription IDs must be unique")
+	}
+	if tp.NumSubscriptions() != 2 {
+		t.Errorf("NumSubscriptions = %d, want 2", tp.NumSubscriptions())
+	}
+	if r.TotalSubscriptions() != 2 {
+		t.Errorf("TotalSubscriptions = %d, want 2", r.TotalSubscriptions())
+	}
+
+	if err := r.Unsubscribe("t", s1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumSubscriptions() != 1 {
+		t.Errorf("NumSubscriptions after remove = %d, want 1", tp.NumSubscriptions())
+	}
+	if err := r.Unsubscribe("t", s1.ID); !errors.Is(err, ErrNoSuchSubscription) {
+		t.Errorf("double Unsubscribe err = %v", err)
+	}
+	if err := r.Unsubscribe("missing", s2.ID); !errors.Is(err, ErrNoSuchTopic) {
+		t.Errorf("Unsubscribe on missing topic err = %v", err)
+	}
+	if _, err := r.Subscribe("missing", nil, nil); !errors.Is(err, ErrNoSuchTopic) {
+		t.Errorf("Subscribe on missing topic err = %v", err)
+	}
+}
+
+func TestSnapshotImmutability(t *testing.T) {
+	r := NewRegistry()
+	tp, err := r.Configure("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := r.Subscribe("t", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap1, epoch1 := tp.Snapshot()
+	if len(snap1) != 1 || epoch1 == 0 {
+		t.Fatalf("snapshot = %d subs, epoch %d", len(snap1), epoch1)
+	}
+
+	if _, err := r.Subscribe("t", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap2, epoch2 := tp.Snapshot()
+	if epoch2 <= epoch1 {
+		t.Error("epoch did not advance on subscribe")
+	}
+	// The old snapshot must be unchanged (copy-on-write).
+	if len(snap1) != 1 {
+		t.Errorf("old snapshot mutated: len = %d", len(snap1))
+	}
+	if len(snap2) != 2 {
+		t.Errorf("new snapshot len = %d, want 2", len(snap2))
+	}
+
+	if err := r.Unsubscribe("t", s1.ID); err != nil {
+		t.Fatal(err)
+	}
+	snap3, epoch3 := tp.Snapshot()
+	if epoch3 <= epoch2 {
+		t.Error("epoch did not advance on unsubscribe")
+	}
+	if len(snap3) != 1 {
+		t.Errorf("snapshot after remove len = %d, want 1", len(snap3))
+	}
+	if len(snap2) != 2 {
+		t.Error("older snapshot mutated by remove")
+	}
+}
+
+func TestConcurrentSubscribeUnsubscribe(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Configure("t"); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 50
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s, err := r.Subscribe("t", nil, nil)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := r.Unsubscribe("t", s.ID); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if n := r.TotalSubscriptions(); n != 0 {
+		t.Errorf("TotalSubscriptions = %d, want 0", n)
+	}
+}
+
+func TestFilterDispatchThroughSnapshot(t *testing.T) {
+	// End-to-end within the package: a snapshot drives filter matching the
+	// way the broker's dispatch loop does.
+	r := NewRegistry()
+	tp, err := r.Configure("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matching, err := filter.NewCorrelationID("#0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := filter.NewCorrelationID("#1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Subscribe("t", matching, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := r.Subscribe("t", other, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := jms.NewMessage("t")
+	if err := m.SetCorrelationID("#0"); err != nil {
+		t.Fatal(err)
+	}
+	subs, _ := tp.Snapshot()
+	replication := 0
+	for _, s := range subs {
+		if s.Filter.Matches(m) {
+			replication++
+		}
+	}
+	if replication != 3 {
+		t.Errorf("replication grade = %d, want 3", replication)
+	}
+}
+
+func ExampleRegistry_Subscribe() {
+	r := NewRegistry()
+	_, _ = r.Configure("presence")
+	corr, _ := filter.NewCorrelationID("#0")
+	sub, _ := r.Subscribe("presence", corr, nil)
+	fmt.Println(sub.Topic, sub.Filter)
+	// Output: presence #0
+}

@@ -1,0 +1,383 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/jms"
+)
+
+// encoder appends big-endian primitives to a buffer.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// decoder consumes big-endian primitives from a payload.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) remain() int { return len(d.buf) - d.off }
+
+func (d *decoder) u8() (uint8, error) {
+	if d.remain() < 1 {
+		return 0, ErrTruncated
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.remain() < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.remain() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) i64() (int64, error) {
+	v, err := d.u64()
+	return int64(v), err
+}
+
+func (d *decoder) f64() (float64, error) {
+	v, err := d.u64()
+	return math.Float64frombits(v), err
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	if d.remain() < int(n) {
+		return "", ErrTruncated
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *decoder) bytesField() ([]byte, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if d.remain() < int(n) {
+		return nil, ErrTruncated
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:])
+	d.off += int(n)
+	return b, nil
+}
+
+// EncodeMessage serializes a message into a frame payload.
+//
+// Layout: messageID u64, topic str, corrID str, mode u8, priority u8,
+// timestamp i64 (unix nanos), expiration i64 (0 = never), property count
+// u32, properties (name str, type u8, value), body bytes.
+func EncodeMessage(m *jms.Message) []byte {
+	var e encoder
+	e.u64(m.Header.MessageID)
+	e.str(m.Header.Topic)
+	e.str(m.Header.CorrelationID)
+	e.u8(uint8(m.Header.DeliveryMode))
+	e.u8(uint8(m.Header.Priority))
+	if m.Header.Timestamp.IsZero() {
+		e.i64(0)
+	} else {
+		e.i64(m.Header.Timestamp.UnixNano())
+	}
+	if m.Header.Expiration.IsZero() {
+		e.i64(0)
+	} else {
+		e.i64(m.Header.Expiration.UnixNano())
+	}
+	names := m.PropertyNames()
+	e.u32(uint32(len(names)))
+	for _, name := range names {
+		p, _ := m.Property(name)
+		e.str(name)
+		e.u8(uint8(p.Type))
+		switch p.Type {
+		case jms.TypeBool:
+			if p.B {
+				e.u8(1)
+			} else {
+				e.u8(0)
+			}
+		case jms.TypeInt32, jms.TypeInt64:
+			e.i64(p.I)
+		case jms.TypeFloat64:
+			e.f64(p.F)
+		case jms.TypeString:
+			e.str(p.S)
+		}
+	}
+	e.bytes(m.Body)
+	return e.buf
+}
+
+// DecodeMessage parses a frame payload produced by EncodeMessage.
+func DecodeMessage(payload []byte) (*jms.Message, error) {
+	d := decoder{buf: payload}
+	var m jms.Message
+	var err error
+	if m.Header.MessageID, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if m.Header.Topic, err = d.str(); err != nil {
+		return nil, err
+	}
+	corrID, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SetCorrelationID(corrID); err != nil {
+		return nil, err
+	}
+	mode, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Header.DeliveryMode = jms.DeliveryMode(mode)
+	prio, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Header.Priority = int(prio)
+	ts, err := d.i64()
+	if err != nil {
+		return nil, err
+	}
+	if ts != 0 {
+		m.Header.Timestamp = time.Unix(0, ts)
+	}
+	exp, err := d.i64()
+	if err != nil {
+		return nil, err
+	}
+	if exp != 0 {
+		m.Header.Expiration = time.Unix(0, exp)
+	}
+
+	nProps, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nProps; i++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch jms.PropertyType(typ) {
+		case jms.TypeBool:
+			v, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.SetBoolProperty(name, v != 0); err != nil {
+				return nil, err
+			}
+		case jms.TypeInt32:
+			v, err := d.i64()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.SetInt32Property(name, int32(v)); err != nil {
+				return nil, err
+			}
+		case jms.TypeInt64:
+			v, err := d.i64()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.SetInt64Property(name, v); err != nil {
+				return nil, err
+			}
+		case jms.TypeFloat64:
+			v, err := d.f64()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.SetFloat64Property(name, v); err != nil {
+				return nil, err
+			}
+		case jms.TypeString:
+			v, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.SetStringProperty(name, v); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("wire: unknown property type %d", typ)
+		}
+	}
+	if m.Body, err = d.bytesField(); err != nil {
+		return nil, err
+	}
+	if d.remain() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in message payload", d.remain())
+	}
+	return &m, nil
+}
+
+// FilterSpec describes a filter in SUBSCRIBE frames. Mode selects the
+// filter family; Expr is the correlation-ID expression or selector source.
+// A non-empty DurableName requests a durable subscription under that name:
+// messages matching the filter are buffered server-side while no consumer
+// is attached.
+type FilterSpec struct {
+	Mode        FilterMode
+	Expr        string
+	DurableName string
+}
+
+// FilterMode selects the filter family in a FilterSpec.
+type FilterMode uint8
+
+// Filter modes.
+const (
+	// FilterNone subscribes to all messages of the topic.
+	FilterNone FilterMode = iota + 1
+	// FilterCorrelationID matches the correlation ID expression.
+	FilterCorrelationID
+	// FilterSelector matches a JMS selector.
+	FilterSelector
+)
+
+// EncodeSubscribe builds a SUBSCRIBE payload: topic str, mode u8, expr
+// str, durable name str (empty for non-durable).
+func EncodeSubscribe(topicName string, spec FilterSpec) []byte {
+	var e encoder
+	e.str(topicName)
+	e.u8(uint8(spec.Mode))
+	e.str(spec.Expr)
+	e.str(spec.DurableName)
+	return e.buf
+}
+
+// DecodeSubscribe parses a SUBSCRIBE payload.
+func DecodeSubscribe(payload []byte) (topicName string, spec FilterSpec, err error) {
+	d := decoder{buf: payload}
+	if topicName, err = d.str(); err != nil {
+		return "", FilterSpec{}, err
+	}
+	mode, err := d.u8()
+	if err != nil {
+		return "", FilterSpec{}, err
+	}
+	spec.Mode = FilterMode(mode)
+	if spec.Expr, err = d.str(); err != nil {
+		return "", FilterSpec{}, err
+	}
+	if spec.DurableName, err = d.str(); err != nil {
+		return "", FilterSpec{}, err
+	}
+	return topicName, spec, nil
+}
+
+// EncodeU64 builds a payload holding a single u64 (ack ids, sub ids).
+func EncodeU64(v uint64) []byte {
+	var e encoder
+	e.u64(v)
+	return e.buf
+}
+
+// DecodeU64 parses a single-u64 payload.
+func DecodeU64(payload []byte) (uint64, error) {
+	d := decoder{buf: payload}
+	return d.u64()
+}
+
+// EncodeDelivery builds a MESSAGE payload: subscription id u64, then the
+// encoded message.
+func EncodeDelivery(subID uint64, m *jms.Message) []byte {
+	var e encoder
+	e.u64(subID)
+	e.buf = append(e.buf, EncodeMessage(m)...)
+	return e.buf
+}
+
+// DecodeDelivery parses a MESSAGE payload.
+func DecodeDelivery(payload []byte) (subID uint64, m *jms.Message, err error) {
+	d := decoder{buf: payload}
+	if subID, err = d.u64(); err != nil {
+		return 0, nil, err
+	}
+	m, err = DecodeMessage(payload[d.off:])
+	return subID, m, err
+}
+
+// EncodeError builds an ERROR payload: request id u64, message str.
+func EncodeError(reqID uint64, msg string) []byte {
+	var e encoder
+	e.u64(reqID)
+	e.str(msg)
+	return e.buf
+}
+
+// DecodeError parses an ERROR payload.
+func DecodeError(payload []byte) (reqID uint64, msg string, err error) {
+	d := decoder{buf: payload}
+	if reqID, err = d.u64(); err != nil {
+		return 0, "", err
+	}
+	msg, err = d.str()
+	return reqID, msg, err
+}
+
+// EncodeString builds a single-string payload (topic configuration).
+func EncodeString(s string) []byte {
+	var e encoder
+	e.str(s)
+	return e.buf
+}
+
+// DecodeString parses a single-string payload.
+func DecodeString(payload []byte) (string, error) {
+	d := decoder{buf: payload}
+	return d.str()
+}

@@ -1,0 +1,148 @@
+// Package wire implements the broker's TCP wire protocol: length-prefixed
+// binary frames carrying publishes, subscriptions, deliveries and the credit
+// grants that implement publisher push-back over the network.
+//
+// Frame layout:
+//
+//	uint32  big-endian payload length (excluding the 5-byte prologue)
+//	uint8   frame type
+//	[]byte  payload
+//
+// The payload encoding uses big-endian fixed-width integers and
+// length-prefixed strings/bytes (see codec.go).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// FrameType identifies the purpose of a frame.
+type FrameType uint8
+
+// Frame types.
+const (
+	// FramePublish carries a message from publisher to broker.
+	FramePublish FrameType = iota + 1
+	// FramePubAck acknowledges a publish (push-back window release).
+	FramePubAck
+	// FrameSubscribe installs a subscription (topic + filter spec).
+	FrameSubscribe
+	// FrameSubscribeOK returns the subscription ID.
+	FrameSubscribeOK
+	// FrameUnsubscribe removes a subscription.
+	FrameUnsubscribe
+	// FrameUnsubscribeOK confirms removal.
+	FrameUnsubscribeOK
+	// FrameMessage delivers a message replica to a subscriber.
+	FrameMessage
+	// FrameError reports a request failure.
+	FrameError
+	// FramePing and FramePong are liveness probes.
+	FramePing
+	// FramePong answers a ping.
+	FramePong
+	// FrameConfigureTopic creates a topic on the broker.
+	FrameConfigureTopic
+	// FrameConfigureTopicOK confirms topic creation.
+	FrameConfigureTopicOK
+	// FrameDeleteDurable deletes a named durable subscription.
+	FrameDeleteDurable
+	// FrameDeleteDurableOK confirms the deletion.
+	FrameDeleteDurableOK
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case FramePublish:
+		return "PUBLISH"
+	case FramePubAck:
+		return "PUB_ACK"
+	case FrameSubscribe:
+		return "SUBSCRIBE"
+	case FrameSubscribeOK:
+		return "SUBSCRIBE_OK"
+	case FrameUnsubscribe:
+		return "UNSUBSCRIBE"
+	case FrameUnsubscribeOK:
+		return "UNSUBSCRIBE_OK"
+	case FrameMessage:
+		return "MESSAGE"
+	case FrameError:
+		return "ERROR"
+	case FramePing:
+		return "PING"
+	case FramePong:
+		return "PONG"
+	case FrameConfigureTopic:
+		return "CONFIGURE_TOPIC"
+	case FrameConfigureTopicOK:
+		return "CONFIGURE_TOPIC_OK"
+	case FrameDeleteDurable:
+		return "DELETE_DURABLE"
+	case FrameDeleteDurableOK:
+		return "DELETE_DURABLE_OK"
+	default:
+		return "FrameType(" + strconv.Itoa(int(t)) + ")"
+	}
+}
+
+// MaxFrameSize bounds a frame payload to guard against corrupt peers.
+const MaxFrameSize = 16 << 20
+
+// Errors of the framing layer.
+var (
+	// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	// ErrTruncated is returned when a payload is shorter than its fields.
+	ErrTruncated = errors.New("wire: truncated payload")
+)
+
+// Frame is a decoded protocol frame.
+type Frame struct {
+	Type    FrameType
+	Payload []byte
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.Payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(f.Payload)))
+	hdr[4] = byte(f.Type)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return fmt.Errorf("wire: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:4])
+	if size > MaxFrameSize {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
+	}
+	f := Frame{Type: FrameType(hdr[4])}
+	if size > 0 {
+		f.Payload = make([]byte, size)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, fmt.Errorf("wire: read payload: %w", err)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,315 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/broker"
+	"repro/internal/filter"
+)
+
+// Server exposes a broker over TCP. Every request frame carries a client
+// request ID as its first u64; replies echo it, so clients can pipeline.
+// Publish acknowledgements double as the network form of the push-back
+// mechanism: the server acks only after the broker accepted the message
+// into the topic's bounded in-flight window.
+type Server struct {
+	broker *broker.Broker
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Serve starts accepting connections on ln and serving b. It returns
+// immediately; use Close to stop.
+func Serve(b *broker.Broker, ln net.Listener) *Server {
+	s := &Server{
+		broker: b,
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the listener and all connections and waits for the handler
+// goroutines to exit. It does not close the underlying broker.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("wire: server already closed")
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// serverConn is the per-connection state.
+type serverConn struct {
+	server *Server
+	conn   net.Conn
+	done   chan struct{}
+
+	writeMu sync.Mutex
+
+	subMu sync.Mutex
+	subs  map[uint64]*connSub
+	// nextSubID allocates connection-local subscription IDs; broker IDs
+	// are not used on the wire because durable consumer handles have none.
+	nextSubID uint64
+}
+
+type connSub struct {
+	id   uint64
+	sub  *broker.Subscriber
+	stop chan struct{}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	sc := &serverConn{
+		server: s,
+		conn:   conn,
+		done:   make(chan struct{}),
+		subs:   make(map[uint64]*connSub),
+	}
+	sc.readLoop()
+	close(sc.done)
+
+	// Tear down this connection's subscriptions (non-durable mode: a
+	// disconnected subscriber is forgotten).
+	sc.subMu.Lock()
+	subs := make([]*connSub, 0, len(sc.subs))
+	for _, cs := range sc.subs {
+		subs = append(subs, cs)
+	}
+	sc.subs = nil
+	sc.subMu.Unlock()
+	for _, cs := range subs {
+		close(cs.stop)
+		_ = cs.sub.Unsubscribe()
+	}
+
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	_ = conn.Close()
+}
+
+func (sc *serverConn) write(f Frame) error {
+	sc.writeMu.Lock()
+	defer sc.writeMu.Unlock()
+	return WriteFrame(sc.conn, f)
+}
+
+func (sc *serverConn) writeErr(reqID uint64, err error) {
+	_ = sc.write(Frame{Type: FrameError, Payload: EncodeError(reqID, err.Error())})
+}
+
+func (sc *serverConn) readLoop() {
+	for {
+		f, err := ReadFrame(sc.conn)
+		if err != nil {
+			return // io.EOF or closed connection
+		}
+		if err := sc.handleFrame(f); err != nil {
+			return
+		}
+	}
+}
+
+func (sc *serverConn) handleFrame(f Frame) error {
+	d := decoder{buf: f.Payload}
+	reqID, err := d.u64()
+	if err != nil && f.Type != FramePing {
+		return err
+	}
+	rest := f.Payload[d.off:]
+
+	switch f.Type {
+	case FramePing:
+		return sc.write(Frame{Type: FramePong})
+
+	case FrameConfigureTopic:
+		name, err := DecodeString(rest)
+		if err != nil {
+			return err
+		}
+		if err := sc.server.broker.ConfigureTopic(name); err != nil {
+			sc.writeErr(reqID, err)
+			return nil
+		}
+		return sc.write(Frame{Type: FrameConfigureTopicOK, Payload: EncodeU64(reqID)})
+
+	case FramePublish:
+		m, err := DecodeMessage(rest)
+		if err != nil {
+			return err
+		}
+		// Blocking Publish implements push-back: the ack is delayed while
+		// the topic window is full, which throttles the remote publisher.
+		if err := sc.server.broker.Publish(context.Background(), m); err != nil {
+			sc.writeErr(reqID, err)
+			return nil
+		}
+		return sc.write(Frame{Type: FramePubAck, Payload: EncodeU64(reqID)})
+
+	case FrameSubscribe:
+		topicName, spec, err := DecodeSubscribe(rest)
+		if err != nil {
+			return err
+		}
+		flt, err := buildFilter(spec)
+		if err != nil {
+			sc.writeErr(reqID, err)
+			return nil
+		}
+		var sub *broker.Subscriber
+		if spec.DurableName != "" {
+			sub, err = sc.server.broker.SubscribeDurable(topicName, spec.DurableName, flt, broker.DurableOptions{})
+		} else {
+			sub, err = sc.server.broker.Subscribe(topicName, flt)
+		}
+		if err != nil {
+			sc.writeErr(reqID, err)
+			return nil
+		}
+		sc.subMu.Lock()
+		if sc.subs == nil { // connection tearing down
+			sc.subMu.Unlock()
+			_ = sub.Unsubscribe()
+			return errors.New("wire: connection closing")
+		}
+		sc.nextSubID++
+		cs := &connSub{id: sc.nextSubID, sub: sub, stop: make(chan struct{})}
+		sc.subs[cs.id] = cs
+		sc.subMu.Unlock()
+
+		go sc.deliveryPump(cs)
+
+		var e encoder
+		e.u64(reqID)
+		e.u64(cs.id)
+		return sc.write(Frame{Type: FrameSubscribeOK, Payload: e.buf})
+
+	case FrameUnsubscribe:
+		subID, err := DecodeU64(rest)
+		if err != nil {
+			return err
+		}
+		sc.subMu.Lock()
+		cs, ok := sc.subs[subID]
+		if ok {
+			delete(sc.subs, subID)
+		}
+		sc.subMu.Unlock()
+		if !ok {
+			sc.writeErr(reqID, fmt.Errorf("wire: unknown subscription %d", subID))
+			return nil
+		}
+		close(cs.stop)
+		if err := cs.sub.Unsubscribe(); err != nil {
+			sc.writeErr(reqID, err)
+			return nil
+		}
+		return sc.write(Frame{Type: FrameUnsubscribeOK, Payload: EncodeU64(reqID)})
+
+	case FrameDeleteDurable:
+		d := decoder{buf: rest}
+		topicName, err := d.str()
+		if err != nil {
+			return err
+		}
+		name, err := d.str()
+		if err != nil {
+			return err
+		}
+		if err := sc.server.broker.UnsubscribeDurable(topicName, name); err != nil {
+			sc.writeErr(reqID, err)
+			return nil
+		}
+		return sc.write(Frame{Type: FrameDeleteDurableOK, Payload: EncodeU64(reqID)})
+
+	default:
+		sc.writeErr(reqID, fmt.Errorf("wire: unexpected frame %s", f.Type))
+		return nil
+	}
+}
+
+// deliveryPump forwards broker deliveries for one subscription to the
+// network connection.
+func (sc *serverConn) deliveryPump(cs *connSub) {
+	for {
+		select {
+		case m, ok := <-cs.sub.Chan():
+			if !ok {
+				return
+			}
+			payload := EncodeDelivery(cs.id, m)
+			if err := sc.write(Frame{Type: FrameMessage, Payload: payload}); err != nil {
+				return
+			}
+		case <-cs.stop:
+			return
+		case <-sc.done:
+			return
+		}
+	}
+}
+
+// buildFilter constructs the broker filter from a wire spec.
+func buildFilter(spec FilterSpec) (filter.Filter, error) {
+	switch spec.Mode {
+	case FilterNone:
+		return filter.All{}, nil
+	case FilterCorrelationID:
+		return filter.NewCorrelationID(spec.Expr)
+	case FilterSelector:
+		return filter.NewProperty(spec.Expr)
+	default:
+		return nil, fmt.Errorf("wire: unknown filter mode %d", spec.Mode)
+	}
+}

@@ -1,0 +1,160 @@
+// Package workload generates application scenarios for the broker: random
+// subscriber populations whose filters have an analytically known match
+// structure, plus the matching message streams. It closes the loop between
+// the measurement substrate and the model: the expected replication grade
+// E[R] and match probability p_match of a generated scenario are known in
+// closed form, so measured broker behaviour can be checked against the
+// paper's formulas end to end.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"repro/internal/broker"
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/jms"
+	"repro/internal/stats"
+)
+
+// ErrParams is returned for invalid scenario parameters.
+var ErrParams = errors.New("workload: invalid parameters")
+
+// KeyScenario is the uniform-key population: nSubs subscribers each filter
+// for exactly one of keys distinct values; publishers pick message keys
+// uniformly at random. Every subscriber's filter matches an incoming
+// message with probability 1/keys, so the replication grade follows a
+// Binomial(nSubs, 1/keys)-like law with mean nSubs/keys (keys assigned
+// round-robin make it deterministic per key; random assignment makes it
+// binomial across keys).
+type KeyScenario struct {
+	Topic string
+	// FilterType selects correlation-ID or selector filters.
+	FilterType core.FilterType
+	// NSubs is the number of subscribers (= installed filters).
+	NSubs int
+	// Keys is the number of distinct key values.
+	Keys int
+	// RandomAssignment assigns subscriber keys uniformly at random
+	// (binomial replication) instead of round-robin (near-deterministic
+	// replication).
+	RandomAssignment bool
+
+	// perKey[k] is the number of subscribers filtering for key k, filled
+	// by Install.
+	perKey []int
+}
+
+// Validate checks the scenario parameters.
+func (s *KeyScenario) Validate() error {
+	if s.Topic == "" {
+		return fmt.Errorf("%w: empty topic", ErrParams)
+	}
+	if s.NSubs < 0 || s.Keys < 1 {
+		return fmt.Errorf("%w: nSubs=%d keys=%d", ErrParams, s.NSubs, s.Keys)
+	}
+	switch s.FilterType {
+	case core.CorrelationIDFiltering, core.ApplicationPropertyFiltering:
+	default:
+		return fmt.Errorf("%w: filter type %d", ErrParams, int(s.FilterType))
+	}
+	return nil
+}
+
+// buildFilter creates the filter for one subscriber's key.
+func (s *KeyScenario) buildFilter(key int) (filter.Filter, error) {
+	switch s.FilterType {
+	case core.CorrelationIDFiltering:
+		return filter.NewCorrelationID("key-" + strconv.Itoa(key))
+	case core.ApplicationPropertyFiltering:
+		return filter.NewProperty("key = " + strconv.Itoa(key))
+	default:
+		return nil, fmt.Errorf("%w: filter type %d", ErrParams, int(s.FilterType))
+	}
+}
+
+// Install configures the topic and subscribes the population on the
+// broker, returning the handles (to be drained by the caller).
+func (s *KeyScenario) Install(b *broker.Broker, rng *stats.RNG) ([]*broker.Subscriber, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = stats.NewRNG(1)
+	}
+	if err := b.ConfigureTopic(s.Topic); err != nil {
+		return nil, err
+	}
+	s.perKey = make([]int, s.Keys)
+	subs := make([]*broker.Subscriber, 0, s.NSubs)
+	for i := 0; i < s.NSubs; i++ {
+		key := i % s.Keys
+		if s.RandomAssignment {
+			key = rng.Intn(s.Keys)
+		}
+		s.perKey[key]++
+		f, err := s.buildFilter(key)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := b.Subscribe(s.Topic, f)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, sub)
+	}
+	return subs, nil
+}
+
+// Message draws one message with a uniformly random key.
+func (s *KeyScenario) Message(rng *stats.RNG) (*jms.Message, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	key := rng.Intn(s.Keys)
+	m := jms.NewMessage(s.Topic)
+	switch s.FilterType {
+	case core.CorrelationIDFiltering:
+		if err := m.SetCorrelationID("key-" + strconv.Itoa(key)); err != nil {
+			return nil, err
+		}
+	case core.ApplicationPropertyFiltering:
+		if err := m.SetInt32Property("key", int32(key)); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// MatchProbability returns p_match = 1/keys, the probability that one
+// subscriber's filter matches a uniformly drawn message.
+func (s *KeyScenario) MatchProbability() float64 {
+	return 1 / float64(s.Keys)
+}
+
+// ExpectedReplication returns E[R] = nSubs/keys for a uniformly drawn
+// message (exact for both assignment modes, by symmetry).
+func (s *KeyScenario) ExpectedReplication() float64 {
+	return float64(s.NSubs) / float64(s.Keys)
+}
+
+// ReplicationMoment2 returns E[R^2] for a uniformly drawn message, from
+// the realized per-key assignment: E[R^2] = sum_k c_k^2 / keys.
+func (s *KeyScenario) ReplicationMoment2() (float64, error) {
+	if s.perKey == nil {
+		return 0, fmt.Errorf("%w: scenario not installed", ErrParams)
+	}
+	sum := 0.0
+	for _, c := range s.perKey {
+		sum += float64(c) * float64(c)
+	}
+	return sum / float64(s.Keys), nil
+}
+
+// FilterBenefitHolds applies Eq. 3 to one subscriber of this scenario
+// (n_fltr^q = 1, p_match = 1/keys) under the given cost model.
+func (s *KeyScenario) FilterBenefitHolds(model core.CostModel) bool {
+	return model.FilterBenefit(1, s.MatchProbability())
+}

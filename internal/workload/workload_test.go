@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func TestValidate(t *testing.T) {
+	good := &KeyScenario{Topic: "t", FilterType: core.CorrelationIDFiltering, NSubs: 4, Keys: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*KeyScenario{
+		{Topic: "", FilterType: core.CorrelationIDFiltering, NSubs: 1, Keys: 1},
+		{Topic: "t", FilterType: core.CorrelationIDFiltering, NSubs: -1, Keys: 1},
+		{Topic: "t", FilterType: core.CorrelationIDFiltering, NSubs: 1, Keys: 0},
+		{Topic: "t", FilterType: core.FilterType(9), NSubs: 1, Keys: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); !errors.Is(err, ErrParams) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestAnalyticQuantities(t *testing.T) {
+	s := &KeyScenario{Topic: "t", FilterType: core.CorrelationIDFiltering, NSubs: 40, Keys: 8}
+	if got := s.MatchProbability(); got != 0.125 {
+		t.Errorf("p_match = %g", got)
+	}
+	if got := s.ExpectedReplication(); got != 5 {
+		t.Errorf("E[R] = %g", got)
+	}
+	// Round-robin assignment: every key has exactly 5 subscribers, so
+	// E[R^2] = 25.
+	b := broker.New(broker.Options{})
+	defer func() { _ = b.Close() }()
+	if _, err := b.Subscribe("t", nil); err == nil {
+		t.Fatal("subscribe before configure should fail")
+	}
+	if _, err := s.Install(b, stats.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s.ReplicationMoment2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != 25 {
+		t.Errorf("E[R^2] = %g, want 25 (deterministic per key)", m2)
+	}
+	// Eq. 3: p_match = 12.5% < 58.7% break-even for 1 corrID filter.
+	if !s.FilterBenefitHolds(core.TableICorrelationID) {
+		t.Error("filter benefit should hold at p_match=0.125")
+	}
+	// But not for application property filters (break-even 9.9%).
+	if s.FilterBenefitHolds(core.TableIApplicationProperty) {
+		t.Error("filter benefit should not hold for appProp at p_match=0.125")
+	}
+}
+
+func TestReplicationMoment2BeforeInstall(t *testing.T) {
+	s := &KeyScenario{Topic: "t", FilterType: core.CorrelationIDFiltering, NSubs: 4, Keys: 2}
+	if _, err := s.ReplicationMoment2(); !errors.Is(err, ErrParams) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEndToEndEmpiricalReplication(t *testing.T) {
+	// The broker's measured dispatched/received ratio must converge to
+	// the scenario's analytic E[R] — the end-to-end check that generator,
+	// filters and dispatch agree.
+	for _, random := range []bool{false, true} {
+		for _, ft := range []core.FilterType{core.CorrelationIDFiltering, core.ApplicationPropertyFiltering} {
+			s := &KeyScenario{
+				Topic:            "t",
+				FilterType:       ft,
+				NSubs:            30,
+				Keys:             6,
+				RandomAssignment: random,
+			}
+			b := broker.New(broker.Options{InFlight: 256, SubscriberBuffer: 1 << 12})
+			rng := stats.NewRNG(7)
+			subs, err := s.Install(b, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sub := range subs {
+				go func(sub *broker.Subscriber) {
+					for range sub.Chan() {
+					}
+				}(sub)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			const msgs = 4000
+			for i := 0; i < msgs; i++ {
+				m, err := s.Message(rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := b.Publish(ctx, m); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cancel()
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st := b.Stats()
+			if st.Received != msgs {
+				t.Fatalf("received = %d", st.Received)
+			}
+			empR := float64(st.Dispatched) / float64(st.Received)
+			if math.Abs(empR-s.ExpectedReplication())/s.ExpectedReplication() > 0.15 {
+				t.Errorf("ft=%v random=%v: empirical E[R] = %.2f, analytic %.2f",
+					ft, random, empR, s.ExpectedReplication())
+			}
+			// Every message scanned all filters.
+			if st.FilterEvals != uint64(msgs*s.NSubs) {
+				t.Errorf("FilterEvals = %d, want %d", st.FilterEvals, msgs*s.NSubs)
+			}
+		}
+	}
+}
+
+func TestRandomAssignmentMoments(t *testing.T) {
+	// Random assignment yields Var[R] > 0 across keys; round-robin with
+	// keys | nSubs yields Var[R] = 0.
+	rr := &KeyScenario{Topic: "t", FilterType: core.CorrelationIDFiltering, NSubs: 24, Keys: 6}
+	rnd := &KeyScenario{Topic: "t", FilterType: core.CorrelationIDFiltering, NSubs: 24, Keys: 6, RandomAssignment: true}
+	for _, s := range []*KeyScenario{rr, rnd} {
+		b := broker.New(broker.Options{})
+		if _, err := s.Install(b, stats.NewRNG(3)); err != nil {
+			t.Fatal(err)
+		}
+		_ = b.Close()
+	}
+	m2rr, err := rr.ReplicationMoment2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanSq := rr.ExpectedReplication() * rr.ExpectedReplication()
+	if m2rr != meanSq {
+		t.Errorf("round-robin E[R^2] = %g, want %g", m2rr, meanSq)
+	}
+	m2rnd, err := rnd.ReplicationMoment2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2rnd <= meanSq {
+		t.Errorf("random assignment E[R^2] = %g, want > %g", m2rnd, meanSq)
+	}
+}
