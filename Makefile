@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test race bench verify
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the data-race detector over the packages with real concurrency:
+# the broker's dispatch engines (sharded fast path included), the lock-free
+# topic snapshots, the copy-on-write message views, and the wire layer's
+# pooled buffers.
+race:
+	$(GO) test -race ./internal/jms/... ./internal/topic/... ./internal/broker/... ./internal/wire/... ./internal/client/...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 300ms .
+
+# verify is the tier-1 gate plus the race pass.
+verify: build test race

@@ -22,6 +22,7 @@ import (
 	"repro/internal/mg1"
 	"repro/internal/replication"
 	"repro/internal/sim"
+	"repro/internal/topic"
 )
 
 // BenchmarkTable1Fit regenerates Table I: a native measurement sweep over
@@ -240,66 +241,126 @@ func BenchmarkFig15PSRvsSSR(b *testing.B) {
 // --- Ablation benches (DESIGN.md §5) ---------------------------------------
 
 // BenchmarkAblationFilterIndex compares the paper's linear filter scan
-// (FioranoMQ's behaviour, §III-B) against a hash-indexed exact-match table
-// — the optimization FioranoMQ does not implement. Run with -bench
-// 'AblationFilterIndex' and compare the two sub-benchmarks.
+// (FioranoMQ's behaviour, §III-B) against the fast engine's FilterIndex
+// over the same subscription population: 160 exact correlation-ID filters
+// collapse into one hash probe. Run with -bench 'AblationFilterIndex' and
+// compare the two sub-benchmarks.
 func BenchmarkAblationFilterIndex(b *testing.B) {
 	const nFilters = 160
+	reg := topic.NewRegistry()
+	tp, err := reg.Configure("t")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nFilters; i++ {
+		f, err := filter.NewCorrelationID("#" + strconv.Itoa(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := reg.Subscribe("t", f, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
 	msg := jms.NewMessage("t")
 	if err := msg.SetCorrelationID("#0"); err != nil {
 		b.Fatal(err)
 	}
 
-	filters := make([]filter.Filter, nFilters)
-	index := make(map[string][]int, nFilters)
-	for i := 0; i < nFilters; i++ {
-		expr := "#" + strconv.Itoa(i%8) // some duplicates, like real workloads
-		f, err := filter.NewCorrelationID(expr)
-		if err != nil {
-			b.Fatal(err)
-		}
-		filters[i] = f
-		index[expr] = append(index[expr], i)
-	}
-
 	b.Run("linear-scan", func(b *testing.B) {
+		subs, _ := tp.Snapshot()
+		b.ReportAllocs()
 		matches := 0
 		for i := 0; i < b.N; i++ {
 			matches = 0
-			for _, f := range filters {
-				if f.Matches(msg) {
+			for _, s := range subs {
+				if s.Filter == nil || s.Filter.Matches(msg) {
 					matches++
 				}
 			}
 		}
-		if matches == 0 {
-			b.Fatal("no matches")
+		if matches != 1 {
+			b.Fatalf("matches = %d, want 1", matches)
 		}
 	})
-	b.Run("hash-index", func(b *testing.B) {
+	b.Run("filter-index", func(b *testing.B) {
+		idx, _ := tp.Index()
+		scratch := make([]*topic.Subscription, 0, 8)
+		b.ReportAllocs()
 		matches := 0
 		for i := 0; i < b.N; i++ {
-			matches = len(index[msg.Header.CorrelationID])
+			var out []*topic.Subscription
+			out, _ = idx.Match(msg, scratch[:0])
+			matches = len(out)
 		}
-		if matches == 0 {
-			b.Fatal("no matches")
+		if matches != 1 {
+			b.Fatalf("matches = %d, want 1", matches)
 		}
 	})
 }
 
-// BenchmarkAblationDispatchSharding compares one dispatcher (one topic)
-// against sharding the same subscriber population across 4 topics.
+// BenchmarkAblationDispatchSharding compares the faithful single dispatch
+// goroutine against the fast engine's sharded matchers on one topic. The
+// subscriber population is glob filters, which the FilterIndex cannot
+// collapse — both engines pay the per-filter evaluation, so the delta
+// isolates the sharded pipeline itself.
 func BenchmarkAblationDispatchSharding(b *testing.B) {
-	run := func(b *testing.B, topics int) {
-		br := broker.New(broker.Options{InFlight: 1024, SubscriberBuffer: 1 << 16})
+	run := func(b *testing.B, engine broker.Engine) {
+		br := broker.New(broker.Options{
+			InFlight: 1024, SubscriberBuffer: 1 << 16,
+			Engine: engine, Shards: 4,
+		})
 		defer func() { _ = br.Close() }()
-		names := make([]string, topics)
-		for i := range names {
-			names[i] = "t" + strconv.Itoa(i)
-			if err := br.ConfigureTopic(names[i]); err != nil {
+		if err := br.ConfigureTopic("t"); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 512; i++ {
+			f, err := filter.NewCorrelationID("#never-" + strconv.Itoa(i) + "-*")
+			if err != nil {
 				b.Fatal(err)
 			}
-			sub, err := br.Subscribe(names[i], nil)
+			if _, err := br.Subscribe("t", f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sub, err := br.Subscribe("t", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() {
+			for range sub.Chan() {
+			}
+		}()
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := br.Publish(ctx, jms.NewMessage("t")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("faithful", func(b *testing.B) { run(b, broker.EngineFaithful) })
+	b.Run("fast-4shards", func(b *testing.B) { run(b, broker.EngineFast) })
+}
+
+// BenchmarkAblationReplicationAllocs measures allocations per published
+// message at replication grade R=8 on both engines. The faithful path deep-
+// clones the message R-1 times (property map + body copy each); the fast
+// path hands out copy-on-write Shared views, so its allocs/op must come in
+// below the faithful engine's.
+func BenchmarkAblationReplicationAllocs(b *testing.B) {
+	const replicas = 8
+	body := make([]byte, 256)
+	run := func(b *testing.B, engine broker.Engine) {
+		br := broker.New(broker.Options{
+			InFlight: 1024, SubscriberBuffer: 1 << 16,
+			Engine: engine, Shards: 4,
+		})
+		defer func() { _ = br.Close() }()
+		if err := br.ConfigureTopic("t"); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < replicas; i++ {
+			sub, err := br.Subscribe("t", nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -309,15 +370,21 @@ func BenchmarkAblationDispatchSharding(b *testing.B) {
 			}()
 		}
 		ctx := context.Background()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := br.Publish(ctx, jms.NewMessage(names[i%topics])); err != nil {
+			m := jms.NewMessage("t")
+			m.SetBody(body)
+			if err := m.SetStringProperty("region", "eu"); err != nil {
+				b.Fatal(err)
+			}
+			if err := br.Publish(ctx, m); err != nil {
 				b.Fatal(err)
 			}
 		}
 	}
-	b.Run("1-topic", func(b *testing.B) { run(b, 1) })
-	b.Run("4-topics", func(b *testing.B) { run(b, 4) })
+	b.Run("faithful", func(b *testing.B) { run(b, broker.EngineFaithful) })
+	b.Run("fast-cow", func(b *testing.B) { run(b, broker.EngineFast) })
 }
 
 // BenchmarkAblationGammaVsDES compares the cost of obtaining the 99.99%

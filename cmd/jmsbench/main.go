@@ -8,6 +8,8 @@
 //	jmsbench -type corrid -grid small -measure 200ms
 //	jmsbench -type appprop -grid paper -publishers 5
 //	jmsbench -identical          # the §III-B identical-filters experiment
+//	jmsbench -engine fast        # measure the optimized dispatch engine
+//	jmsbench -compare            # faithful-vs-fast throughput table
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/broker"
 	"repro/internal/core"
 )
 
@@ -36,7 +39,14 @@ func run(args []string, stdout io.Writer) error {
 	measure := fs.Duration("measure", 500*time.Millisecond, "trimmed observation window")
 	gridName := fs.String("grid", "small", "sweep grid: small or paper")
 	identical := fs.Bool("identical", false, "run the identical-vs-different non-matching filters experiment")
+	engineName := fs.String("engine", "faithful", "dispatch engine: faithful or fast")
+	shards := fs.Int("shards", 0, "fast engine: filter-matching workers per topic (0 = auto)")
+	compare := fs.Bool("compare", false, "run the sweep on both engines and print a faithful-vs-fast comparison table")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine, err := broker.ParseEngine(*engineName)
+	if err != nil {
 		return err
 	}
 
@@ -55,6 +65,8 @@ func run(args []string, stdout io.Writer) error {
 		Publishers: *publishers,
 		Warmup:     *warmup,
 		Measure:    *measure,
+		Engine:     engine,
+		Shards:     *shards,
 	}
 
 	if *identical {
@@ -71,8 +83,12 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown -grid %q (want small or paper)", *gridName)
 	}
 
-	fmt.Fprintf(stdout, "native study: %v, %d publishers, %v warmup, %v window\n",
-		ft, cfg.Publishers, cfg.Warmup, cfg.Measure)
+	if *compare {
+		return runCompare(cfg, grid, stdout)
+	}
+
+	fmt.Fprintf(stdout, "native study: %v, %s engine, %d publishers, %v warmup, %v window\n",
+		ft, cfg.Engine, cfg.Publishers, cfg.Warmup, cfg.Measure)
 	res, err := bench.RunNativeStudy(cfg, grid)
 	if err != nil {
 		return err
@@ -98,6 +114,35 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintln(stdout)
 	return bench.WriteAll(stdout, f4)
+}
+
+// runCompare measures every grid scenario on both engines and prints the
+// throughput side by side — what the paper's linear filter scan leaves on
+// the table against an indexed, sharded, copy-on-write dispatch path.
+func runCompare(cfg bench.NativeConfig, grid bench.StudyGrid, stdout io.Writer) error {
+	fmt.Fprintf(stdout, "engine comparison: %v, %d publishers, %v warmup, %v window\n\n",
+		cfg.FilterType, cfg.Publishers, cfg.Warmup, cfg.Measure)
+	fmt.Fprintf(stdout, "  n_fltr    R   faithful msg/s       fast msg/s   speedup\n")
+	for _, n := range grid.NValues {
+		for _, r := range grid.RValues {
+			faithfulCfg := cfg
+			faithfulCfg.Engine = broker.EngineFaithful
+			faithful, err := bench.MeasureScenario(faithfulCfg, n, r)
+			if err != nil {
+				return fmt.Errorf("faithful n=%d r=%d: %w", n, r, err)
+			}
+			fastCfg := cfg
+			fastCfg.Engine = broker.EngineFast
+			fast, err := bench.MeasureScenario(fastCfg, n, r)
+			if err != nil {
+				return fmt.Errorf("fast n=%d r=%d: %w", n, r, err)
+			}
+			fmt.Fprintf(stdout, "  %6d  %3d  %15.0f  %15.0f  %7.2fx\n",
+				faithful.NFltr, r, faithful.ReceivedRate, fast.ReceivedRate,
+				fast.ReceivedRate/faithful.ReceivedRate)
+		}
+	}
+	return nil
 }
 
 func runIdentical(cfg bench.NativeConfig, stdout io.Writer) error {

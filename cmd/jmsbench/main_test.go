@@ -52,3 +52,30 @@ func TestRunErrors(t *testing.T) {
 		t.Error("bogus flag accepted")
 	}
 }
+
+func TestRunCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("native measurement is wall-clock bound")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-compare", "-publishers", "2",
+		"-warmup", "10ms", "-measure", "40ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"engine comparison", "faithful msg/s", "fast msg/s", "speedup", "x"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("comparison output missing %q", want)
+		}
+	}
+}
+
+func TestRunEngineErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-engine", "bogus"}, &out); err == nil {
+		t.Error("bogus engine accepted")
+	}
+}

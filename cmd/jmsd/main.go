@@ -43,11 +43,22 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 	topics := fs.String("topics", "default", "comma-separated topics to configure at start")
 	inFlight := fs.Int("inflight", 64, "per-topic in-flight window (publisher push-back)")
 	subBuffer := fs.Int("subbuffer", 64, "per-subscriber delivery queue length")
+	engineName := fs.String("engine", "faithful", "dispatch engine: faithful (paper-accurate linear scan) or fast (indexed, sharded, copy-on-write)")
+	shards := fs.Int("shards", 0, "fast engine: filter-matching workers per topic (0 = auto)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	engine, err := broker.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
 
-	b := broker.New(broker.Options{InFlight: *inFlight, SubscriberBuffer: *subBuffer})
+	b := broker.New(broker.Options{
+		InFlight:         *inFlight,
+		SubscriberBuffer: *subBuffer,
+		Engine:           engine,
+		Shards:           *shards,
+	})
 	for _, name := range strings.Split(*topics, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -63,7 +74,7 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 		return err
 	}
 	srv := wire.Serve(b, ln)
-	log.Printf("jmsd: listening on %s, topics: %s", ln.Addr(), strings.Join(b.Topics(), ", "))
+	log.Printf("jmsd: listening on %s, engine: %s, topics: %s", ln.Addr(), engine, strings.Join(b.Topics(), ", "))
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

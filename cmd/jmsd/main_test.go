@@ -69,3 +69,52 @@ func TestDaemonBadFlags(t *testing.T) {
 		t.Error("duplicate topics accepted")
 	}
 }
+
+// TestDaemonFastEngine boots the daemon on the fast dispatch engine and
+// round-trips a message through TCP.
+func TestDaemonFastEngine(t *testing.T) {
+	stop := make(chan struct{})
+	ready := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"-addr", "127.0.0.1:0", "-topics", "a", "-engine", "fast", "-shards", "2"}, stop, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	sub, err := c.Subscribe(ctx, "a", wire.FilterSpec{Mode: wire.FilterNone}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(ctx, jms.NewMessage("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Receive(ctx); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonBadEngine(t *testing.T) {
+	if err := run([]string{"-engine", "bogus"}, nil, nil); err == nil {
+		t.Error("bogus engine accepted")
+	}
+}

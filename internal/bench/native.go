@@ -42,6 +42,12 @@ type NativeConfig struct {
 	// sized so that the dispatch loop — not a full subscriber queue — is
 	// the bottleneck, as required by the E[B] = 1/throughput reading.
 	InFlight, SubscriberBuffer int
+	// Engine selects the broker dispatch implementation. The default
+	// (EngineFaithful) is required for all paper reproductions; EngineFast
+	// measures the optimized dispatch path instead.
+	Engine broker.Engine
+	// Shards is the fast engine's per-topic worker count (0 = default).
+	Shards int
 }
 
 func (c NativeConfig) withDefaults() NativeConfig {
@@ -159,6 +165,8 @@ func measureOnce(cfg NativeConfig, n, r int) (NativeResult, error) {
 	b := broker.New(broker.Options{
 		InFlight:         cfg.InFlight,
 		SubscriberBuffer: cfg.SubscriberBuffer,
+		Engine:           cfg.Engine,
+		Shards:           cfg.Shards,
 	})
 	defer func() { _ = b.Close() }()
 	if err := b.ConfigureTopic(topicName); err != nil {

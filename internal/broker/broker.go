@@ -17,6 +17,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +47,48 @@ type DispatchObserver interface {
 	ObserveDispatch(topicName string, nFilters, replication int)
 }
 
+// Engine selects the dispatch implementation of a Broker.
+type Engine int
+
+// Dispatch engines.
+const (
+	// EngineFaithful is the paper-faithful path and the default: one
+	// dispatcher goroutine per topic, a linear scan over every installed
+	// filter, and a deep Clone per extra replica. All Table I / Fig. 4
+	// reproductions depend on this structure (Eq. 1) and must run on it.
+	EngineFaithful Engine = iota
+	// EngineFast is the optimized path: indexed filter matching (hash
+	// table over exact correlation-ID filters, deduplicated evaluation of
+	// identical rules), sharded dispatch workers with sequence-stamped
+	// handoff preserving per-publisher FIFO order, and copy-on-write
+	// replication instead of deep clones.
+	EngineFast
+)
+
+// String returns the engine's flag name.
+func (e Engine) String() string {
+	switch e {
+	case EngineFaithful:
+		return "faithful"
+	case EngineFast:
+		return "fast"
+	default:
+		return "Engine(" + strconv.Itoa(int(e)) + ")"
+	}
+}
+
+// ParseEngine parses a -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "faithful":
+		return EngineFaithful, nil
+	case "fast":
+		return EngineFast, nil
+	default:
+		return 0, fmt.Errorf("broker: unknown engine %q (want faithful or fast)", s)
+	}
+}
+
 // Options configure a Broker.
 type Options struct {
 	// InFlight bounds the number of received-but-undispatched messages per
@@ -53,6 +97,13 @@ type Options struct {
 	// SubscriberBuffer is the per-subscriber delivery queue length.
 	// Default 64.
 	SubscriberBuffer int
+	// Engine selects the dispatch implementation. The zero value is
+	// EngineFaithful, keeping the paper reproduction the default.
+	Engine Engine
+	// Shards is the number of concurrent filter-matching workers per topic
+	// on EngineFast. Default: GOMAXPROCS, capped at 8. Ignored by
+	// EngineFaithful.
+	Shards int
 	// Observer, when non-nil, is invoked on the dispatch path.
 	Observer DispatchObserver
 	// WaitObserver, when non-nil, receives each message's waiting time:
@@ -68,6 +119,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SubscriberBuffer <= 0 {
 		o.SubscriberBuffer = 64
+	}
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+		if o.Shards > 8 {
+			o.Shards = 8
+		}
 	}
 	return o
 }
@@ -155,8 +212,12 @@ func (b *Broker) ConfigureTopic(name string) error {
 		done:  make(chan struct{}),
 	}
 	b.dispatchers[name] = d
-	b.wg.Add(1)
-	go b.dispatchLoop(d)
+	if b.opts.Engine == EngineFast {
+		b.startFast(d)
+	} else {
+		b.wg.Add(1)
+		go b.dispatchLoop(d)
+	}
 	return nil
 }
 
@@ -330,17 +391,21 @@ func (b *Broker) removeSubscriber(s *Subscriber) error {
 // t_rcv + n_fltr*t_fltr + R*t_tx structure in code.
 func (b *Broker) dispatchLoop(d *dispatcher) {
 	defer b.wg.Done()
+	// matches is the per-dispatcher scratch slice: the loop is
+	// single-threaded, so reusing it across messages makes the steady
+	// state of the faithful path allocation-free for the filter scan.
+	matches := make([]*Subscriber, 0, 16)
 	for {
 		select {
 		case m := <-d.in:
-			b.dispatchOne(d, m)
+			matches = b.dispatchOne(d, m, matches[:0])
 		case <-d.stop:
 			// Drain what was already accepted (persistent semantics: no
 			// loss for received messages).
 			for {
 				select {
 				case m := <-d.in:
-					b.dispatchOne(d, m)
+					matches = b.dispatchOne(d, m, matches[:0])
 				default:
 					close(d.done)
 					return
@@ -350,7 +415,9 @@ func (b *Broker) dispatchLoop(d *dispatcher) {
 	}
 }
 
-func (b *Broker) dispatchOne(d *dispatcher, m *jms.Message) {
+// dispatchOne processes one message on the faithful path. It appends to
+// and returns the caller's scratch slice so the dispatcher can reuse it.
+func (b *Broker) dispatchOne(d *dispatcher, m *jms.Message, matches []*Subscriber) []*Subscriber {
 	if obs := b.opts.WaitObserver; obs != nil && !m.Header.Timestamp.IsZero() {
 		obs(b.now().Sub(m.Header.Timestamp))
 	}
@@ -358,7 +425,7 @@ func (b *Broker) dispatchOne(d *dispatcher, m *jms.Message) {
 	// server must not deliver a message past its JMSExpiration.
 	if !m.Header.Expiration.IsZero() && m.Expired(b.now()) {
 		b.expired.Add(1)
-		return
+		return matches
 	}
 	subs, _ := d.topic.Snapshot()
 
@@ -366,7 +433,6 @@ func (b *Broker) dispatchOne(d *dispatcher, m *jms.Message) {
 	// message — the measured FioranoMQ behaviour (no optimization for
 	// identical filters, see §III-B of the paper).
 	b.filterEvals.Add(uint64(len(subs)))
-	matches := make([]*Subscriber, 0, 4)
 	for _, sub := range subs {
 		if !sub.Filter.Matches(m) {
 			continue
@@ -382,35 +448,44 @@ func (b *Broker) dispatchOne(d *dispatcher, m *jms.Message) {
 		if len(matches) > 1 {
 			copyMsg = m.Clone()
 		}
-		if m.Header.DeliveryMode == jms.Persistent {
+		b.transmit(d, h, copyMsg, m.Header.DeliveryMode)
+	}
+
+	if obs := b.opts.Observer; obs != nil {
+		obs.ObserveDispatch(d.topic.Name(), len(subs), len(matches))
+	}
+	return matches
+}
+
+// transmit forwards one replica to one subscriber, honoring the delivery
+// mode: persistent sends block on the subscriber queue (up to broker
+// shutdown, which degrades to best effort), non-persistent sends drop on a
+// full queue.
+func (b *Broker) transmit(d *dispatcher, h *Subscriber, m *jms.Message, mode jms.DeliveryMode) {
+	if mode == jms.Persistent {
+		select {
+		case h.ch <- m:
+			h.delivered.Add(1)
+			b.dispatched.Add(1)
+		case <-h.gone:
+		case <-d.stop:
+			// Broker closing: best effort, do not block shutdown.
 			select {
-			case h.ch <- copyMsg:
-				h.delivered.Add(1)
-				b.dispatched.Add(1)
-			case <-h.gone:
-			case <-d.stop:
-				// Broker closing: best effort, do not block shutdown.
-				select {
-				case h.ch <- copyMsg:
-					h.delivered.Add(1)
-					b.dispatched.Add(1)
-				default:
-					b.dropped.Add(1)
-				}
-			}
-		} else {
-			select {
-			case h.ch <- copyMsg:
+			case h.ch <- m:
 				h.delivered.Add(1)
 				b.dispatched.Add(1)
 			default:
 				b.dropped.Add(1)
 			}
 		}
-	}
-
-	if obs := b.opts.Observer; obs != nil {
-		obs.ObserveDispatch(d.topic.Name(), len(subs), len(matches))
+	} else {
+		select {
+		case h.ch <- m:
+			h.delivered.Add(1)
+			b.dispatched.Add(1)
+		default:
+			b.dropped.Add(1)
+		}
 	}
 }
 

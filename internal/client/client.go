@@ -198,6 +198,17 @@ func (c *Client) call(ctx context.Context, typ wire.FrameType, inner []byte) (wi
 // callWithID is call with a caller-allocated request ID, so the caller can
 // register request-scoped state (e.g. a pending subscription) first.
 func (c *Client) callWithID(ctx context.Context, reqID uint64, typ wire.FrameType, inner []byte) (wire.Frame, error) {
+	payload := make([]byte, 8, 8+len(inner))
+	binary.BigEndian.PutUint64(payload, reqID)
+	payload = append(payload, inner...)
+	return c.callPayload(ctx, reqID, typ, payload)
+}
+
+// callPayload sends a caller-built payload whose first 8 bytes already
+// hold the request ID, and waits for the reply. The payload is written out
+// before the wait starts, so callers may hand in a pooled buffer and
+// recycle it after callPayload returns.
+func (c *Client) callPayload(ctx context.Context, reqID uint64, typ wire.FrameType, payload []byte) (wire.Frame, error) {
 	ch := make(chan result, 1)
 
 	c.mu.Lock()
@@ -207,10 +218,6 @@ func (c *Client) callWithID(ctx context.Context, reqID uint64, typ wire.FrameTyp
 	}
 	c.pending[reqID] = ch
 	c.mu.Unlock()
-
-	payload := make([]byte, 8, 8+len(inner))
-	binary.BigEndian.PutUint64(payload, reqID)
-	payload = append(payload, inner...)
 
 	c.writeMu.Lock()
 	err := wire.WriteFrame(c.conn, wire.Frame{Type: typ, Payload: payload})
@@ -241,9 +248,18 @@ func (c *Client) ConfigureTopic(ctx context.Context, name string) error {
 
 // Publish sends a message and waits for the broker's acknowledgement. The
 // ack is delayed while the broker's in-flight window is full, which is the
-// network form of publisher push-back.
+// network form of publisher push-back. The request is encoded into a
+// pooled buffer, so the publish fast path allocates no fresh buffer per
+// message.
 func (c *Client) Publish(ctx context.Context, m *jms.Message) error {
-	_, err := c.call(ctx, wire.FramePublish, wire.EncodeMessage(m))
+	reqID := c.reqID.Add(1)
+	bp := wire.GetBuffer()
+	buf := append((*bp)[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint64(buf, reqID)
+	buf = wire.AppendMessage(buf, m)
+	*bp = buf
+	_, err := c.callPayload(ctx, reqID, wire.FramePublish, buf)
+	wire.PutBuffer(bp)
 	return err
 }
 

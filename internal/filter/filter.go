@@ -242,6 +242,17 @@ func (f *CorrelationID) Matches(m *jms.Message) bool {
 // Kind returns KindCorrelationID.
 func (f *CorrelationID) Kind() Kind { return KindCorrelationID }
 
+// Exact returns the literal correlation ID the filter matches and true when
+// the expression is a plain string (no range, no glob). Exact filters are
+// the hash-indexable population of the fast dispatch engine: a single map
+// probe replaces their whole linear scan.
+func (f *CorrelationID) Exact() (string, bool) {
+	if f.rangeSet || f.globSet {
+		return "", false
+	}
+	return f.exact, true
+}
+
 // String returns the original expression.
 func (f *CorrelationID) String() string { return f.expr }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
 
@@ -132,6 +133,10 @@ type Message struct {
 	// Body is the opaque payload. The paper's default body size is 0 bytes
 	// (all information in the headers).
 	Body []byte
+	// shared is non-zero while the property section may be aliased by a
+	// copy-on-write view (see Shared). The first mutation through a setter
+	// copies the map before writing, so views never observe it.
+	shared uint32
 }
 
 // NewMessage returns an empty persistent message for the given topic.
@@ -177,7 +182,16 @@ func (m *Message) setProperty(name string, p Property) error {
 	if !validPropertyName(name) {
 		return fmt.Errorf("%w: %q", ErrBadPropertyName, name)
 	}
-	if m.properties == nil {
+	if atomic.LoadUint32(&m.shared) != 0 {
+		// Copy-on-write: the map may be read concurrently through Shared
+		// views, so detach before the first mutation.
+		props := make(map[string]Property, len(m.properties)+1)
+		for k, v := range m.properties {
+			props[k] = v
+		}
+		m.properties = props
+		atomic.StoreUint32(&m.shared, 0)
+	} else if m.properties == nil {
 		m.properties = make(map[string]Property, 4)
 	}
 	m.properties[name] = p
@@ -280,7 +294,15 @@ func (m *Message) PropertyNames() []string {
 func (m *Message) NumProperties() int { return len(m.properties) }
 
 // ClearProperties removes all properties.
-func (m *Message) ClearProperties() { m.properties = nil }
+func (m *Message) ClearProperties() {
+	m.properties = nil
+	atomic.StoreUint32(&m.shared, 0)
+}
+
+// SetBody replaces the payload. Replacing the slice (rather than writing
+// into Body) keeps existing Shared views intact: they retain the previous
+// backing array.
+func (m *Message) SetBody(b []byte) { m.Body = b }
 
 // Clone returns a deep copy of the message. The broker replicates a message
 // R times when dispatching it to R matching subscribers; Clone is the unit
@@ -298,6 +320,31 @@ func (m *Message) Clone() *Message {
 		copy(c.Body, m.Body)
 	}
 	return c
+}
+
+// Shared returns a copy-on-write view of the message: a new Message whose
+// header is an independent value copy but whose property section and body
+// alias the original. It is the zero-copy unit of replication on the fast
+// dispatch engine — all R matching subscribers can be handed views of one
+// received message without the R−1 deep Clone copies.
+//
+// Safety contract: after Shared is called, mutating either the original or
+// a view through the property setters (SetStringProperty etc.) or
+// ClearProperties copies the property map first, so holders of other views
+// never observe the change and concurrent readers do not race. Body bytes
+// are aliased and must be treated as immutable; replace the payload with
+// SetBody instead of writing into the Body slice. Shared itself must only
+// be called once the message has been handed to the broker (the dispatcher
+// is its sole owner at that point), mirroring Publish's contract that the
+// caller stops mutating after publishing.
+func (m *Message) Shared() *Message {
+	atomic.StoreUint32(&m.shared, 1)
+	return &Message{
+		Header:     m.Header,
+		properties: m.properties,
+		Body:       m.Body,
+		shared:     1,
+	}
 }
 
 // Expired reports whether the message has expired at time now.

@@ -3,6 +3,7 @@ package jms
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -301,4 +302,128 @@ func TestValidPropertyNameProperty(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestSharedAliasingInvariants(t *testing.T) {
+	m := NewMessage("t")
+	if err := m.SetCorrelationID("#0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetStringProperty("user", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	m.Body = []byte{1, 2, 3}
+
+	v := m.Shared()
+	// The view aliases body and properties but copies the header.
+	if &v.Body[0] != &m.Body[0] {
+		t.Error("Shared view must alias the body backing array")
+	}
+	if got, _ := v.StringProperty("user"); got != "alice" {
+		t.Errorf("Shared view property = %q, want alice", got)
+	}
+	v.Header.CorrelationID = "#1"
+	if m.Header.CorrelationID != "#0" {
+		t.Error("Shared view shares header with original")
+	}
+
+	// Clone, by contrast, is deep: no body aliasing.
+	c := m.Clone()
+	if len(c.Body) > 0 && &c.Body[0] == &m.Body[0] {
+		t.Error("Clone must not alias the body backing array")
+	}
+
+	// Copy-on-write: mutating the original is invisible in the view.
+	if err := m.SetStringProperty("user", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := v.StringProperty("user"); got != "alice" {
+		t.Errorf("view observed original's mutation: user = %q", got)
+	}
+	// ... and mutating a view is invisible in the original and siblings.
+	v2 := m.Shared()
+	if err := v2.SetStringProperty("user", "carol"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.StringProperty("user"); got != "bob" {
+		t.Errorf("original observed view's mutation: user = %q", got)
+	}
+
+	// SetBody detaches: views keep the old backing array.
+	m.SetBody([]byte{9})
+	if v.Body[0] != 1 {
+		t.Error("SetBody on original must not touch the view's body")
+	}
+}
+
+func TestSharedClearPropertiesDetaches(t *testing.T) {
+	m := NewMessage("t")
+	if err := m.SetInt64Property("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	v := m.Shared()
+	m.ClearProperties()
+	if _, err := v.Int64Property("k"); err != nil {
+		t.Errorf("view lost property after original's ClearProperties: %v", err)
+	}
+	if err := m.SetInt64Property("k", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := v.Int64Property("k"); got != 1 {
+		t.Errorf("view observed post-clear mutation: k = %d", got)
+	}
+}
+
+// TestSharedConcurrentReaders exercises the copy-on-write guarantee under
+// the race detector: subscribers read shared views while the publisher
+// mutates its original through the setter methods.
+func TestSharedConcurrentReaders(t *testing.T) {
+	m := NewMessage("t")
+	if err := m.SetStringProperty("user", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetInt64Property("seq", 7); err != nil {
+		t.Fatal(err)
+	}
+	m.Body = []byte("payload")
+
+	const readers = 8
+	views := make([]*Message, readers)
+	for i := range views {
+		views[i] = m.Shared()
+	}
+
+	var wg sync.WaitGroup
+	for _, v := range views {
+		wg.Add(1)
+		go func(v *Message) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if got, _ := v.StringProperty("user"); got != "alice" {
+					t.Errorf("view user = %q, want alice", got)
+					return
+				}
+				if got, _ := v.Int64Property("seq"); got != 7 {
+					t.Errorf("view seq = %d, want 7", got)
+					return
+				}
+				if string(v.Body) != "payload" {
+					t.Error("view body changed")
+					return
+				}
+			}
+		}(v)
+	}
+	// The publisher mutates its original concurrently: the first setter
+	// call copies the property map, so readers keep the old one.
+	for i := 0; i < 1000; i++ {
+		if err := m.SetStringProperty("user", "bob"); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetInt64Property("seq", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		m.SetBody([]byte("replaced"))
+	}
+	wg.Wait()
 }

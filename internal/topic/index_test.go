@@ -1,0 +1,178 @@
+package topic
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/jms"
+)
+
+func corrID(t *testing.T, expr string) filter.Filter {
+	t.Helper()
+	f, err := filter.NewCorrelationID(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func indexedTopic(t *testing.T, filters []filter.Filter) (*Registry, *Topic) {
+	t.Helper()
+	r := NewRegistry()
+	tp, err := r.Configure("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range filters {
+		if _, err := r.Subscribe("t", f, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r, tp
+}
+
+func matchIDs(idx *FilterIndex, m *jms.Message) (map[SubscriptionID]bool, int) {
+	subs, evals := idx.Match(m, nil)
+	ids := make(map[SubscriptionID]bool, len(subs))
+	for _, s := range subs {
+		ids[s.ID] = true
+	}
+	return ids, evals
+}
+
+// TestIndexAgreesWithLinearScan checks that Match returns exactly the
+// subscriptions a linear scan would, over a mixed filter population.
+func TestIndexAgreesWithLinearScan(t *testing.T) {
+	filters := []filter.Filter{
+		nil, // All
+		corrID(t, "#0"),
+		corrID(t, "#0"), // duplicate exact
+		corrID(t, "#1"),
+		corrID(t, "dev-*"),
+		corrID(t, "id[3;9]"),
+		filter.MustProperty("prop = 0"),
+		filter.MustProperty("prop = 0"), // duplicate selector
+		filter.MustProperty("prop = 1"),
+	}
+	_, tp := indexedTopic(t, filters)
+	idx, _ := tp.Index()
+
+	msgs := []*jms.Message{}
+	for _, id := range []string{"#0", "#1", "#2", "dev-7", "id5", "id99"} {
+		m := jms.NewMessage("t")
+		if err := m.SetCorrelationID(id); err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, m)
+	}
+	mp := jms.NewMessage("t")
+	if err := mp.SetInt32Property("prop", 0); err != nil {
+		t.Fatal(err)
+	}
+	msgs = append(msgs, mp)
+
+	subs, _ := tp.Snapshot()
+	for _, m := range msgs {
+		want := make(map[SubscriptionID]bool)
+		for _, s := range subs {
+			if s.Filter.Matches(m) {
+				want[s.ID] = true
+			}
+		}
+		got, _ := matchIDs(idx, m)
+		if len(got) != len(want) {
+			t.Fatalf("corrID %q: index matched %d subs, linear scan %d", m.Header.CorrelationID, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Errorf("corrID %q: index missed subscription %d", m.Header.CorrelationID, id)
+			}
+		}
+	}
+}
+
+// TestIndexDeduplicatesIdenticalFilters verifies the grouped evaluator:
+// identical non-indexable rules are evaluated once per message.
+func TestIndexDeduplicatesIdenticalFilters(t *testing.T) {
+	var filters []filter.Filter
+	for i := 0; i < 10; i++ {
+		filters = append(filters, filter.MustProperty("prop = 1")) // one group
+	}
+	filters = append(filters, corrID(t, "dev-*"), corrID(t, "dev-*")) // one group
+	filters = append(filters, filter.MustProperty("prop = 2"))        // one group
+	_, tp := indexedTopic(t, filters)
+	idx, _ := tp.Index()
+	if idx.NumGroups() != 3 {
+		t.Fatalf("NumGroups = %d, want 3", idx.NumGroups())
+	}
+
+	m := jms.NewMessage("t")
+	if err := m.SetInt32Property("prop", 1); err != nil {
+		t.Fatal(err)
+	}
+	ids, evals := matchIDs(idx, m)
+	if evals != 3 {
+		t.Errorf("evals = %d, want 3 (one per distinct rule)", evals)
+	}
+	if len(ids) != 10 {
+		t.Errorf("matched %d subscriptions, want the 10 identical-filter subscribers", len(ids))
+	}
+}
+
+// TestIndexExactBucketEvals verifies that any number of exact
+// correlation-ID filters costs a single probe.
+func TestIndexExactBucketEvals(t *testing.T) {
+	var filters []filter.Filter
+	for i := 0; i < 200; i++ {
+		filters = append(filters, corrID(t, "#"+strconv.Itoa(i)))
+	}
+	_, tp := indexedTopic(t, filters)
+	idx, _ := tp.Index()
+	if idx.NumGroups() != 0 {
+		t.Fatalf("NumGroups = %d, want 0 (all exact)", idx.NumGroups())
+	}
+	m := jms.NewMessage("t")
+	if err := m.SetCorrelationID("#42"); err != nil {
+		t.Fatal(err)
+	}
+	ids, evals := matchIDs(idx, m)
+	if evals != 1 {
+		t.Errorf("evals = %d, want 1 (single hash probe)", evals)
+	}
+	if len(ids) != 1 {
+		t.Errorf("matched %d subscriptions, want 1", len(ids))
+	}
+}
+
+// TestIndexCachedPerEpoch verifies the version-checked cache: the same
+// index is returned until the subscription table changes.
+func TestIndexCachedPerEpoch(t *testing.T) {
+	r, tp := indexedTopic(t, []filter.Filter{corrID(t, "#0")})
+	idx1, epoch1 := tp.Index()
+	idx2, epoch2 := tp.Index()
+	if idx1 != idx2 || epoch1 != epoch2 {
+		t.Fatal("Index must be cached between subscription changes")
+	}
+	sub, err := r.Subscribe("t", corrID(t, "#1"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx3, epoch3 := tp.Index()
+	if idx3 == idx1 || epoch3 == epoch1 {
+		t.Fatal("Index must be rebuilt after Subscribe")
+	}
+	if idx3.NumSubscriptions() != 2 {
+		t.Errorf("NumSubscriptions = %d, want 2", idx3.NumSubscriptions())
+	}
+	if err := r.Unsubscribe("t", sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	idx4, _ := tp.Index()
+	if idx4 == idx3 {
+		t.Fatal("Index must be rebuilt after Unsubscribe")
+	}
+	if idx4.NumSubscriptions() != 1 {
+		t.Errorf("NumSubscriptions = %d, want 1", idx4.NumSubscriptions())
+	}
+}

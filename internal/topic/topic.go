@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/filter"
 )
@@ -46,11 +47,22 @@ type Subscription struct {
 type Topic struct {
 	name string
 
-	mu   sync.RWMutex
-	subs []*Subscription
-	// epoch increments on every subscription change so dispatchers can
-	// cache the subscription slice between changes.
+	// mu serializes writers; readers go through the atomic snapshot and
+	// never take a lock, so the dispatch hot path costs one pointer load
+	// per message regardless of subscription churn.
+	mu   sync.Mutex
+	snap atomic.Pointer[snapshot]
+}
+
+// snapshot is one immutable version of a topic's subscription table. The
+// filter index is derived lazily, at most once per epoch, so dispatchers
+// reuse it until the table changes (version-checked cache).
+type snapshot struct {
+	subs  []*Subscription
 	epoch uint64
+
+	idxOnce sync.Once
+	idx     *FilterIndex
 }
 
 // Name returns the topic name.
@@ -59,38 +71,46 @@ func (t *Topic) Name() string { return t.name }
 // Snapshot returns the current subscription list and its epoch. The slice
 // is owned by the registry and must not be modified; a new slice is built
 // on every subscription change, so a returned snapshot stays immutable.
+// The call is lock-free: a single atomic pointer load.
 func (t *Topic) Snapshot() ([]*Subscription, uint64) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.subs, t.epoch
+	s := t.snap.Load()
+	return s.subs, s.epoch
+}
+
+// Index returns the filter index over the current subscription table and
+// its epoch. The index is built on first use after a subscription change
+// and cached on the snapshot, so steady-state dispatching pays only the
+// atomic load.
+func (t *Topic) Index() (*FilterIndex, uint64) {
+	s := t.snap.Load()
+	s.idxOnce.Do(func() { s.idx = BuildIndex(s.subs) })
+	return s.idx, s.epoch
 }
 
 // NumSubscriptions returns the number of installed subscriptions.
 func (t *Topic) NumSubscriptions() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.subs)
+	return len(t.snap.Load().subs)
 }
 
 func (t *Topic) add(s *Subscription) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	next := make([]*Subscription, len(t.subs), len(t.subs)+1)
-	copy(next, t.subs)
-	t.subs = append(next, s)
-	t.epoch++
+	cur := t.snap.Load()
+	next := make([]*Subscription, len(cur.subs), len(cur.subs)+1)
+	copy(next, cur.subs)
+	t.snap.Store(&snapshot{subs: append(next, s), epoch: cur.epoch + 1})
 }
 
 func (t *Topic) remove(id SubscriptionID) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for i, s := range t.subs {
+	cur := t.snap.Load()
+	for i, s := range cur.subs {
 		if s.ID == id {
-			next := make([]*Subscription, 0, len(t.subs)-1)
-			next = append(next, t.subs[:i]...)
-			next = append(next, t.subs[i+1:]...)
-			t.subs = next
-			t.epoch++
+			next := make([]*Subscription, 0, len(cur.subs)-1)
+			next = append(next, cur.subs[:i]...)
+			next = append(next, cur.subs[i+1:]...)
+			t.snap.Store(&snapshot{subs: next, epoch: cur.epoch + 1})
 			return true
 		}
 	}
@@ -121,6 +141,7 @@ func (r *Registry) Configure(name string) (*Topic, error) {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateTopic, name)
 	}
 	t := &Topic{name: name}
+	t.snap.Store(&snapshot{})
 	r.topics[name] = t
 	return t, nil
 }

@@ -4,10 +4,38 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/jms"
 )
+
+// bufPool recycles encode buffers on the per-frame hot paths (server-side
+// delivery, client-side publish), so the steady state of the TCP path
+// allocates no fresh buffer per frame.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// maxPooledBuffer bounds what PutBuffer keeps: returning the occasional
+// huge frame's buffer to the pool would pin its memory.
+const maxPooledBuffer = 64 << 10
+
+// GetBuffer returns a pooled, zero-length encode buffer. Return it with
+// PutBuffer once the encoded bytes have been written out.
+func GetBuffer() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuffer returns a buffer obtained from GetBuffer to the pool.
+func PutBuffer(b *[]byte) {
+	if cap(*b) > maxPooledBuffer {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
 
 // encoder appends big-endian primitives to a buffer.
 type encoder struct {
@@ -107,13 +135,27 @@ func (d *decoder) bytesField() ([]byte, error) {
 	return b, nil
 }
 
-// EncodeMessage serializes a message into a frame payload.
+// messageSizeHint over-approximates the encoded size of m (the approximate
+// payload size plus the fixed-width field and length-prefix overhead), so
+// encode buffers can be pre-sized to append without growing.
+func messageSizeHint(m *jms.Message) int {
+	return m.Size() + 24 + 12*m.NumProperties()
+}
+
+// EncodeMessage serializes a message into a pre-sized frame payload. Hot
+// paths that already hold a (pooled) buffer use AppendMessage instead.
+func EncodeMessage(m *jms.Message) []byte {
+	return AppendMessage(make([]byte, 0, messageSizeHint(m)), m)
+}
+
+// AppendMessage appends the wire encoding of m to buf and returns the
+// extended slice.
 //
 // Layout: messageID u64, topic str, corrID str, mode u8, priority u8,
 // timestamp i64 (unix nanos), expiration i64 (0 = never), property count
 // u32, properties (name str, type u8, value), body bytes.
-func EncodeMessage(m *jms.Message) []byte {
-	var e encoder
+func AppendMessage(buf []byte, m *jms.Message) []byte {
+	e := encoder{buf: buf}
 	e.u64(m.Header.MessageID)
 	e.str(m.Header.Topic)
 	e.str(m.Header.CorrelationID)
@@ -335,10 +377,15 @@ func DecodeU64(payload []byte) (uint64, error) {
 // EncodeDelivery builds a MESSAGE payload: subscription id u64, then the
 // encoded message.
 func EncodeDelivery(subID uint64, m *jms.Message) []byte {
-	var e encoder
+	return AppendDelivery(make([]byte, 0, 8+messageSizeHint(m)), subID, m)
+}
+
+// AppendDelivery appends a MESSAGE payload to buf and returns the extended
+// slice — the zero-extra-copy form of EncodeDelivery for pooled buffers.
+func AppendDelivery(buf []byte, subID uint64, m *jms.Message) []byte {
+	e := encoder{buf: buf}
 	e.u64(subID)
-	e.buf = append(e.buf, EncodeMessage(m)...)
-	return e.buf
+	return AppendMessage(e.buf, m)
 }
 
 // DecodeDelivery parses a MESSAGE payload.

@@ -318,3 +318,92 @@ func TestDecodeMutatedMessages(t *testing.T) {
 		}()
 	}
 }
+
+func testMessage(t *testing.T) *jms.Message {
+	t.Helper()
+	m := jms.NewMessage("t")
+	if err := m.SetCorrelationID("#7"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetStringProperty("user", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetInt64Property("seq", 42); err != nil {
+		t.Fatal(err)
+	}
+	m.Body = []byte("payload")
+	return m
+}
+
+// TestAppendMessageMatchesEncode checks that the append path produces the
+// identical encoding to EncodeMessage, including when appending after
+// existing bytes.
+func TestAppendMessageMatchesEncode(t *testing.T) {
+	m := testMessage(t)
+	want := EncodeMessage(m)
+	got := AppendMessage(nil, m)
+	if !bytes.Equal(got, want) {
+		t.Error("AppendMessage(nil, m) differs from EncodeMessage(m)")
+	}
+	prefixed := AppendMessage([]byte{0xAA, 0xBB}, m)
+	if !bytes.Equal(prefixed[2:], want) {
+		t.Error("AppendMessage after a prefix corrupted the encoding")
+	}
+	if prefixed[0] != 0xAA || prefixed[1] != 0xBB {
+		t.Error("AppendMessage overwrote the prefix")
+	}
+	if _, err := DecodeMessage(got); err != nil {
+		t.Fatalf("DecodeMessage of appended encoding: %v", err)
+	}
+}
+
+// TestEncodeMessagePreSized checks the pre-sizing: the one buffer
+// allocated up front is large enough that encoding never grows it.
+func TestEncodeMessagePreSized(t *testing.T) {
+	m := testMessage(t)
+	buf := make([]byte, 0, messageSizeHint(m))
+	out := AppendMessage(buf, m)
+	if cap(out) != cap(buf) {
+		t.Errorf("encoding grew the pre-sized buffer: hint %d, need %d", messageSizeHint(m), len(out))
+	}
+}
+
+func TestAppendDeliveryMatchesEncode(t *testing.T) {
+	m := testMessage(t)
+	want := EncodeDelivery(9, m)
+	got := AppendDelivery(nil, 9, m)
+	if !bytes.Equal(got, want) {
+		t.Error("AppendDelivery differs from EncodeDelivery")
+	}
+	subID, dm, err := DecodeDelivery(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subID != 9 || dm.Header.CorrelationID != "#7" {
+		t.Errorf("DecodeDelivery = (%d, %q), want (9, #7)", subID, dm.Header.CorrelationID)
+	}
+}
+
+// TestBufferPoolRoundTrip checks GetBuffer/PutBuffer reuse and the cap
+// guard against pinning oversized buffers.
+func TestBufferPoolRoundTrip(t *testing.T) {
+	bp := GetBuffer()
+	if len(*bp) != 0 {
+		t.Fatalf("pooled buffer has length %d, want 0", len(*bp))
+	}
+	*bp = append(*bp, 1, 2, 3)
+	PutBuffer(bp)
+	bp2 := GetBuffer()
+	if len(*bp2) != 0 {
+		t.Error("PutBuffer must reset the buffer length")
+	}
+	PutBuffer(bp2)
+
+	huge := make([]byte, 0, maxPooledBuffer+1)
+	PutBuffer(&huge) // must be dropped, not pooled
+	bp3 := GetBuffer()
+	if cap(*bp3) > maxPooledBuffer {
+		t.Error("PutBuffer pooled an oversized buffer")
+	}
+	PutBuffer(bp3)
+}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/filter"
+	"repro/internal/jms"
 )
 
 // Server exposes a broker over TCP. Every request frame carries a client
@@ -288,8 +290,7 @@ func (sc *serverConn) deliveryPump(cs *connSub) {
 			if !ok {
 				return
 			}
-			payload := EncodeDelivery(cs.id, m)
-			if err := sc.write(Frame{Type: FrameMessage, Payload: payload}); err != nil {
+			if err := sc.writeDelivery(cs.id, m); err != nil {
 				return
 			}
 		case <-cs.stop:
@@ -298,6 +299,27 @@ func (sc *serverConn) deliveryPump(cs *connSub) {
 			return
 		}
 	}
+}
+
+// writeDelivery encodes and writes one MESSAGE frame using a pooled
+// buffer: the 5-byte frame prologue and the payload are built in the same
+// buffer and written with a single conn.Write, so the delivery fast path
+// allocates nothing in steady state.
+func (sc *serverConn) writeDelivery(subID uint64, m *jms.Message) error {
+	bp := GetBuffer()
+	buf := append((*bp)[:0], 0, 0, 0, 0, byte(FrameMessage))
+	buf = AppendDelivery(buf, subID, m)
+	*bp = buf
+	if len(buf)-5 > MaxFrameSize {
+		PutBuffer(bp)
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(buf)-5)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-5))
+	sc.writeMu.Lock()
+	_, err := sc.conn.Write(buf)
+	sc.writeMu.Unlock()
+	PutBuffer(bp)
+	return err
 }
 
 // buildFilter constructs the broker filter from a wire spec.
