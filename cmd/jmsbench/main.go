@@ -18,6 +18,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -39,15 +40,16 @@ func run(args []string, stdout io.Writer) error {
 	measure := fs.Duration("measure", 500*time.Millisecond, "trimmed observation window")
 	gridName := fs.String("grid", "small", "sweep grid: small or paper")
 	identical := fs.Bool("identical", false, "run the identical-vs-different non-matching filters experiment")
-	engineName := fs.String("engine", "faithful", "dispatch engine: faithful or fast")
+	engineName := fs.String("engine", "faithful", "dispatch engine: "+strings.Join(broker.EngineNames(), " or "))
 	shards := fs.Int("shards", 0, "fast engine: filter-matching workers per topic (0 = auto)")
 	compare := fs.Bool("compare", false, "run the sweep on both engines and print a faithful-vs-fast comparison table")
+	stages := fs.Bool("stages", false, "record per-stage pipeline timings and print measured t_rcv/t_fltr/t_tx next to the throughput fit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	engine, err := broker.ParseEngine(*engineName)
 	if err != nil {
-		return err
+		return fmt.Errorf("-engine: %w", err)
 	}
 
 	var ft core.FilterType
@@ -61,12 +63,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	cfg := bench.NativeConfig{
-		FilterType: ft,
-		Publishers: *publishers,
-		Warmup:     *warmup,
-		Measure:    *measure,
-		Engine:     engine,
-		Shards:     *shards,
+		FilterType:  ft,
+		Publishers:  *publishers,
+		Warmup:      *warmup,
+		Measure:     *measure,
+		Engine:      engine,
+		Shards:      *shards,
+		StageTiming: *stages,
 	}
 
 	if *identical {
@@ -108,12 +111,59 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "\nfit diagnostics: R2=%.6f RMSE=%.3gs maxResidual=%.3gs\n",
 		res.Fit.R2, res.Fit.RMSE, res.Fit.MaxAbsResidual)
 
+	if *stages {
+		if err := printStages(res, stdout); err != nil {
+			return err
+		}
+	}
+
 	f4, err := bench.Fig4Native(res)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(stdout)
 	return bench.WriteAll(stdout, f4)
+}
+
+// printStages reports the per-stage Eq. 1 measurements: the per-scenario
+// components, their mean, and the fit over the stage-composed service
+// times, next to the throughput fit they should reproduce.
+func printStages(res bench.StudyResult, stdout io.Writer) error {
+	ss, err := bench.StageSeries(res)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\n%s", ss.String())
+
+	summary, err := bench.StageSummary(res)
+	if err != nil {
+		return err
+	}
+	sfit, err := bench.StageFit(res)
+	if err != nil {
+		return err
+	}
+	tput := res.Fit.Model
+	fmt.Fprintf(stdout, "\nEq. 1 constants, three derivations (us):\n")
+	fmt.Fprintf(stdout, "  %-28s  %10s  %10s  %10s\n", "", "t_rcv", "t_fltr", "t_tx")
+	fmt.Fprintf(stdout, "  %-28s  %10.3f  %10.3f  %10.3f\n", "stage means (direct)",
+		summary.TRcv*1e6, summary.TFltr*1e6, summary.TTx*1e6)
+	fmt.Fprintf(stdout, "  %-28s  %10.3f  %10.3f  %10.3f\n", "fit of staged E[B] (Eq. 1)",
+		sfit.Model.TRcv*1e6, sfit.Model.TFltr*1e6, sfit.Model.TTx*1e6)
+	fmt.Fprintf(stdout, "  %-28s  %10.3f  %10.3f  %10.3f\n", "fit of 1/throughput (Table I)",
+		tput.TRcv*1e6, tput.TFltr*1e6, tput.TTx*1e6)
+	if tput.TFltr > 0 && tput.TTx > 0 {
+		fmt.Fprintf(stdout, "  staged-fit / throughput-fit:  %10.3f  %10.3f  %10.3f\n",
+			ratio(sfit.Model.TRcv, tput.TRcv), ratio(sfit.Model.TFltr, tput.TFltr), ratio(sfit.Model.TTx, tput.TTx))
+	}
+	return nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
 }
 
 // runCompare measures every grid scenario on both engines and prints the

@@ -73,9 +73,43 @@ func TestRunCompare(t *testing.T) {
 	}
 }
 
+// TestRunEngineErrors checks the fail-fast path: a typoed -engine is
+// rejected before any measurement starts, and the error tells the user
+// what the valid spellings are.
 func TestRunEngineErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-engine", "bogus"}, &out); err == nil {
-		t.Error("bogus engine accepted")
+	err := run([]string{"-engine", "bogus"}, &out)
+	if err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+	for _, want := range []string{"bogus", "valid engines", "faithful", "fast"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("engine error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestRunStages checks that -stages prints the per-stage Eq. 1
+// measurements next to the throughput fit.
+func TestRunStages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("native measurement is wall-clock bound")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-stages", "-grid", "small", "-publishers", "2",
+		"-warmup", "20ms", "-measure", "80ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Per-stage timing", "t_rcv_us", "t_fltr_us", "t_tx_us", "staged_EB_us",
+		"three derivations", "stage means (direct)", "fit of staged E[B]", "fit of 1/throughput",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-stages output missing %q", want)
+		}
 	}
 }

@@ -43,14 +43,15 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 	topics := fs.String("topics", "default", "comma-separated topics to configure at start")
 	inFlight := fs.Int("inflight", 64, "per-topic in-flight window (publisher push-back)")
 	subBuffer := fs.Int("subbuffer", 64, "per-subscriber delivery queue length")
-	engineName := fs.String("engine", "faithful", "dispatch engine: faithful (paper-accurate linear scan) or fast (indexed, sharded, copy-on-write)")
+	engineName := fs.String("engine", "faithful", "dispatch engine: "+strings.Join(broker.EngineNames(), " or "))
 	shards := fs.Int("shards", 0, "fast engine: filter-matching workers per topic (0 = auto)")
+	stages := fs.Bool("stages", false, "record per-stage pipeline timings and log the Eq. 1 components at shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	engine, err := broker.ParseEngine(*engineName)
 	if err != nil {
-		return err
+		return fmt.Errorf("-engine: %w", err)
 	}
 
 	b := broker.New(broker.Options{
@@ -58,6 +59,7 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 		SubscriberBuffer: *subBuffer,
 		Engine:           engine,
 		Shards:           *shards,
+		StageTiming:      *stages,
 	})
 	for _, name := range strings.Split(*topics, ",") {
 		name = strings.TrimSpace(name)
@@ -90,5 +92,9 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 	s := b.Stats()
 	log.Printf("jmsd: received=%d dispatched=%d filterEvals=%d dropped=%d",
 		s.Received, s.Dispatched, s.FilterEvals, s.Dropped)
+	if st := b.StageStats(); st.Enabled {
+		log.Printf("jmsd: stage means: receive=%v match=%v replicate=%v transmit=%v",
+			st.Receive.Mean(), st.Match.Mean(), st.Replicate.Mean(), st.Transmit.Mean())
+	}
 	return nil
 }

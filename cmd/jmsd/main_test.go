@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -113,8 +114,17 @@ func TestDaemonFastEngine(t *testing.T) {
 	}
 }
 
+// TestDaemonBadEngine checks the fail-fast path: a typoed -engine is
+// rejected before the broker starts, with an error that enumerates the
+// valid engine names.
 func TestDaemonBadEngine(t *testing.T) {
-	if err := run([]string{"-engine", "bogus"}, nil, nil); err == nil {
-		t.Error("bogus engine accepted")
+	err := run([]string{"-engine", "bogus"}, nil, nil)
+	if err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+	for _, want := range []string{"bogus", "valid engines", "faithful", "fast"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("engine error %q missing %q", err, want)
+		}
 	}
 }

@@ -48,6 +48,11 @@ type NativeConfig struct {
 	Engine broker.Engine
 	// Shards is the fast engine's per-topic worker count (0 = default).
 	Shards int
+	// StageTiming additionally records per-stage dispatch times on the
+	// broker and reports measured t_rcv/t_fltr/t_tx per scenario (the
+	// Stages field of NativeResult). The clock reads perturb absolute
+	// throughput slightly, so leave it off for pure Table I runs.
+	StageTiming bool
 }
 
 func (c NativeConfig) withDefaults() NativeConfig {
@@ -86,6 +91,27 @@ type NativeResult struct {
 	// MeanServiceTime is 1/ReceivedRate, the per-message processing time
 	// at saturation.
 	MeanServiceTime float64
+	// Stages holds the per-stage Eq. 1 components measured inside the
+	// dispatch pipeline during the same trimmed window; nil unless
+	// NativeConfig.StageTiming was set.
+	Stages *StageTimes
+}
+
+// StageTimes are the Eq. 1 cost components measured directly by the
+// broker's per-stage instrumentation (seconds), the quantities Table I
+// recovers indirectly from throughput:
+//
+//	TRcv  — mean receive-stage time per message,
+//	TFltr — match-stage time per filter evaluation,
+//	TTx   — replicate+transmit time per delivered replica.
+type StageTimes struct {
+	TRcv, TFltr, TTx float64
+}
+
+// ServiceTime composes the stage times into Eq. 1's E[B] for a scenario
+// with nFltr installed filters and replication grade r.
+func (st StageTimes) ServiceTime(nFltr int, r float64) float64 {
+	return st.TRcv + float64(nFltr)*st.TFltr + r*st.TTx
 }
 
 // matchingFilter builds the filter that matches the published messages.
@@ -167,6 +193,7 @@ func measureOnce(cfg NativeConfig, n, r int) (NativeResult, error) {
 		SubscriberBuffer: cfg.SubscriberBuffer,
 		Engine:           cfg.Engine,
 		Shards:           cfg.Shards,
+		StageTiming:      cfg.StageTiming,
 	})
 	defer func() { _ = b.Close() }()
 	if err := b.ConfigureTopic(topicName); err != nil {
@@ -237,12 +264,16 @@ func measureOnce(cfg NativeConfig, n, r int) (NativeResult, error) {
 		dispCtr.Add(s.Dispatched - dispCtr.Value())
 	}
 	snapshot()
+	statsStart := b.Stats()
+	stagesStart := b.StageStats()
 	start := time.Now()
 	recvWin.Start(&recvCtr, start)
 	dispWin.Start(&dispCtr, start)
 
 	time.Sleep(cfg.Measure)
 	snapshot()
+	statsEnd := b.Stats()
+	stagesEnd := b.StageStats()
 	end := time.Now()
 	recvWin.End(&recvCtr, end)
 	dispWin.End(&dispCtr, end)
@@ -265,14 +296,45 @@ func measureOnce(cfg NativeConfig, n, r int) (NativeResult, error) {
 	if recvRate <= 0 {
 		return NativeResult{}, fmt.Errorf("%w: zero received rate", ErrBench)
 	}
-	return NativeResult{
+	res := NativeResult{
 		NFltr:           n + r,
 		R:               r,
 		ReceivedRate:    recvRate,
 		DispatchedRate:  dispRate,
 		OverallRate:     recvRate + dispRate,
 		MeanServiceTime: 1 / recvRate,
-	}, nil
+	}
+	if cfg.StageTiming {
+		st, err := stageTimes(stagesEnd.Sub(stagesStart), statsStart, statsEnd)
+		if err != nil {
+			return NativeResult{}, err
+		}
+		res.Stages = &st
+	}
+	return res, nil
+}
+
+// stageTimes normalizes the windowed per-stage histogram deltas into Eq. 1
+// cost components: receive time per message, match time per filter
+// evaluation, replicate+transmit time per delivered replica.
+func stageTimes(d broker.StageStats, s0, s1 broker.Stats) (StageTimes, error) {
+	if !d.Enabled {
+		return StageTimes{}, fmt.Errorf("%w: broker recorded no stage timings", ErrBench)
+	}
+	if d.Receive.Count == 0 {
+		return StageTimes{}, fmt.Errorf("%w: no messages in stage-timing window", ErrBench)
+	}
+	const nsPerSec = 1e9
+	st := StageTimes{
+		TRcv: float64(d.Receive.Sum) / float64(d.Receive.Count) / nsPerSec,
+	}
+	if evals := s1.FilterEvals - s0.FilterEvals; evals > 0 {
+		st.TFltr = float64(d.Match.Sum) / float64(evals) / nsPerSec
+	}
+	if copies := s1.Dispatched - s0.Dispatched; copies > 0 {
+		st.TTx = float64(d.Replicate.Sum+d.Transmit.Sum) / float64(copies) / nsPerSec
+	}
+	return st, nil
 }
 
 // StudyGrid is the sweep of a native study.

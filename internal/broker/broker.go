@@ -1,10 +1,17 @@
 // Package broker implements the JMS-style publish/subscribe server whose
-// performance the paper studies. Its dispatch loop has exactly the structure
-// the paper's processing-time model assumes (Eq. 1):
+// performance the paper studies. Dispatch is a staged pipeline with exactly
+// the structure the paper's processing-time model assumes (Eq. 1):
 //
 //   - receive a message once (cost t_rcv),
-//   - test every installed filter of the topic linearly (cost n_fltr*t_fltr),
+//   - match it against the topic's installed filters (cost n_fltr*t_fltr),
 //   - replicate and transmit one copy per matching subscriber (cost R*t_tx).
+//
+// The pipeline loop is shared by every engine (pipeline.go); an Engine is a
+// configuration of the stage implementations (stage.go): the faithful
+// linear-scan/deep-copy pair the paper measures, or the fast indexed/
+// copy-on-write pair. With Options.StageTiming the per-stage times are
+// recorded per message (instrument.go), making the Eq. 1 terms directly
+// measurable on the running system.
 //
 // The broker operates in the paper's persistent, non-durable mode: messages
 // are delivered reliably and in order to the subscribers that are currently
@@ -18,7 +25,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,48 +53,6 @@ type DispatchObserver interface {
 	ObserveDispatch(topicName string, nFilters, replication int)
 }
 
-// Engine selects the dispatch implementation of a Broker.
-type Engine int
-
-// Dispatch engines.
-const (
-	// EngineFaithful is the paper-faithful path and the default: one
-	// dispatcher goroutine per topic, a linear scan over every installed
-	// filter, and a deep Clone per extra replica. All Table I / Fig. 4
-	// reproductions depend on this structure (Eq. 1) and must run on it.
-	EngineFaithful Engine = iota
-	// EngineFast is the optimized path: indexed filter matching (hash
-	// table over exact correlation-ID filters, deduplicated evaluation of
-	// identical rules), sharded dispatch workers with sequence-stamped
-	// handoff preserving per-publisher FIFO order, and copy-on-write
-	// replication instead of deep clones.
-	EngineFast
-)
-
-// String returns the engine's flag name.
-func (e Engine) String() string {
-	switch e {
-	case EngineFaithful:
-		return "faithful"
-	case EngineFast:
-		return "fast"
-	default:
-		return "Engine(" + strconv.Itoa(int(e)) + ")"
-	}
-}
-
-// ParseEngine parses a -engine flag value.
-func ParseEngine(s string) (Engine, error) {
-	switch s {
-	case "faithful":
-		return EngineFaithful, nil
-	case "fast":
-		return EngineFast, nil
-	default:
-		return 0, fmt.Errorf("broker: unknown engine %q (want faithful or fast)", s)
-	}
-}
-
 // Options configure a Broker.
 type Options struct {
 	// InFlight bounds the number of received-but-undispatched messages per
@@ -111,6 +75,11 @@ type Options struct {
 	// timestamped on acceptance when it is set. This instruments the W of
 	// the paper's M/GI/1 analysis on the real broker.
 	WaitObserver func(wait time.Duration)
+	// StageTiming records every message's time in each pipeline stage
+	// (receive, match, replicate, transmit), exposed by StageStats. Off by
+	// default: the timing adds clock reads to the dispatch hot path, so
+	// paper-facing throughput runs should leave it disabled.
+	StageTiming bool
 }
 
 func (o Options) withDefaults() Options {
@@ -161,11 +130,18 @@ type Broker struct {
 
 	wg sync.WaitGroup
 
+	// statsMu makes Stats a consistent cut: counter increments take the
+	// read side (shared, so incrementers never exclude each other), Stats
+	// takes the write side and reads all counters with no add in flight.
+	statsMu     sync.RWMutex
 	received    atomic.Uint64
 	dispatched  atomic.Uint64
 	filterEvals atomic.Uint64
 	dropped     atomic.Uint64
 	expired     atomic.Uint64
+
+	// timers are the per-stage histograms; nil unless Options.StageTiming.
+	timers *stageTimers
 
 	// now is the dispatch clock; injectable for expiration tests.
 	now func() time.Time
@@ -173,7 +149,7 @@ type Broker struct {
 
 // New creates a broker with the given options.
 func New(opts Options) *Broker {
-	return &Broker{
+	b := &Broker{
 		opts:           opts.withDefaults(),
 		registry:       topic.NewRegistry(),
 		dispatchers:    make(map[string]*dispatcher),
@@ -182,19 +158,22 @@ func New(opts Options) *Broker {
 		durableHandles: make(map[*Subscriber]struct{}),
 		now:            time.Now,
 	}
+	if b.opts.StageTiming {
+		b.timers = &stageTimers{}
+	}
+	return b
 }
 
-// dispatcher serializes dispatching for one topic, mirroring the single
-// message-processing resource (the server CPU) of the paper's model.
-type dispatcher struct {
-	topic *topic.Topic
-	in    chan *jms.Message
-	stop  chan struct{}
-	done  chan struct{}
+// countAdd increments one broker counter under the read side of statsMu,
+// so Stats can exclude in-flight increments for a consistent snapshot.
+func (b *Broker) countAdd(c *atomic.Uint64, delta uint64) {
+	b.statsMu.RLock()
+	c.Add(delta)
+	b.statsMu.RUnlock()
 }
 
-// ConfigureTopic creates a topic and starts its dispatcher. Like on a real
-// JMS server, topics are configured before the system is used.
+// ConfigureTopic creates a topic and starts its dispatch pipeline. Like on
+// a real JMS server, topics are configured before the system is used.
 func (b *Broker) ConfigureTopic(name string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -212,12 +191,9 @@ func (b *Broker) ConfigureTopic(name string) error {
 		done:  make(chan struct{}),
 	}
 	b.dispatchers[name] = d
-	if b.opts.Engine == EngineFast {
-		b.startFast(d)
-	} else {
-		b.wg.Add(1)
-		go b.dispatchLoop(d)
-	}
+	p := &pipeline{b: b, d: d, st: b.stages(b.opts.Engine), timers: b.timers}
+	p.tx = queueTransmitter{b: b, d: d}
+	p.start()
 	return nil
 }
 
@@ -237,7 +213,7 @@ func (b *Broker) Publish(ctx context.Context, m *jms.Message) error {
 	}
 	select {
 	case d.in <- m:
-		b.received.Add(1)
+		b.countAdd(&b.received, 1)
 		return nil
 	case <-d.stop:
 		return ErrClosed
@@ -255,7 +231,7 @@ func (b *Broker) TryPublish(m *jms.Message) error {
 	}
 	select {
 	case d.in <- m:
-		b.received.Add(1)
+		b.countAdd(&b.received, 1)
 		return nil
 	case <-d.stop:
 		return ErrClosed
@@ -290,6 +266,13 @@ type Subscriber struct {
 	gone    chan struct{}
 	once    sync.Once
 	durable *durableSub // nil for regular subscriptions
+
+	// sendMu serializes transmits against Unsubscribe: Unsubscribe closes
+	// gone (waking any transmit blocked on a full queue), then sets dead
+	// under the lock, so once Unsubscribe returns no in-flight dispatch
+	// can still enqueue a delivery.
+	sendMu sync.Mutex
+	dead   bool // guarded by sendMu
 
 	delivered atomic.Uint64
 }
@@ -357,10 +340,11 @@ func (s *Subscriber) Filter() filter.Filter {
 	return s.sub.Filter
 }
 
-// Unsubscribe removes the subscription. Messages still queued may be
-// drained from Chan; Receive returns ErrClosed. For a durable consumer
-// handle this detaches the consumer — the durable subscription itself
-// keeps accumulating messages until UnsubscribeDurable.
+// Unsubscribe removes the subscription. Messages already queued may be
+// drained from Chan, but no new delivery is enqueued once Unsubscribe has
+// returned; Receive returns ErrClosed. For a durable consumer handle this
+// detaches the consumer — the durable subscription itself keeps
+// accumulating messages until UnsubscribeDurable.
 func (s *Subscriber) Unsubscribe() error {
 	var err error
 	s.once.Do(func() {
@@ -369,6 +353,13 @@ func (s *Subscriber) Unsubscribe() error {
 			s.broker.detachDurable(s)
 			return
 		}
+		// Closing gone wakes a transmit blocked on this subscriber's full
+		// queue; taking the send lock then waits out any transmit already
+		// past its dead check, so after this point no dispatch — even one
+		// holding an older topic snapshot — can deliver to this handle.
+		s.sendMu.Lock()
+		s.dead = true
+		s.sendMu.Unlock()
 		err = s.broker.removeSubscriber(s)
 	})
 	return err
@@ -387,110 +378,13 @@ func (b *Broker) removeSubscriber(s *Subscriber) error {
 	return b.registry.Unsubscribe(s.sub.Topic, s.sub.ID)
 }
 
-// dispatchLoop is the per-topic message processing loop: the paper's
-// t_rcv + n_fltr*t_fltr + R*t_tx structure in code.
-func (b *Broker) dispatchLoop(d *dispatcher) {
-	defer b.wg.Done()
-	// matches is the per-dispatcher scratch slice: the loop is
-	// single-threaded, so reusing it across messages makes the steady
-	// state of the faithful path allocation-free for the filter scan.
-	matches := make([]*Subscriber, 0, 16)
-	for {
-		select {
-		case m := <-d.in:
-			matches = b.dispatchOne(d, m, matches[:0])
-		case <-d.stop:
-			// Drain what was already accepted (persistent semantics: no
-			// loss for received messages).
-			for {
-				select {
-				case m := <-d.in:
-					matches = b.dispatchOne(d, m, matches[:0])
-				default:
-					close(d.done)
-					return
-				}
-			}
-		}
-	}
-}
-
-// dispatchOne processes one message on the faithful path. It appends to
-// and returns the caller's scratch slice so the dispatcher can reuse it.
-func (b *Broker) dispatchOne(d *dispatcher, m *jms.Message, matches []*Subscriber) []*Subscriber {
-	if obs := b.opts.WaitObserver; obs != nil && !m.Header.Timestamp.IsZero() {
-		obs(b.now().Sub(m.Header.Timestamp))
-	}
-	// Expired messages are discarded before any filter work, as a JMS
-	// server must not deliver a message past its JMSExpiration.
-	if !m.Header.Expiration.IsZero() && m.Expired(b.now()) {
-		b.expired.Add(1)
-		return matches
-	}
-	subs, _ := d.topic.Snapshot()
-
-	// Linear filter scan: every installed filter is checked for every
-	// message — the measured FioranoMQ behaviour (no optimization for
-	// identical filters, see §III-B of the paper).
-	b.filterEvals.Add(uint64(len(subs)))
-	for _, sub := range subs {
-		if !sub.Filter.Matches(m) {
-			continue
-		}
-		if h, ok := sub.Attachment.(*Subscriber); ok {
-			matches = append(matches, h)
-		}
-	}
-
-	// Replicate and transmit: R copies for R matching subscribers.
-	for _, h := range matches {
-		copyMsg := m
-		if len(matches) > 1 {
-			copyMsg = m.Clone()
-		}
-		b.transmit(d, h, copyMsg, m.Header.DeliveryMode)
-	}
-
-	if obs := b.opts.Observer; obs != nil {
-		obs.ObserveDispatch(d.topic.Name(), len(subs), len(matches))
-	}
-	return matches
-}
-
-// transmit forwards one replica to one subscriber, honoring the delivery
-// mode: persistent sends block on the subscriber queue (up to broker
-// shutdown, which degrades to best effort), non-persistent sends drop on a
-// full queue.
-func (b *Broker) transmit(d *dispatcher, h *Subscriber, m *jms.Message, mode jms.DeliveryMode) {
-	if mode == jms.Persistent {
-		select {
-		case h.ch <- m:
-			h.delivered.Add(1)
-			b.dispatched.Add(1)
-		case <-h.gone:
-		case <-d.stop:
-			// Broker closing: best effort, do not block shutdown.
-			select {
-			case h.ch <- m:
-				h.delivered.Add(1)
-				b.dispatched.Add(1)
-			default:
-				b.dropped.Add(1)
-			}
-		}
-	} else {
-		select {
-		case h.ch <- m:
-			h.delivered.Add(1)
-			b.dispatched.Add(1)
-		default:
-			b.dropped.Add(1)
-		}
-	}
-}
-
-// Stats returns a snapshot of the broker counters.
+// Stats returns a consistent snapshot of the broker counters: the write
+// side of statsMu excludes every in-flight increment (all of which hold the
+// read side), so the returned totals form a single cut — e.g. Dispatched
+// can never exceed what Received accounts for at the same instant.
 func (b *Broker) Stats() Stats {
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
 	return Stats{
 		Received:    b.received.Load(),
 		Dispatched:  b.dispatched.Load(),

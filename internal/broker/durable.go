@@ -155,7 +155,7 @@ func (b *Broker) durablePump(d *durableSub) {
 			copy(d.backlog, d.backlog[1:])
 			d.backlog = d.backlog[:len(d.backlog)-1]
 			d.overflow++
-			b.dropped.Add(1)
+			b.countAdd(&b.dropped, 1)
 		}
 		d.backlog = append(d.backlog, m)
 		d.cond.Broadcast()
@@ -300,7 +300,7 @@ func (b *Broker) durableDeliver(d *durableSub, h *Subscriber) {
 		select {
 		case h.ch <- m:
 			h.delivered.Add(1)
-			b.dispatched.Add(1)
+			b.countAdd(&b.dispatched, 1)
 		case <-h.gone:
 			finish(true, m)
 			return
@@ -310,9 +310,9 @@ func (b *Broker) durableDeliver(d *durableSub, h *Subscriber) {
 			select {
 			case h.ch <- m:
 				h.delivered.Add(1)
-				b.dispatched.Add(1)
+				b.countAdd(&b.dispatched, 1)
 			default:
-				b.dropped.Add(1)
+				b.countAdd(&b.dropped, 1)
 			}
 		}
 	}

@@ -1,0 +1,109 @@
+package broker_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/filter"
+	"repro/internal/jms"
+)
+
+// TestStageStatsDisabledByDefault checks that without Options.StageTiming
+// the broker records nothing.
+func TestStageStatsDisabledByDefault(t *testing.T) {
+	b := broker.New(broker.Options{})
+	defer func() { _ = b.Close() }()
+	if err := b.ConfigureTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(context.Background(), jms.NewMessage("t")); err != nil {
+		t.Fatal(err)
+	}
+	st := b.StageStats()
+	if st.Enabled {
+		t.Error("StageStats.Enabled = true without Options.StageTiming")
+	}
+	if st.Receive.Count != 0 || st.Match.Count != 0 {
+		t.Errorf("stage counts recorded while disabled: %+v", st)
+	}
+}
+
+// TestStageStatsCounts publishes a known workload on both engines and
+// checks the per-stage observation counts against the Eq. 1 bookkeeping:
+// every message is received and matched once, and every replica beyond a
+// sole receiver is replicated, every delivered replica transmitted.
+func TestStageStatsCounts(t *testing.T) {
+	for _, engine := range engines {
+		t.Run(engine.String(), func(t *testing.T) {
+			const msgs, replicas = 50, 3
+			b := broker.New(broker.Options{
+				Engine:           engine,
+				Shards:           2,
+				StageTiming:      true,
+				SubscriberBuffer: msgs * replicas,
+			})
+			defer func() { _ = b.Close() }()
+			if err := b.ConfigureTopic("t"); err != nil {
+				t.Fatal(err)
+			}
+			f0, err := filter.NewCorrelationID("#0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			subs := make([]*broker.Subscriber, replicas)
+			for i := range subs {
+				if subs[i], err = b.Subscribe("t", f0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ctx := context.Background()
+			for i := 0; i < msgs; i++ {
+				m := jms.NewMessage("t")
+				if err := m.SetCorrelationID("#0"); err != nil {
+					t.Fatal(err)
+				}
+				if err := b.Publish(ctx, m); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, s := range subs {
+				for i := 0; i < msgs; i++ {
+					if _, err := s.Receive(ctx); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			st := b.StageStats()
+			if !st.Enabled {
+				t.Fatal("StageStats.Enabled = false with Options.StageTiming")
+			}
+			if st.Receive.Count != msgs {
+				t.Errorf("Receive.Count = %d, want %d", st.Receive.Count, msgs)
+			}
+			if st.Match.Count != msgs {
+				t.Errorf("Match.Count = %d, want %d", st.Match.Count, msgs)
+			}
+			if st.Replicate.Count != msgs*replicas {
+				t.Errorf("Replicate.Count = %d, want %d", st.Replicate.Count, msgs*replicas)
+			}
+			if st.Transmit.Count != msgs*replicas {
+				t.Errorf("Transmit.Count = %d, want %d", st.Transmit.Count, msgs*replicas)
+			}
+			if st.Match.Sum == 0 {
+				t.Error("Match.Sum = 0: no time recorded in the match stage")
+			}
+			if time.Duration(st.Receive.Max) < st.Receive.Mean() {
+				t.Errorf("Receive.Max %v < mean %v", time.Duration(st.Receive.Max), st.Receive.Mean())
+			}
+
+			// Windowed subtraction: the delta against the full snapshot is
+			// empty, against the zero snapshot it is the snapshot itself.
+			if d := st.Sub(st); d.Receive.Count != 0 || d.Match.Sum != 0 {
+				t.Errorf("self-delta not empty: %+v", d)
+			}
+		})
+	}
+}

@@ -57,85 +57,99 @@ func checkPerPublisherFIFO(t *testing.T, msgs []*jms.Message, publishers, perPub
 	}
 }
 
-// TestFastEnginePerPublisherFIFO checks that the sharded engine preserves
-// each publisher's send order at the subscriber while matching runs on
-// several workers concurrently.
-func TestFastEnginePerPublisherFIFO(t *testing.T) {
-	const publishers, perPublisher = 4, 250
-	b := broker.New(broker.Options{
-		Engine:           broker.EngineFast,
-		Shards:           4,
-		InFlight:         16,
-		SubscriberBuffer: publishers * perPublisher,
-	})
-	defer func() { _ = b.Close() }()
-	if err := b.ConfigureTopic("t"); err != nil {
-		t.Fatal(err)
-	}
-	sub, err := b.Subscribe("t", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+// engines enumerates both pipeline configurations; the shared FIFO/drain
+// suite below must hold on each (the faithful engine ignores Shards and
+// runs the serial loop, the fast engine runs the sharded reorder path).
+var engines = []broker.Engine{broker.EngineFaithful, broker.EngineFast}
 
-	var wg sync.WaitGroup
-	for p := 0; p < publishers; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			publishSeq(t, b, p, perPublisher)
-		}(p)
+// TestPerPublisherFIFO checks that both engines preserve each publisher's
+// send order at the subscriber — on the fast engine while matching runs on
+// several workers concurrently.
+func TestPerPublisherFIFO(t *testing.T) {
+	for _, engine := range engines {
+		t.Run(engine.String(), func(t *testing.T) {
+			const publishers, perPublisher = 4, 250
+			b := broker.New(broker.Options{
+				Engine:           engine,
+				Shards:           4,
+				InFlight:         16,
+				SubscriberBuffer: publishers * perPublisher,
+			})
+			defer func() { _ = b.Close() }()
+			if err := b.ConfigureTopic("t"); err != nil {
+				t.Fatal(err)
+			}
+			sub, err := b.Subscribe("t", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			for p := 0; p < publishers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					publishSeq(t, b, p, perPublisher)
+				}(p)
+			}
+			var msgs []*jms.Message
+			ctx := context.Background()
+			for len(msgs) < publishers*perPublisher {
+				m, err := sub.Receive(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				msgs = append(msgs, m)
+			}
+			wg.Wait()
+			checkPerPublisherFIFO(t, msgs, publishers, perPublisher)
+		})
 	}
-	var msgs []*jms.Message
-	ctx := context.Background()
-	for len(msgs) < publishers*perPublisher {
-		m, err := sub.Receive(ctx)
-		if err != nil {
-			t.Fatal(err)
-		}
-		msgs = append(msgs, m)
-	}
-	wg.Wait()
-	checkPerPublisherFIFO(t, msgs, publishers, perPublisher)
 }
 
-// TestFastEngineFIFOThroughShutdownDrain fills the pipeline, closes the
-// broker, and checks that every accepted message is delivered in
-// per-publisher FIFO order by the shutdown drain.
-func TestFastEngineFIFOThroughShutdownDrain(t *testing.T) {
-	const publishers, perPublisher = 4, 200
-	b := broker.New(broker.Options{
-		Engine:           broker.EngineFast,
-		Shards:           4,
-		InFlight:         publishers * perPublisher,
-		SubscriberBuffer: publishers * perPublisher,
-	})
-	if err := b.ConfigureTopic("t"); err != nil {
-		t.Fatal(err)
-	}
-	sub, err := b.Subscribe("t", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+// TestFIFOThroughShutdownDrain fills the pipeline, closes the broker, and
+// checks that every accepted message is delivered in per-publisher FIFO
+// order by the shutdown drain, on both engines.
+func TestFIFOThroughShutdownDrain(t *testing.T) {
+	for _, engine := range engines {
+		t.Run(engine.String(), func(t *testing.T) {
+			const publishers, perPublisher = 4, 200
+			b := broker.New(broker.Options{
+				Engine:           engine,
+				Shards:           4,
+				InFlight:         publishers * perPublisher,
+				SubscriberBuffer: publishers * perPublisher,
+			})
+			if err := b.ConfigureTopic("t"); err != nil {
+				t.Fatal(err)
+			}
+			sub, err := b.Subscribe("t", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
 
-	var wg sync.WaitGroup
-	for p := 0; p < publishers; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			publishSeq(t, b, p, perPublisher)
-		}(p)
+			var wg sync.WaitGroup
+			for p := 0; p < publishers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					publishSeq(t, b, p, perPublisher)
+				}(p)
+			}
+			wg.Wait()
+			// All messages are accepted; many still sit in the pipeline.
+			// Close must drain them all before the subscriber channel
+			// closes.
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+			var msgs []*jms.Message
+			for m := range sub.Chan() {
+				msgs = append(msgs, m)
+			}
+			checkPerPublisherFIFO(t, msgs, publishers, perPublisher)
+		})
 	}
-	wg.Wait()
-	// All messages are accepted; many still sit in the pipeline. Close
-	// must drain them all before the subscriber channel closes.
-	if err := b.Close(); err != nil {
-		t.Fatal(err)
-	}
-	var msgs []*jms.Message
-	for m := range sub.Chan() {
-		msgs = append(msgs, m)
-	}
-	checkPerPublisherFIFO(t, msgs, publishers, perPublisher)
 }
 
 // TestFastEngineCopyOnWriteDelivery checks copy-on-write replication: all

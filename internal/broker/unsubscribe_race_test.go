@@ -1,0 +1,88 @@
+package broker_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/jms"
+)
+
+// TestUnsubscribeRacingDispatch races Subscriber.Unsubscribe against
+// in-flight dispatches on both stage implementations and asserts the
+// guarantee documented on Unsubscribe: once it has returned, not a single
+// further delivery is enqueued on the handle — even by a dispatch that was
+// already mid-pipeline, holding a topic snapshot that still contains the
+// subscriber. Run under -race this also exercises the send-lock handoff
+// between the transmit stage and Unsubscribe.
+func TestUnsubscribeRacingDispatch(t *testing.T) {
+	for _, engine := range engines {
+		t.Run(engine.String(), func(t *testing.T) {
+			const publishers = 4
+			b := broker.New(broker.Options{
+				Engine:           engine,
+				Shards:           4,
+				InFlight:         64,
+				SubscriberBuffer: 1 << 16,
+			})
+			defer func() { _ = b.Close() }()
+			if err := b.ConfigureTopic("t"); err != nil {
+				t.Fatal(err)
+			}
+			// The victim is unsubscribed mid-stream; the canary stays and
+			// serves as the progress barrier proving dispatches kept
+			// flowing after the unsubscribe.
+			victim, err := b.Subscribe("t", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			canary, err := b.Subscribe("t", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var wg sync.WaitGroup
+			for p := 0; p < publishers; p++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for ctx.Err() == nil {
+						if err := b.Publish(ctx, jms.NewMessage("t")); err != nil {
+							return
+						}
+					}
+				}()
+			}
+
+			// Let dispatches get in flight, then unsubscribe concurrently.
+			for victim.Delivered() < 100 {
+				time.Sleep(time.Millisecond)
+			}
+			if err := victim.Unsubscribe(); err != nil {
+				t.Fatal(err)
+			}
+			frozen := victim.Delivered()
+
+			// Barrier: wait until well over a pipeline's worth of further
+			// messages reached the canary, so any dispatch that was
+			// in flight during Unsubscribe has long been committed.
+			target := canary.Delivered() + 2000
+			deadline := time.Now().Add(5 * time.Second)
+			for canary.Delivered() < target {
+				if time.Now().After(deadline) {
+					t.Fatalf("canary stalled at %d deliveries", canary.Delivered())
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if got := victim.Delivered(); got != frozen {
+				t.Errorf("victim received %d deliveries after Unsubscribe returned (had %d)", got-frozen, frozen)
+			}
+			cancel()
+			wg.Wait()
+		})
+	}
+}

@@ -158,3 +158,23 @@ func FromThroughput(nFltr int, r float64, receivedPerSec float64) (Observation, 
 	}
 	return Observation{NFltr: nFltr, R: r, ServiceTime: 1 / receivedPerSec}, nil
 }
+
+// FromStages composes directly measured per-stage costs (seconds) into an
+// Observation with ServiceTime = tRcv + nFltr·tFltr + r·tTx — Eq. 1
+// assembled from its parts. Where FromThroughput infers E[B] from the
+// outside (the reciprocal of the saturated throughput), FromStages builds
+// it from the broker's per-stage instrumentation; fitting both kinds of
+// observation and comparing the constants closes the loop between the
+// running system and the model.
+func FromStages(nFltr int, r float64, tRcv, tFltr, tTx float64) (Observation, error) {
+	for _, v := range []float64{tRcv, tFltr, tTx} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return Observation{}, fmt.Errorf("%w: stage times (%g, %g, %g)", ErrBadObservation, tRcv, tFltr, tTx)
+		}
+	}
+	st := tRcv + float64(nFltr)*tFltr + r*tTx
+	if st <= 0 {
+		return Observation{}, fmt.Errorf("%w: non-positive composed service time %g", ErrBadObservation, st)
+	}
+	return Observation{NFltr: nFltr, R: r, ServiceTime: st}, nil
+}

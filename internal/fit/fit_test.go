@@ -154,3 +154,44 @@ func TestFitThroughputRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestFromStages(t *testing.T) {
+	// Composing Table-I-like constants and fitting the composed points
+	// recovers the constants exactly (the fit is the inverse of Eq. 1).
+	const tRcv, tFltr, tTx = 1.5e-5, 1.1e-6, 5.9e-6
+	var obs []Observation
+	for _, n := range []int{0, 50, 150, 450} {
+		for _, r := range []float64{1, 10, 30} {
+			o, err := FromStages(n, r, tRcv, tFltr, tTx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tRcv + float64(n)*tFltr + r*tTx
+			if math.Abs(o.ServiceTime-want)/want > 1e-12 {
+				t.Errorf("FromStages(%d,%g) ServiceTime = %g, want %g", n, r, o.ServiceTime, want)
+			}
+			obs = append(obs, o)
+		}
+	}
+	res, err := Fit(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Model.TRcv-tRcv)/tRcv > 1e-9 ||
+		math.Abs(res.Model.TFltr-tFltr)/tFltr > 1e-9 ||
+		math.Abs(res.Model.TTx-tTx)/tTx > 1e-9 {
+		t.Errorf("fit of composed stages = %+v, want (%g, %g, %g)", res.Model, tRcv, tFltr, tTx)
+	}
+}
+
+func TestFromStagesErrors(t *testing.T) {
+	if _, err := FromStages(5, 1, -1e-6, 1e-6, 1e-6); err == nil {
+		t.Error("negative stage time accepted")
+	}
+	if _, err := FromStages(0, 0, 0, 0, 0); err == nil {
+		t.Error("zero composed service time accepted")
+	}
+	if _, err := FromStages(5, 1, math.NaN(), 1e-6, 1e-6); err == nil {
+		t.Error("NaN stage time accepted")
+	}
+}

@@ -8,6 +8,7 @@ package metrics
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -160,6 +161,111 @@ func (b *BusyMeter) Utilization(now time.Time) (float64, error) {
 		u = 1
 	}
 	return u, nil
+}
+
+// HistogramBuckets is the number of log-scale duration buckets of a
+// Histogram. Bucket i counts observations d with 2^(i-1) ns <= d < 2^i ns
+// (bucket 0 holds sub-nanosecond and zero observations, the last bucket is
+// unbounded above), covering sub-ns to ~34 s.
+const HistogramBuckets = 36
+
+// Histogram accumulates a duration distribution with lock-free atomic
+// updates: count, sum, max, and fixed log2-scale buckets. It is the
+// per-stage timer of the broker's dispatch pipeline, cheap enough to sit on
+// the hot path (a handful of uncontended atomic adds per observation).
+// The zero value is ready for use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	max     atomic.Uint64 // nanoseconds
+	buckets [HistogramBuckets]atomic.Uint64
+}
+
+// bucketIndex returns the log2 bucket of a duration in nanoseconds.
+func bucketIndex(ns uint64) int {
+	i := bits.Len64(ns) // 0 for ns==0, k for 2^(k-1) <= ns < 2^k
+	if i >= HistogramBuckets {
+		i = HistogramBuckets - 1
+	}
+	return i
+}
+
+// Observe records one duration. Negative durations are clamped to zero
+// (the monotonic clock does not go backwards, but callers may subtract
+// wall-clock readings).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketIndex(ns)].Add(1)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Timer times one event into a Histogram.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer starts timing an event. Stop records the elapsed time.
+func StartTimer(h *Histogram) Timer { return Timer{h: h, start: time.Now()} }
+
+// Stop records the time elapsed since StartTimer.
+func (t Timer) Stop() { t.h.Observe(time.Since(t.start)) }
+
+// HistogramSnapshot is a point-in-time copy of a Histogram's state.
+type HistogramSnapshot struct {
+	// Count is the number of observations.
+	Count uint64
+	// Sum is the total observed time in nanoseconds.
+	Sum uint64
+	// Max is the largest single observation in nanoseconds.
+	Max uint64
+	// Buckets are the per-log2-bucket observation counts.
+	Buckets [HistogramBuckets]uint64
+}
+
+// Snapshot copies the histogram state. Concurrent observers may land
+// between the field reads, so totals are exact only while the histogram is
+// quiescent; for windowed measurement use two snapshots and Sub.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the mean observation, or 0 with no observations.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// Sub returns the histogram delta s - prev for windowed measurement
+// (count, sum and buckets subtract; Max cannot be windowed and is kept
+// from s, i.e. it remains the running maximum).
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	d := s
+	d.Count -= prev.Count
+	d.Sum -= prev.Sum
+	for i := range d.Buckets {
+		d.Buckets[i] -= prev.Buckets[i]
+	}
+	return d
 }
 
 // Snapshot is a point-in-time view of a named counter set, for reporting.

@@ -170,3 +170,115 @@ func TestRegistry(t *testing.T) {
 		t.Error("snapshot aliased registry state")
 	}
 }
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{0, 1, 1023, 1024, 5 * time.Microsecond, time.Millisecond} {
+		h.Observe(d)
+	}
+	h.Observe(-time.Second) // clamped to zero
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Errorf("Count = %d, want 7", s.Count)
+	}
+	wantSum := uint64(1 + 1023 + 1024 + 5000 + 1000000)
+	if s.Sum != wantSum {
+		t.Errorf("Sum = %d, want %d", s.Sum, wantSum)
+	}
+	if s.Max != 1000000 {
+		t.Errorf("Max = %d, want 1000000", s.Max)
+	}
+	if got := s.Mean(); got != time.Duration(wantSum/7) {
+		t.Errorf("Mean = %v, want %v", got, time.Duration(wantSum/7))
+	}
+	// Bucket placement: 0 ns twice in bucket 0; 1 ns in bucket 1 (2^0 <=
+	// 1 < 2^1); 1023 in bucket 10; 1024 in bucket 11.
+	for _, tc := range []struct{ bucket, want int }{{0, 2}, {1, 1}, {10, 1}, {11, 1}} {
+		if got := int(s.Buckets[tc.bucket]); got != tc.want {
+			t.Errorf("Buckets[%d] = %d, want %d", tc.bucket, got, tc.want)
+		}
+	}
+	var total uint64
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total != s.Count {
+		t.Errorf("bucket total %d != Count %d", total, s.Count)
+	}
+}
+
+func TestHistogramZeroValue(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Errorf("zero histogram snapshot = %+v", s)
+	}
+	if s.Mean() != 0 {
+		t.Errorf("Mean of empty histogram = %v, want 0", s.Mean())
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Duration(math.MaxInt64)) // far beyond the last bucket boundary
+	s := h.Snapshot()
+	if s.Buckets[HistogramBuckets-1] != 1 {
+		t.Errorf("huge observation not in last bucket: %v", s.Buckets)
+	}
+}
+
+func TestHistogramSub(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	before := h.Snapshot()
+	h.Observe(200)
+	h.Observe(300)
+	d := h.Snapshot().Sub(before)
+	if d.Count != 2 {
+		t.Errorf("delta Count = %d, want 2", d.Count)
+	}
+	if d.Sum != 500 {
+		t.Errorf("delta Sum = %d, want 500", d.Sum)
+	}
+	// Max is a running maximum, not windowed.
+	if d.Max != 300 {
+		t.Errorf("delta Max = %d, want 300 (running max)", d.Max)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, each = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(w*each + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*each {
+		t.Errorf("Count = %d, want %d", s.Count, workers*each)
+	}
+	if s.Max != workers*each-1 {
+		t.Errorf("Max = %d, want %d", s.Max, workers*each-1)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var h Histogram
+	tm := StartTimer(&h)
+	time.Sleep(time.Millisecond)
+	tm.Stop()
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count)
+	}
+	if s.Sum < uint64(500*time.Microsecond) {
+		t.Errorf("timed sleep recorded only %v", time.Duration(s.Sum))
+	}
+}
