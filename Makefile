@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench verify
+.PHONY: all build test race bench fuzz verify
 
 all: build test
 
@@ -12,13 +12,20 @@ test:
 
 # race runs the data-race detector over the packages with real concurrency:
 # the broker's dispatch engines (sharded fast path included), the lock-free
-# topic snapshots, the copy-on-write message views, and the wire layer's
-# pooled buffers.
+# topic snapshots, the copy-on-write message views, the wire layer's pooled
+# buffers, and the reliability stack (fault injection, reconnecting clients,
+# self-healing cluster bridges, conformance harness).
 race:
-	$(GO) test -race ./internal/jms/... ./internal/topic/... ./internal/broker/... ./internal/wire/... ./internal/client/...
+	$(GO) test -race ./internal/jms/... ./internal/topic/... ./internal/broker/... ./internal/wire/... ./internal/client/... ./internal/faultnet/... ./internal/cluster/... ./internal/conformance/...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 300ms .
+
+# fuzz smokes the two parsing surfaces fed by the network: the frame codec
+# and the JMS selector grammar. Seed corpora live under testdata/fuzz.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/wire/
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/selector/
 
 # verify is the tier-1 gate plus the race pass.
 verify: build test race

@@ -10,6 +10,7 @@
 //	jmsbench -identical          # the §III-B identical-filters experiment
 //	jmsbench -engine fast        # measure the optimized dispatch engine
 //	jmsbench -compare            # faithful-vs-fast throughput table
+//	jmsbench -chaos              # model vs simulation vs broker-under-faults
 package main
 
 import (
@@ -23,7 +24,10 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/broker"
+	"repro/internal/conformance"
 	"repro/internal/core"
+	"repro/internal/faultnet"
+	"repro/internal/replication"
 )
 
 func main() {
@@ -44,8 +48,12 @@ func run(args []string, stdout io.Writer) error {
 	shards := fs.Int("shards", 0, "fast engine: filter-matching workers per topic (0 = auto)")
 	compare := fs.Bool("compare", false, "run the sweep on both engines and print a faithful-vs-fast comparison table")
 	stages := fs.Bool("stages", false, "record per-stage pipeline timings and print measured t_rcv/t_fltr/t_tx next to the throughput fit")
+	chaos := fs.Bool("chaos", false, "run the conformance suite: closed forms vs simulator, then the live broker over a fault-injecting transport")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaos {
+		return runChaos(stdout)
 	}
 	engine, err := broker.ParseEngine(*engineName)
 	if err != nil {
@@ -192,6 +200,72 @@ func runCompare(cfg bench.NativeConfig, grid bench.StudyGrid, stdout io.Writer) 
 				fast.ReceivedRate/faithful.ReceivedRate)
 		}
 	}
+	return nil
+}
+
+// runChaos runs the conformance suite interactively: first the two
+// model legs (closed forms vs Lindley simulator) for the paper's three
+// replication families, then the live broker behind a fault-injecting
+// transport, compared against the M/G/1 prediction at the achieved
+// arrival rate.
+func runChaos(stdout io.Writer) error {
+	det, err := replication.NewDeterministic(5)
+	if err != nil {
+		return err
+	}
+	sb, err := replication.NewScaledBernoulli(20, 0.25)
+	if err != nil {
+		return err
+	}
+	bin, err := replication.NewBinomial(20, 0.25)
+	if err != nil {
+		return err
+	}
+	families := []struct {
+		name string
+		r    replication.Distribution
+	}{
+		{"deterministic(5)", det},
+		{"scaledBernoulli(20,0.25)", sb},
+		{"binomial(20,0.25)", bin},
+	}
+
+	fmt.Fprintf(stdout, "conformance leg 1: closed forms vs Lindley simulator (D=1, t_tx=0.2, rho=0.7)\n")
+	fmt.Fprintf(stdout, "  %-26s  %12s  %12s  %12s  %12s\n",
+		"replication", "E[W] model", "E[W] sim", "q99 model", "q99 sim")
+	for _, fam := range families {
+		cfg := conformance.Config{D: 1.0, TTx: 0.2, R: fam.r, Rho: 0.7, Seed: 7}
+		a, err := conformance.Analytic(cfg)
+		if err != nil {
+			return err
+		}
+		s, err := conformance.Simulated(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  %-26s  %12.4f  %12.4f  %12.4f  %12.4f\n",
+			fam.name, a.MeanWait, s.MeanWait, a.Quantile, s.Quantile)
+	}
+
+	fmt.Fprintf(stdout, "\nconformance leg 2: live broker over a fault-injecting transport\n")
+	res, err := conformance.RunBroker(conformance.BrokerConfig{
+		Rho:      0.6,
+		Messages: 4000,
+		Seed:     11,
+		Faults:   faultnet.Config{ResetAfterBytes: 96 << 10},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "  calibrated E[B] = %.2fus, achieved lambda = %.0f/s, rho = %.3f\n",
+		res.MeanService*1e6, res.Lambda, res.Rho)
+	fmt.Fprintf(stdout, "  zero-load floor: mean = %.2fus (subtracted from the observation)\n",
+		res.Baseline.MeanWait*1e6)
+	fmt.Fprintf(stdout, "  %-10s  %12s  %12s\n", "", "E[W] (us)", "q99 (us)")
+	fmt.Fprintf(stdout, "  %-10s  %12.2f  %12.2f\n", "observed", res.Observed.MeanWait*1e6, res.Observed.Quantile*1e6)
+	fmt.Fprintf(stdout, "  %-10s  %12.2f  %12.2f\n", "predicted", res.Predicted.MeanWait*1e6, res.Predicted.Quantile*1e6)
+	fmt.Fprintf(stdout, "  transport resets=%d client reconnects=%d publish retries=%d duplicates suppressed=%d\n",
+		res.Resets, res.Reconnects, res.PublishRetries, res.Duplicates)
 	return nil
 }
 

@@ -346,8 +346,34 @@ func (s *Subscriber) Filter() filter.Filter {
 // detaches the consumer — the durable subscription itself keeps
 // accumulating messages until UnsubscribeDurable.
 func (s *Subscriber) Unsubscribe() error {
+	return s.unsubscribe(nil)
+}
+
+// UnsubscribeRequeue is Unsubscribe for an acked consumer: the unacked
+// messages — delivered to the consumer but never acknowledged — are
+// returned to the head of the durable backlog (in their original
+// delivery order) before any residual still queued in the channel, so
+// the next attach redelivers them. On a non-durable subscription the
+// list is discarded (a disconnected non-durable subscriber is
+// forgotten, unacked deliveries included).
+func (s *Subscriber) UnsubscribeRequeue(unacked []*jms.Message) error {
+	return s.unsubscribe(unacked)
+}
+
+func (s *Subscriber) unsubscribe(unacked []*jms.Message) error {
 	var err error
 	s.once.Do(func() {
+		if s.durable != nil && len(unacked) > 0 {
+			// Stash before closing gone: closing gone can make the
+			// delivery goroutine run finish() immediately, and it must
+			// observe the requeue list there.
+			d := s.durable
+			d.mu.Lock()
+			if d.active == s {
+				d.preRequeue = unacked
+			}
+			d.mu.Unlock()
+		}
 		close(s.gone)
 		if s.durable != nil {
 			s.broker.detachDurable(s)

@@ -55,6 +55,11 @@ type durableSub struct {
 	// in-flight messages are requeued before anyone else runs).
 	detachReq   bool
 	deliverDone chan struct{}
+	// preRequeue holds the active consumer's unacked deliveries handed in
+	// by UnsubscribeRequeue; finish() prepends them to the backlog ahead
+	// of the channel residual (they left the channel first, so that is
+	// their original order).
+	preRequeue []*jms.Message
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -267,6 +272,10 @@ func (b *Broker) durableDeliver(d *durableSub, h *Subscriber) {
 			}
 		}
 		d.mu.Lock()
+		if requeue && len(d.preRequeue) > 0 {
+			residual = append(append([]*jms.Message{}, d.preRequeue...), residual...)
+		}
+		d.preRequeue = nil
 		if len(residual) > 0 {
 			d.backlog = append(residual, d.backlog...)
 		}

@@ -25,7 +25,36 @@ import (
 var (
 	// ErrClosed is returned after Close or when the server disconnects.
 	ErrClosed = errors.New("client: connection closed")
+	// ErrLost marks a connection that failed rather than being closed by
+	// the local Close: the read loop hit a network error, or a send
+	// failed. errors.Is(err, ErrLost) is the retryability signal the
+	// reconnect layer keys on — a locally closed client is final, a lost
+	// connection is worth redialling.
+	ErrLost = errors.New("client: connection lost")
 )
+
+// connError wraps the underlying network error of a lost connection. It
+// matches both ErrLost (new failure classification) and ErrClosed
+// (every pre-existing "the connection is gone" check keeps working), and
+// unwraps to the root cause for errors.Is(err, io.EOF) and friends.
+type connError struct {
+	err error
+}
+
+// Error implements the error interface.
+func (e *connError) Error() string { return "client: connection lost: " + e.err.Error() }
+
+// Unwrap exposes the classification sentinels and the underlying error.
+func (e *connError) Unwrap() []error { return []error{ErrLost, ErrClosed, e.err} }
+
+// lostErr classifies err as a lost-connection failure. A nil err (clean
+// EOF path already mapped) falls back to bare ErrLost.
+func lostErr(err error) error {
+	if err == nil {
+		return ErrLost
+	}
+	return &connError{err: err}
+}
 
 // ServerError is a request failure reported by the broker.
 type ServerError struct {
@@ -84,6 +113,16 @@ func NewClient(conn net.Conn) *Client {
 	return c
 }
 
+// Abandon terminates the connection while classifying in-flight and
+// subsequent calls as lost (retryable, errors.Is(err, ErrLost)) rather
+// than cleanly closed. The reliability layer uses it to discard a failed
+// connection it is replacing: callers blocked on that connection must
+// see a retryable failure, not a final Close.
+func (c *Client) Abandon() {
+	_ = c.conn.Close()
+	<-c.done
+}
+
 // Close terminates the connection. Pending requests fail with ErrClosed.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -114,14 +153,40 @@ func (c *Client) failAll(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.readErr = err
+	// Classify: a locally closed client fails pending calls with the
+	// clean ErrClosed; a connection that died under us reports ErrLost
+	// wrapping the read error, so callers can decide to retry.
+	failErr := error(ErrClosed)
+	if !c.closed {
+		failErr = lostErr(err)
+	}
 	for id, ch := range c.pending {
-		ch <- result{err: ErrClosed}
+		ch <- result{err: failErr}
 		delete(c.pending, id)
 	}
 	for _, sub := range c.subs {
 		sub.closeOnce()
 	}
 	c.subs = nil
+}
+
+// Done is closed when the read loop has exited — the connection is gone,
+// whether by Close or by failure. Err distinguishes the two.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Err reports why the connection is gone: nil while it is healthy,
+// ErrClosed after a local Close, and an ErrLost-matching error after a
+// network failure.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.readErr != nil {
+		return lostErr(c.readErr)
+	}
+	return nil
 }
 
 func (c *Client) dispatch(f wire.Frame) {
@@ -159,7 +224,7 @@ func (c *Client) dispatch(f wire.Frame) {
 		c.complete(reqID, result{err: &ServerError{Msg: msg}})
 
 	case wire.FrameMessage:
-		subID, m, err := wire.DecodeDelivery(f.Payload)
+		subID, seq, m, err := wire.DecodeDelivery(f.Payload)
 		if err != nil {
 			return
 		}
@@ -169,6 +234,14 @@ func (c *Client) dispatch(f wire.Frame) {
 		if sub != nil {
 			select {
 			case sub.ch <- m:
+				// Acked subscription (seq != 0): confirm once the message
+				// is safely in the local delivery queue. An unconfirmed
+				// delivery is requeued server-side on disconnect.
+				if seq != 0 {
+					c.writeMu.Lock()
+					_ = wire.WriteFrame(c.conn, wire.Frame{Type: wire.FrameMsgAck, Payload: wire.EncodeAck(subID, seq)})
+					c.writeMu.Unlock()
+				}
 			case <-sub.gone:
 			}
 		}
@@ -212,9 +285,14 @@ func (c *Client) callPayload(ctx context.Context, reqID uint64, typ wire.FrameTy
 	ch := make(chan result, 1)
 
 	c.mu.Lock()
-	if c.closed || c.readErr != nil {
+	if c.closed {
 		c.mu.Unlock()
 		return wire.Frame{}, ErrClosed
+	}
+	if c.readErr != nil {
+		readErr := c.readErr
+		c.mu.Unlock()
+		return wire.Frame{}, lostErr(readErr)
 	}
 	c.pending[reqID] = ch
 	c.mu.Unlock()
@@ -225,8 +303,14 @@ func (c *Client) callPayload(ctx context.Context, reqID uint64, typ wire.FrameTy
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, reqID)
+		closed := c.closed
 		c.mu.Unlock()
-		return wire.Frame{}, fmt.Errorf("client: send: %w", err)
+		if closed {
+			return wire.Frame{}, ErrClosed
+		}
+		// A failed send means the connection is dying under us — the
+		// same retryable class as a read-loop failure.
+		return wire.Frame{}, lostErr(fmt.Errorf("send: %w", err))
 	}
 
 	select {
@@ -288,9 +372,14 @@ func (c *Client) Subscribe(ctx context.Context, topicName string, spec wire.Filt
 	// so deliveries following the reply on the wire can never be lost.
 	reqID := c.reqID.Add(1)
 	c.mu.Lock()
-	if c.closed || c.readErr != nil {
+	if c.closed {
 		c.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if c.readErr != nil {
+		readErr := c.readErr
+		c.mu.Unlock()
+		return nil, lostErr(readErr)
 	}
 	c.pendingSubs[reqID] = sub
 	c.mu.Unlock()

@@ -1,0 +1,526 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/jms"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// This file adds the reliability layer on top of the bare Client: a
+// Reliable connection survives the transport faults the bare client
+// reports as ErrLost. It redials with exponential backoff and jitter,
+// transparently resubscribes its active subscriptions, and retries
+// publishes — stamping each message with a per-publisher sequence
+// number the server dedupes, so the at-least-once retry loop has an
+// effectively-once effect. The paper's measurement clients never needed
+// this (laboratory network); the ROADMAP's production north star does.
+
+// Reliability counter names registered in the metrics registry.
+const (
+	// MetricConnectionsLost counts detected connection failures.
+	MetricConnectionsLost = "reliability.connections_lost"
+	// MetricReconnects counts successful redials (with resubscribes done).
+	MetricReconnects = "reliability.reconnects"
+	// MetricPublishRetries counts publish attempts repeated after ErrLost.
+	MetricPublishRetries = "reliability.publish_retries"
+	// MetricResubscribes counts subscriptions re-established on redial.
+	MetricResubscribes = "reliability.resubscribes"
+	// MetricDuplicatesDropped counts redeliveries a ReliableSub suppressed.
+	MetricDuplicatesDropped = "reliability.duplicates_dropped"
+)
+
+// Backoff is an exponential backoff policy with jitter: attempt n (from
+// 0) sleeps Base·Factor^n, capped at Max, with a uniform ±Jitter
+// fraction applied so a fleet of reconnecting clients does not thunder.
+type Backoff struct {
+	// Base is the first delay. Default 10ms.
+	Base time.Duration
+	// Max caps the delay. Default 1s.
+	Max time.Duration
+	// Factor is the per-attempt multiplier. Default 2.
+	Factor float64
+	// Jitter is the relative spread: the delay is scaled by a uniform
+	// factor in [1-Jitter, 1+Jitter]. Default 0.2.
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 10 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0.2
+	}
+	return b
+}
+
+// Delay returns the sleep before attempt n (0-based), drawing the
+// jitter from rng. Safe to call with a nil rng (no jitter).
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if rng != nil && b.Jitter > 0 {
+		d *= 1 + b.Jitter*(2*rng.Float64()-1)
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	return time.Duration(d)
+}
+
+// State is the connection state a Reliable reports via OnState.
+type State int
+
+// Connection states.
+const (
+	// StateConnected: a healthy connection is installed.
+	StateConnected State = iota + 1
+	// StateReconnecting: the connection was lost; the redial loop runs.
+	StateReconnecting
+	// StateClosed: closed locally or the redial budget is exhausted.
+	StateClosed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateConnected:
+		return "connected"
+	case StateReconnecting:
+		return "reconnecting"
+	case StateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// ReliableOptions configure a Reliable connection.
+type ReliableOptions struct {
+	// Backoff is the redial policy. Zero value: 10ms base, 1s cap,
+	// factor 2, 20% jitter.
+	Backoff Backoff
+	// OnState, when non-nil, is called on every state transition with
+	// the error that caused it (nil for StateConnected). Called from the
+	// reliability goroutines; it must not block.
+	OnState func(State, error)
+	// Metrics receives the reliability counters. A private registry is
+	// created when nil.
+	Metrics *metrics.Registry
+	// PublisherID is the dedupe identity stamped into published
+	// messages. Default: derived from the seed so concurrent publishers
+	// get distinct identities.
+	PublisherID string
+	// MaxRedials bounds consecutive failed redial attempts before the
+	// connection gives up and reports StateClosed. 0 = never give up.
+	MaxRedials int
+	// Seed makes the jitter deterministic in tests. 0 seeds from the
+	// global source.
+	Seed int64
+}
+
+// Reliable is a broker connection that survives transport failures. It
+// wraps a current *Client, replaced on redial; Publish, Subscribe and
+// ConfigureTopic retry across replacements. Safe for concurrent use.
+type Reliable struct {
+	dial func() (*Client, error)
+	opts ReliableOptions
+	reg  *metrics.Registry
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu        sync.Mutex
+	cur       *Client
+	epoch     uint64 // bumped on every failure; stale watchers no-op
+	redialing bool
+	connReady chan struct{} // closed when a connection is (re)installed
+	closed    bool
+	lastErr   error
+	subs      map[*ReliableSub]struct{}
+
+	pubID string
+	seq   atomic.Int64
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// DialReliable connects to addr and returns a self-healing connection.
+// The initial dial is not retried (a bad address should fail fast);
+// failures after that are.
+func DialReliable(addr string, opts ReliableOptions) (*Reliable, error) {
+	return NewReliable(func() (*Client, error) { return Dial(addr) }, opts)
+}
+
+// NewReliable builds a Reliable around an arbitrary dial function (the
+// chaos tests dial through a fault-injecting transport).
+func NewReliable(dial func() (*Client, error), opts ReliableOptions) (*Reliable, error) {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	r := &Reliable{
+		dial:  dial,
+		opts:  opts,
+		reg:   reg,
+		rng:   rand.New(rand.NewSource(seed)),
+		subs:  make(map[*ReliableSub]struct{}),
+		pubID: opts.PublisherID,
+		done:  make(chan struct{}),
+	}
+	r.opts.Backoff = r.opts.Backoff.withDefaults()
+	if r.pubID == "" {
+		r.pubID = fmt.Sprintf("pub-%08x", uint32(seed)^uint32(seed>>32))
+	}
+	c, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	r.install(c)
+	r.setState(StateConnected, nil)
+	return r, nil
+}
+
+// Metrics returns the registry holding the reliability counters.
+func (r *Reliable) Metrics() *metrics.Registry { return r.reg }
+
+// PublisherID returns the dedupe identity stamped into publishes.
+func (r *Reliable) PublisherID() string { return r.pubID }
+
+func (r *Reliable) setState(s State, err error) {
+	if r.opts.OnState != nil {
+		r.opts.OnState(s, err)
+	}
+}
+
+// install makes c the current connection and starts its failure watcher.
+// Callers must not hold r.mu.
+func (r *Reliable) install(c *Client) {
+	r.mu.Lock()
+	r.cur = c
+	r.redialing = false
+	if r.connReady != nil {
+		close(r.connReady)
+		r.connReady = nil
+	}
+	epoch := r.epoch
+	r.mu.Unlock()
+	go r.watch(c, epoch)
+}
+
+// watch waits for the connection to die and triggers the redial loop.
+func (r *Reliable) watch(c *Client, epoch uint64) {
+	<-c.Done()
+	err := c.Err()
+	if errors.Is(err, ErrLost) {
+		r.noteFailure(epoch, err)
+	}
+	// A clean ErrClosed means we replaced or closed it ourselves.
+}
+
+// noteFailure reacts to a connection failure observed under the given
+// epoch. Concurrent observers (the watcher, failed publishes) dedupe on
+// the epoch: only the first starts the redial loop.
+func (r *Reliable) noteFailure(epoch uint64, cause error) {
+	r.mu.Lock()
+	if r.closed || r.redialing || epoch != r.epoch {
+		r.mu.Unlock()
+		return
+	}
+	r.epoch++
+	r.redialing = true
+	r.connReady = make(chan struct{})
+	old := r.cur
+	r.cur = nil
+	r.lastErr = cause
+	r.mu.Unlock()
+
+	if old != nil {
+		old.Abandon()
+	}
+	r.reg.Counter(MetricConnectionsLost).Inc()
+	r.setState(StateReconnecting, cause)
+	go r.redialLoop()
+}
+
+// redialLoop dials with backoff until a connection is installed with all
+// subscriptions re-established, or the budget runs out.
+func (r *Reliable) redialLoop() {
+	for attempt := 0; ; attempt++ {
+		if r.opts.MaxRedials > 0 && attempt >= r.opts.MaxRedials {
+			r.giveUp(fmt.Errorf("client: gave up after %d redials: %w", attempt, r.lastError()))
+			return
+		}
+		r.rngMu.Lock()
+		delay := r.opts.Backoff.Delay(attempt, r.rng)
+		r.rngMu.Unlock()
+		select {
+		case <-time.After(delay):
+		case <-r.done:
+			return
+		}
+
+		c, err := r.dial()
+		if err != nil {
+			r.setLastError(err)
+			continue
+		}
+		if err := r.reattach(c); err != nil {
+			_ = c.Close()
+			r.setLastError(err)
+			continue
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		r.mu.Unlock()
+		r.install(c)
+		r.reg.Counter(MetricReconnects).Inc()
+		r.setState(StateConnected, nil)
+		return
+	}
+}
+
+func (r *Reliable) setLastError(err error) {
+	r.mu.Lock()
+	r.lastErr = err
+	r.mu.Unlock()
+}
+
+func (r *Reliable) lastError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lastErr != nil {
+		return r.lastErr
+	}
+	return ErrLost
+}
+
+// giveUp closes the Reliable after the redial budget is exhausted.
+func (r *Reliable) giveUp(err error) {
+	r.mu.Lock()
+	r.closed = true
+	r.lastErr = err
+	if r.connReady != nil {
+		close(r.connReady)
+		r.connReady = nil
+	}
+	subs := make([]*ReliableSub, 0, len(r.subs))
+	for rs := range r.subs {
+		subs = append(subs, rs)
+	}
+	r.subs = nil
+	r.mu.Unlock()
+	r.doneOnce.Do(func() { close(r.done) })
+	for _, rs := range subs {
+		rs.markGone()
+	}
+	r.setState(StateClosed, err)
+}
+
+// reattach re-establishes every registered subscription on c. Durable
+// reattach can transiently fail with "already active" while the server
+// still tears down the old connection; the caller treats any error as
+// retryable and backs off.
+func (r *Reliable) reattach(c *Client) error {
+	r.mu.Lock()
+	subs := make([]*ReliableSub, 0, len(r.subs))
+	for rs := range r.subs {
+		subs = append(subs, rs)
+	}
+	r.mu.Unlock()
+	for _, rs := range subs {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		sub, err := c.Subscribe(ctx, rs.topic, rs.spec, rs.buffer)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("client: resubscribe %q: %w", rs.topic, err)
+		}
+		rs.handoff(sub)
+		r.reg.Counter(MetricResubscribes).Inc()
+	}
+	return nil
+}
+
+// current returns the installed connection and its epoch, waiting out a
+// redial in progress.
+func (r *Reliable) current(ctx context.Context) (*Client, uint64, error) {
+	for {
+		r.mu.Lock()
+		if r.closed {
+			err := r.lastErr
+			r.mu.Unlock()
+			if err != nil {
+				return nil, 0, err
+			}
+			return nil, 0, ErrClosed
+		}
+		if r.cur != nil {
+			c, epoch := r.cur, r.epoch
+			r.mu.Unlock()
+			return c, epoch, nil
+		}
+		ready := r.connReady
+		r.mu.Unlock()
+		if ready == nil {
+			return nil, 0, ErrClosed
+		}
+		select {
+		case <-ready:
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		case <-r.done:
+			return nil, 0, ErrClosed
+		}
+	}
+}
+
+// retryable reports whether err warrants a redial-and-retry: only
+// transport losses are; server errors and context cancellations are
+// final.
+func retryable(err error) bool {
+	return errors.Is(err, ErrLost)
+}
+
+// Publish sends a message, retrying across connection replacements until
+// the broker acknowledges or ctx expires. The message is stamped with
+// the publisher's dedupe identity, so a retried publish whose original
+// reached the broker is acknowledged without being published twice:
+// at-least-once retries, effectively-once delivery.
+func (r *Reliable) Publish(ctx context.Context, m *jms.Message) error {
+	if _, ok := m.Property(wire.PubIDProperty); !ok {
+		if err := m.SetStringProperty(wire.PubIDProperty, r.pubID); err != nil {
+			return err
+		}
+		if err := m.SetInt64Property(wire.PubSeqProperty, r.seq.Add(1)); err != nil {
+			return err
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		c, epoch, err := r.current(ctx)
+		if err != nil {
+			return err
+		}
+		err = c.Publish(ctx, m)
+		if err == nil {
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+		r.reg.Counter(MetricPublishRetries).Inc()
+		r.noteFailure(epoch, err)
+	}
+}
+
+// ConfigureTopic creates a topic, retrying across connection
+// replacements. A "duplicate topic" server error on a retry is success:
+// the first attempt reached the broker before the connection died.
+func (r *Reliable) ConfigureTopic(ctx context.Context, name string) error {
+	for attempt := 0; ; attempt++ {
+		c, epoch, err := r.current(ctx)
+		if err != nil {
+			return err
+		}
+		err = c.ConfigureTopic(ctx, name)
+		if err == nil {
+			return nil
+		}
+		var se *ServerError
+		if attempt > 0 && errors.As(err, &se) && strings.Contains(se.Msg, "duplicate topic") {
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+		r.noteFailure(epoch, err)
+	}
+}
+
+// DeleteDurable removes a named durable subscription, retrying across
+// connection replacements. A "no such durable" error on a retry is
+// success for the same reason as in ConfigureTopic.
+func (r *Reliable) DeleteDurable(ctx context.Context, topicName, name string) error {
+	for attempt := 0; ; attempt++ {
+		c, epoch, err := r.current(ctx)
+		if err != nil {
+			return err
+		}
+		err = c.DeleteDurable(ctx, topicName, name)
+		if err == nil {
+			return nil
+		}
+		var se *ServerError
+		if attempt > 0 && errors.As(err, &se) && strings.Contains(se.Msg, "no such durable") {
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+		r.noteFailure(epoch, err)
+	}
+}
+
+// Close shuts the Reliable down. Subscriptions end (Receive returns
+// ErrClosed); a redial in progress stops.
+func (r *Reliable) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.closed = true
+	cur := r.cur
+	r.cur = nil
+	if r.connReady != nil {
+		close(r.connReady)
+		r.connReady = nil
+	}
+	subs := make([]*ReliableSub, 0, len(r.subs))
+	for rs := range r.subs {
+		subs = append(subs, rs)
+	}
+	r.subs = nil
+	r.mu.Unlock()
+
+	r.doneOnce.Do(func() { close(r.done) })
+	var err error
+	if cur != nil {
+		err = cur.Close()
+	}
+	for _, rs := range subs {
+		rs.markGone()
+	}
+	r.setState(StateClosed, nil)
+	return err
+}

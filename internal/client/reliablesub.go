@@ -1,0 +1,245 @@
+package client
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/jms"
+	"repro/internal/wire"
+)
+
+// ReliableSub is a subscription that survives reconnects. The Reliable
+// re-subscribes it on every redial and hands the new underlying
+// *Subscription to the pump goroutine, which drains each incarnation in
+// turn into one continuous delivery channel. Redeliveries caused by the
+// server requeueing unacked messages are suppressed by the per-publisher
+// sequence numbers, so a durable acked ReliableSub observes each
+// stamped message exactly once, in order, across any number of
+// connection cuts.
+type ReliableSub struct {
+	r      *Reliable
+	topic  string
+	spec   wire.FilterSpec
+	buffer int
+
+	ch       chan *jms.Message
+	gone     chan struct{}
+	goneOnce sync.Once
+	attachCh chan *Subscription
+
+	mu  sync.Mutex
+	cur *Subscription // live incarnation, for Unsubscribe
+
+	dedupe subDedup
+}
+
+// Subscribe installs a filter on a topic through the reliability layer.
+// For end-to-end effectively-once delivery across faults, use a durable
+// spec with Acked set; a plain non-durable spec reconnects too but loses
+// the messages published while detached (non-durable semantics).
+func (r *Reliable) Subscribe(ctx context.Context, topicName string, spec wire.FilterSpec, buffer int) (*ReliableSub, error) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	rs := &ReliableSub{
+		r:        r,
+		topic:    topicName,
+		spec:     spec,
+		buffer:   buffer,
+		ch:       make(chan *jms.Message, buffer),
+		gone:     make(chan struct{}),
+		attachCh: make(chan *Subscription, 1),
+	}
+
+	// Register before the first attach: if the connection dies between
+	// the subscribe call and the registration, the redial loop must
+	// already know to re-establish this subscription.
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	r.subs[rs] = struct{}{}
+	r.mu.Unlock()
+	go rs.pump()
+
+	for {
+		c, epoch, err := r.current(ctx)
+		if err != nil {
+			rs.deregister()
+			rs.markGone()
+			return nil, err
+		}
+		sub, err := c.Subscribe(ctx, topicName, spec, buffer)
+		if err == nil {
+			rs.handoff(sub)
+			return rs, nil
+		}
+		if !retryable(err) {
+			rs.deregister()
+			rs.markGone()
+			return nil, err
+		}
+		r.noteFailure(epoch, err)
+	}
+}
+
+func (rs *ReliableSub) deregister() {
+	rs.r.mu.Lock()
+	if rs.r.subs != nil {
+		delete(rs.r.subs, rs)
+	}
+	rs.r.mu.Unlock()
+}
+
+// markGone ends the subscription stream; the pump closes rs.ch.
+func (rs *ReliableSub) markGone() {
+	rs.goneOnce.Do(func() { close(rs.gone) })
+}
+
+// handoff delivers a fresh underlying subscription to the pump. Called
+// by the initial Subscribe and by the redial loop's reattach.
+func (rs *ReliableSub) handoff(sub *Subscription) {
+	select {
+	case rs.attachCh <- sub:
+	case <-rs.gone:
+		// Subscription ended while reattaching; drop the incarnation.
+	}
+}
+
+// pump drains each underlying incarnation into the user channel,
+// deduping redeliveries. It is the sole sender on rs.ch.
+func (rs *ReliableSub) pump() {
+	defer close(rs.ch)
+	for {
+		select {
+		case sub := <-rs.attachCh:
+			rs.mu.Lock()
+			rs.cur = sub
+			rs.mu.Unlock()
+			if !rs.drain(sub) {
+				return
+			}
+		case <-rs.gone:
+			return
+		}
+	}
+}
+
+// drain forwards one incarnation's deliveries until its channel closes
+// (connection teardown). Returns false when the subscription ended.
+func (rs *ReliableSub) drain(sub *Subscription) bool {
+	for {
+		select {
+		case m, ok := <-sub.ch:
+			if !ok {
+				return true // incarnation died; await the next
+			}
+			if rs.dedupe.duplicate(m) {
+				rs.r.reg.Counter(MetricDuplicatesDropped).Inc()
+				continue
+			}
+			select {
+			case rs.ch <- m:
+			case <-rs.gone:
+				return false
+			}
+		case <-rs.gone:
+			return false
+		}
+	}
+}
+
+// Chan returns the delivery channel. It is closed when the subscription
+// ends (Unsubscribe, Close, or redial budget exhausted).
+func (rs *ReliableSub) Chan() <-chan *jms.Message { return rs.ch }
+
+// Receive blocks for the next message. It returns ErrClosed after the
+// subscription ended.
+func (rs *ReliableSub) Receive(ctx context.Context) (*jms.Message, error) {
+	select {
+	case m, ok := <-rs.ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return m, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Unsubscribe removes the subscription: the current incarnation is torn
+// down on the broker and no further incarnation is created. For a
+// durable subscription this detaches the consumer; the durable backlog
+// keeps accumulating until DeleteDurable.
+func (rs *ReliableSub) Unsubscribe(ctx context.Context) error {
+	rs.deregister()
+	rs.markGone()
+	rs.mu.Lock()
+	cur := rs.cur
+	rs.cur = nil
+	rs.mu.Unlock()
+	if cur == nil {
+		return nil
+	}
+	return cur.Unsubscribe(ctx)
+}
+
+// subDedup suppresses redelivered messages on the subscriber side, keyed
+// by the publisher dedupe identity. Messages without an identity (not
+// published through a Reliable) pass through unexamined. The window
+// logic mirrors the server's publish dedupe.
+type subDedup struct {
+	mu   sync.Mutex
+	pubs map[string]*subWindow
+}
+
+type subWindow struct {
+	maxSeq int64
+	seen   map[int64]struct{}
+}
+
+// subDedupWindow bounds remembered sequences per publisher.
+const subDedupWindow = 8192
+
+// duplicate records m's identity and reports whether it was seen before.
+func (sd *subDedup) duplicate(m *jms.Message) bool {
+	p, ok := m.Property(wire.PubIDProperty)
+	if !ok || p.Type != jms.TypeString {
+		return false
+	}
+	q, ok := m.Property(wire.PubSeqProperty)
+	if !ok || (q.Type != jms.TypeInt64 && q.Type != jms.TypeInt32) {
+		return false
+	}
+	pub, seq := p.S, q.I
+
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	if sd.pubs == nil {
+		sd.pubs = make(map[string]*subWindow)
+	}
+	w := sd.pubs[pub]
+	if w == nil {
+		w = &subWindow{seen: make(map[int64]struct{})}
+		sd.pubs[pub] = w
+	}
+	if seq <= w.maxSeq-subDedupWindow {
+		return true
+	}
+	if _, dup := w.seen[seq]; dup {
+		return true
+	}
+	w.seen[seq] = struct{}{}
+	if seq > w.maxSeq {
+		w.maxSeq = seq
+	}
+	if len(w.seen) > 2*subDedupWindow {
+		for s := range w.seen {
+			if s <= w.maxSeq-subDedupWindow {
+				delete(w.seen, s)
+			}
+		}
+	}
+	return false
+}

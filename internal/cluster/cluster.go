@@ -16,9 +16,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/broker"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/filter"
 	"repro/internal/jms"
@@ -38,16 +41,27 @@ var (
 )
 
 // Bridge forwards messages of one topic from a source to a target broker.
+//
+// Bridges share the client package's reconnect policy: when the source
+// subscription dies (member restart) the bridge resubscribes with
+// exponential backoff, and when the target refuses a publish because it
+// is closed the bridge retries against whatever broker the dst accessor
+// resolves to. A mesh built by NewMesh therefore heals by itself after
+// Cluster.Restart replaces a member.
 type Bridge struct {
-	src, dst *broker.Broker
-	sub      *broker.Subscriber
+	src, dst func() *broker.Broker
+	topic    string
 	maxHops  int
+	backoff  client.Backoff
+	rng      *rand.Rand // pump-goroutine only
 
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	forwarded, dropped uint64
 	mu                 sync.Mutex
+	sub                *broker.Subscriber
+	forwarded, dropped uint64
+	reconnects         uint64
 }
 
 // NewBridge starts forwarding topicName messages from src to dst. maxHops
@@ -56,10 +70,24 @@ func NewBridge(src, dst *broker.Broker, topicName string, maxHops int) (*Bridge,
 	if src == nil || dst == nil || src == dst {
 		return nil, fmt.Errorf("%w: src/dst", ErrParams)
 	}
+	return NewBridgeFunc(
+		func() *broker.Broker { return src },
+		func() *broker.Broker { return dst },
+		topicName, maxHops, client.Backoff{})
+}
+
+// NewBridgeFunc is NewBridge with dynamic endpoints: src and dst are
+// re-resolved on every reconnect and every forward, so the caller can
+// swap the underlying brokers (see Cluster.Restart) and the bridge
+// follows. bo zero-values fall back to the client package defaults.
+func NewBridgeFunc(src, dst func() *broker.Broker, topicName string, maxHops int, bo client.Backoff) (*Bridge, error) {
+	if src == nil || dst == nil {
+		return nil, fmt.Errorf("%w: src/dst", ErrParams)
+	}
 	if maxHops < 1 {
 		return nil, fmt.Errorf("%w: maxHops=%d", ErrParams, maxHops)
 	}
-	sub, err := src.Subscribe(topicName, nil)
+	sub, err := src().Subscribe(topicName, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -67,23 +95,32 @@ func NewBridge(src, dst *broker.Broker, topicName string, maxHops int) (*Bridge,
 	b := &Bridge{
 		src:     src,
 		dst:     dst,
-		sub:     sub,
+		topic:   topicName,
 		maxHops: maxHops,
+		backoff: bo,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		sub:     sub,
 		cancel:  cancel,
 		done:    make(chan struct{}),
 	}
-	go b.pump(ctx)
+	go b.pump(ctx, sub)
 	return b, nil
 }
 
-func (b *Bridge) pump(ctx context.Context) {
+func (b *Bridge) pump(ctx context.Context, sub *broker.Subscriber) {
 	defer close(b.done)
 	for {
 		var m *jms.Message
 		select {
-		case msg, ok := <-b.sub.Chan():
+		case msg, ok := <-sub.Chan():
 			if !ok {
-				return
+				// Source died (broker restarted or subscription torn
+				// down). Re-subscribe against the current src broker.
+				sub = b.resubscribe(ctx)
+				if sub == nil {
+					return
+				}
+				continue
 			}
 			m = msg
 		case <-ctx.Done():
@@ -103,15 +140,63 @@ func (b *Bridge) pump(ctx context.Context) {
 		if err := fwd.SetInt64Property(hopProperty, int64(hops-1)); err != nil {
 			continue
 		}
-		if err := b.dst.Publish(ctx, fwd); err != nil {
-			if ctx.Err() != nil || errors.Is(err, broker.ErrClosed) {
-				return
-			}
+		if !b.forward(ctx, fwd) {
+			return
+		}
+	}
+}
+
+// forward publishes one message to the current dst, retrying with
+// backoff while the target is closed (mid-restart). Returns false only
+// when the bridge context was cancelled.
+func (b *Bridge) forward(ctx context.Context, fwd *jms.Message) bool {
+	for attempt := 0; ; attempt++ {
+		err := b.dst().Publish(ctx, fwd)
+		if err == nil {
+			b.mu.Lock()
+			b.forwarded++
+			b.mu.Unlock()
+			return true
+		}
+		if ctx.Err() != nil {
+			return false
+		}
+		if !errors.Is(err, broker.ErrClosed) {
+			// Non-retryable publish failure (e.g. missing topic on a
+			// foreign broker): drop this message, keep the bridge up.
+			return true
+		}
+		select {
+		case <-time.After(b.backoff.Delay(attempt, b.rng)):
+		case <-ctx.Done():
+			return false
+		}
+	}
+}
+
+// resubscribe re-establishes the source subscription with backoff until
+// it succeeds or the bridge is closed. Returns nil on cancellation.
+func (b *Bridge) resubscribe(ctx context.Context) *broker.Subscriber {
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-time.After(b.backoff.Delay(attempt, b.rng)):
+		case <-ctx.Done():
+			return nil
+		}
+		sub, err := b.src().Subscribe(b.topic, nil)
+		if err != nil {
 			continue
 		}
+		if ctx.Err() != nil {
+			// Closed while resubscribing: do not leak the subscription.
+			_ = sub.Unsubscribe()
+			return nil
+		}
 		b.mu.Lock()
-		b.forwarded++
+		b.sub = sub
+		b.reconnects++
 		b.mu.Unlock()
+		return sub
 	}
 }
 
@@ -122,22 +207,38 @@ func (b *Bridge) Stats() (forwarded, dropped uint64) {
 	return b.forwarded, b.dropped
 }
 
+// Reconnects returns how many times the bridge re-established its
+// source subscription after losing it.
+func (b *Bridge) Reconnects() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reconnects
+}
+
 // Close stops the bridge and waits for its pump to exit.
 func (b *Bridge) Close() error {
 	b.cancel()
-	err := b.sub.Unsubscribe()
+	b.mu.Lock()
+	sub := b.sub
+	b.sub = nil
+	b.mu.Unlock()
+	var err error
+	if sub != nil {
+		err = sub.Unsubscribe()
+	}
 	<-b.done
 	return err
 }
 
 // Cluster is a full mesh of brokers bridged pairwise on one topic.
 type Cluster struct {
-	brokers []*broker.Broker
 	bridges []*Bridge
 	topic   string
+	opts    broker.Options
 
-	mu     sync.Mutex
-	closed bool
+	mu      sync.Mutex
+	brokers []*broker.Broker
+	closed  bool
 }
 
 // NewMesh builds a full mesh of k brokers over topicName. Every pair is
@@ -148,7 +249,7 @@ func NewMesh(k int, topicName string, opts broker.Options) (*Cluster, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("%w: mesh size %d", ErrParams, k)
 	}
-	c := &Cluster{topic: topicName}
+	c := &Cluster{topic: topicName, opts: opts}
 	for i := 0; i < k; i++ {
 		b := broker.New(opts)
 		if err := b.ConfigureTopic(topicName); err != nil {
@@ -162,7 +263,13 @@ func NewMesh(k int, topicName string, opts broker.Options) (*Cluster, error) {
 			if i == j {
 				continue
 			}
-			br, err := NewBridge(c.brokers[i], c.brokers[j], topicName, 1)
+			// Resolve endpoints through the cluster on every use so the
+			// bridge follows a member replaced by Restart.
+			src, dst := i, j
+			br, err := NewBridgeFunc(
+				func() *broker.Broker { return c.member(src) },
+				func() *broker.Broker { return c.member(dst) },
+				topicName, 1, client.Backoff{})
 			if err != nil {
 				_ = c.Close()
 				return nil, err
@@ -173,29 +280,91 @@ func NewMesh(k int, topicName string, opts broker.Options) (*Cluster, error) {
 	return c, nil
 }
 
-// Brokers returns the cluster members.
+// member returns the current broker for a slot.
+func (c *Cluster) member(i int) *broker.Broker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.brokers[i]
+}
+
+// Restart replaces member i with a fresh broker built from the same
+// options: the old instance is closed and the mesh heals on its own —
+// bridges sourcing from the member resubscribe against the replacement,
+// and bridges targeting it retry their forwards until the swap lands.
+// Subscribers on the restarted member are torn down with it, exactly as
+// a real broker restart would; re-subscribe against the new instance.
+func (c *Cluster) Restart(member int) error {
+	next := broker.New(c.opts)
+	if err := next.ConfigureTopic(c.topic); err != nil {
+		_ = next.Close()
+		return err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = next.Close()
+		return ErrClosed
+	}
+	if member < 0 || member >= len(c.brokers) {
+		c.mu.Unlock()
+		_ = next.Close()
+		return fmt.Errorf("%w: member %d of %d", ErrParams, member, len(c.brokers))
+	}
+	old := c.brokers[member]
+	c.brokers[member] = next
+	c.mu.Unlock()
+	// Closing old wakes every bridge subscribed to it; they find next
+	// through the accessor.
+	return old.Close()
+}
+
+// Brokers returns the current cluster members.
 func (c *Cluster) Brokers() []*broker.Broker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]*broker.Broker, len(c.brokers))
 	copy(out, c.brokers)
 	return out
 }
 
+// checkedMember resolves slot i under the lock, range-checked.
+func (c *Cluster) checkedMember(i int) (*broker.Broker, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.brokers) {
+		return nil, fmt.Errorf("%w: member %d of %d", ErrParams, i, len(c.brokers))
+	}
+	return c.brokers[i], nil
+}
+
 // Publish sends a message through member i.
 func (c *Cluster) Publish(ctx context.Context, member int, m *jms.Message) error {
-	if member < 0 || member >= len(c.brokers) {
-		return fmt.Errorf("%w: member %d of %d", ErrParams, member, len(c.brokers))
+	b, err := c.checkedMember(member)
+	if err != nil {
+		return err
 	}
-	return c.brokers[member].Publish(ctx, m)
+	return b.Publish(ctx, m)
 }
 
 // Subscribe installs a filter on member i only; the mesh guarantees the
 // member sees every message of the topic, so the subscriber behaves as if
 // its filter were installed on one big server.
 func (c *Cluster) Subscribe(member int, f filter.Filter) (*broker.Subscriber, error) {
-	if member < 0 || member >= len(c.brokers) {
-		return nil, fmt.Errorf("%w: member %d of %d", ErrParams, member, len(c.brokers))
+	b, err := c.checkedMember(member)
+	if err != nil {
+		return nil, err
 	}
-	return c.brokers[member].Subscribe(c.topic, f)
+	return b.Subscribe(c.topic, f)
+}
+
+// Reconnects sums the bridge reconnect counters: how many source
+// subscriptions the mesh re-established after member restarts.
+func (c *Cluster) Reconnects() uint64 {
+	var n uint64
+	for _, br := range c.bridges {
+		n += br.Reconnects()
+	}
+	return n
 }
 
 // Close shuts the bridges down first (so no forwarding races a closing
@@ -207,6 +376,8 @@ func (c *Cluster) Close() error {
 		return ErrClosed
 	}
 	c.closed = true
+	brokers := make([]*broker.Broker, len(c.brokers))
+	copy(brokers, c.brokers)
 	c.mu.Unlock()
 
 	var firstErr error
@@ -215,7 +386,7 @@ func (c *Cluster) Close() error {
 			firstErr = err
 		}
 	}
-	for _, b := range c.brokers {
+	for _, b := range brokers {
 		if err := b.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/filter"
 	"repro/internal/jms"
@@ -190,6 +192,172 @@ func TestMeshParamsAndClose(t *testing.T) {
 	}
 	if err := c.Close(); !errors.Is(err, ErrClosed) {
 		t.Errorf("double Close err = %v", err)
+	}
+}
+
+// TestMeshHealsAfterMemberRestart replaces a member mid-flight and
+// verifies both bridge directions recover: bridges sourcing from the
+// restarted member resubscribe against its replacement, and bridges
+// targeting it deliver into the replacement.
+func TestMeshHealsAfterMemberRestart(t *testing.T) {
+	const k = 3
+	c := newMesh(t, k)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if err := c.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart(-1); !errors.Is(err, ErrParams) {
+		t.Errorf("Restart(-1) err = %v", err)
+	}
+
+	subs := make([]*broker.Subscriber, k)
+	for i := range subs {
+		s, err := c.Subscribe(i, filter.All{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = s
+	}
+
+	// Healed source side: publish probes on the restarted member until one
+	// crosses a bridge (the 1->0 bridge must first resubscribe against the
+	// replacement broker; probes published before that are lost, as with a
+	// real non-durable restart).
+	probeSeen := make(chan struct{})
+	go func() {
+		for {
+			m, err := subs[0].Receive(ctx)
+			if err != nil {
+				return
+			}
+			if m.Header.CorrelationID == "probe" {
+				close(probeSeen)
+				return
+			}
+		}
+	}()
+probing:
+	for {
+		m := jms.NewMessage("t")
+		if err := m.SetCorrelationID("probe"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Publish(ctx, 1, m); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-probeSeen:
+			break probing
+		case <-time.After(10 * time.Millisecond):
+		case <-ctx.Done():
+			t.Fatal("bridge from restarted member never resubscribed")
+		}
+	}
+	if c.Reconnects() == 0 {
+		t.Error("mesh healed but Reconnects() = 0")
+	}
+
+	// Healed target side: a message published elsewhere reaches a
+	// subscriber on the replacement member.
+	m := jms.NewMessage("t")
+	if err := m.SetCorrelationID("final"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(ctx, 0, m); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < k; i++ {
+		for {
+			got, err := subs[i].Receive(ctx)
+			if err != nil {
+				t.Fatalf("member %d: %v", i, err)
+			}
+			if got.Header.CorrelationID == "final" {
+				break
+			}
+		}
+	}
+
+	// The restarted member must not echo: its subscriber saw each probe at
+	// most once plus the final message; strictly fewer deliveries than
+	// 2x(published) proves the hop budget still holds. A cheap check:
+	// no duplicates of "final" arrive within a settle window.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case got := <-subs[1].Chan():
+		if got.Header.CorrelationID == "final" {
+			t.Error("restarted member received the message twice")
+		}
+	default:
+	}
+}
+
+// TestBridgeForwardRetriesWhileTargetRestarts pins the dst-side retry
+// path: the bridge holds a message while its target is closed and
+// delivers it once a replacement appears.
+func TestBridgeForwardRetriesWhileTargetRestarts(t *testing.T) {
+	src := broker.New(broker.Options{})
+	defer func() { _ = src.Close() }()
+	if err := src.ConfigureTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	dst := broker.New(broker.Options{})
+	if err := dst.ConfigureTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+	current := func() *broker.Broker {
+		mu.Lock()
+		defer mu.Unlock()
+		return dst
+	}
+	br, err := NewBridgeFunc(
+		func() *broker.Broker { return src },
+		current,
+		"t", 1, client.Backoff{Base: time.Millisecond, Max: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = br.Close() }()
+
+	// Close the target with no replacement yet, then publish: the bridge
+	// must park in its retry loop instead of dying.
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m := jms.NewMessage("t")
+	if err := m.SetCorrelationID("held"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Publish(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	next := broker.New(broker.Options{})
+	defer func() { _ = next.Close() }()
+	if err := next.ConfigureTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := next.Subscribe("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	dst = next
+	mu.Unlock()
+
+	got, err := sub.Receive(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.CorrelationID != "held" {
+		t.Errorf("corrID = %q", got.Header.CorrelationID)
 	}
 }
 

@@ -1,0 +1,89 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/replication"
+)
+
+// families returns one representative of each replication-grade family,
+// all with mean 5, matching the paper's Section IV-B trio.
+func families(t *testing.T) map[string]replication.Distribution {
+	t.Helper()
+	det, err := replication.NewDeterministic(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := replication.NewScaledBernoulli(20, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := replication.NewBinomial(20, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]replication.Distribution{
+		"deterministic":   det,
+		"scaledBernoulli": sb,
+		"binomial":        bin,
+	}
+}
+
+// TestAnalyticVsSimulated is the statistical conformance check: for all
+// three replication families the closed forms and the Lindley-recursion
+// simulator must agree on E[W] and the 99% quantile. Fixed seed; the
+// tolerances hold with margin at these sample sizes (CI-safe).
+func TestAnalyticVsSimulated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical run")
+	}
+	for name, r := range families(t) {
+		r := r
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				D:         1.0,
+				TTx:       0.2,
+				R:         r,
+				Rho:       0.7,
+				Customers: 400000,
+				Warmup:    20000,
+				Seed:      7,
+			}
+			a, err := Analytic(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := Simulated(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("analytic mean=%.4f q99=%.4f | simulated mean=%.4f q99=%.4f",
+				a.MeanWait, a.Quantile, s.MeanWait, s.Quantile)
+			// E[W] is exact (Pollaczek–Khinchine): tight tolerance. The
+			// quantile goes through the Gamma approximation of Eq. 20,
+			// which is approximate by construction: looser tolerance.
+			if err := agree("mean wait", a.MeanWait, s.MeanWait, 0.03, 0); err != nil {
+				t.Error(err)
+			}
+			if err := agree("99% quantile", a.Quantile, s.Quantile, 0.15, 0); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestCheckAgreement(t *testing.T) {
+	a := Point{MeanWait: 1.00, Quantile: 5.0}
+	b := Point{MeanWait: 1.04, Quantile: 5.2}
+	if err := CheckAgreement(a, b, 0.05, 0); err != nil {
+		t.Errorf("5%% band rejected 4%% error: %v", err)
+	}
+	if err := CheckAgreement(a, b, 0.01, 0); err == nil {
+		t.Error("1% band accepted 4% error")
+	}
+	// The absolute floor tolerates noise around zero.
+	if err := CheckAgreement(Point{}, Point{MeanWait: 1e-9, Quantile: 2e-9}, 0, 1e-8); err != nil {
+		t.Errorf("absolute floor failed: %v", err)
+	}
+}

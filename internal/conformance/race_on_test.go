@@ -1,0 +1,13 @@
+//go:build race
+
+package conformance
+
+// raceEnabled reports whether the race detector is compiled in. The
+// broker leg calibrates E[B] and then loads the broker at a target
+// utilization derived from it; race instrumentation slows the dispatch
+// path by an order of magnitude, pushing the actual utilization past 1
+// and blowing up the very waiting times under test, so the wall-clock
+// leg is skipped under -race. (Race coverage of the reliability layer
+// itself lives in the client, faultnet and cluster test suites, which
+// assert delivery, not timing.)
+const raceEnabled = true

@@ -1,0 +1,242 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pair returns a wrapped server-side conn and a raw client-side conn
+// over loopback TCP.
+func pair(t *testing.T, n *Network) (server net.Conn, client net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := n.Wrap(ln)
+	t.Cleanup(func() { _ = wrapped.Close() })
+
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := wrapped.Accept()
+		ch <- res{c, err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { _ = r.c.Close() })
+	return r.c, client
+}
+
+func TestTransparentByDefault(t *testing.T) {
+	n := New(Config{Seed: 1})
+	server, client := pair(t, n)
+	msg := []byte("hello over a zero-fault network")
+	go func() { _, _ = server.Write(msg) }()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(client, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+	if s := n.Stats(); s.Resets != 0 || s.CorruptedWrites != 0 {
+		t.Fatalf("zero-fault network injected faults: %+v", s)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	n := New(Config{Seed: 1, Latency: 20 * time.Millisecond})
+	server, client := pair(t, n)
+	start := time.Now()
+	go func() { _, _ = server.Write([]byte("x")) }()
+	got := make([]byte, 1)
+	if _, err := io.ReadFull(client, got); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("write arrived after %v, want >= ~20ms of injected latency", el)
+	}
+}
+
+func TestCorruption(t *testing.T) {
+	n := New(Config{Seed: 7, CorruptProb: 1})
+	server, client := pair(t, n)
+	msg := bytes.Repeat([]byte{0x00}, 64)
+	orig := append([]byte(nil), msg...)
+	go func() { _, _ = server.Write(msg) }()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(client, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("CorruptProb=1 write arrived uncorrupted")
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Fatal("corruption modified the caller's buffer")
+	}
+	if s := n.Stats(); s.CorruptedWrites == 0 {
+		t.Fatal("corrupted write not counted")
+	}
+}
+
+func TestResetAfterBytes(t *testing.T) {
+	n := New(Config{Seed: 1, ResetAfterBytes: 10})
+	server, client := pair(t, n)
+	if _, err := server.Write(make([]byte, 4)); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	nn, err := server.Write(make([]byte, 32))
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("budget-exceeding write: n=%d err=%v, want ErrInjectedReset", nn, err)
+	}
+	if nn >= 32 {
+		t.Fatalf("budget-exceeding write reported full length %d", nn)
+	}
+	// The client eventually observes the cut.
+	_ = client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	total := 0
+	for {
+		k, err := client.Read(buf)
+		total += k
+		if err != nil {
+			break
+		}
+	}
+	if total >= 4+32 {
+		t.Fatalf("client received %d bytes across an injected reset", total)
+	}
+	if s := n.Stats(); s.Resets != 1 {
+		t.Fatalf("resets = %d, want 1", s.Resets)
+	}
+}
+
+func TestResetProb(t *testing.T) {
+	n := New(Config{Seed: 3, ResetProb: 1})
+	server, _ := pair(t, n)
+	if _, err := server.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("err = %v, want ErrInjectedReset", err)
+	}
+	if _, err := server.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write after reset: err = %v, want ErrInjectedReset", err)
+	}
+}
+
+func TestKillAll(t *testing.T) {
+	n := New(Config{Seed: 1})
+	server, client := pair(t, n)
+	if got := n.NumConns(); got != 1 {
+		t.Fatalf("NumConns = %d, want 1", got)
+	}
+	if killed := n.KillAll(); killed != 1 {
+		t.Fatalf("KillAll = %d, want 1", killed)
+	}
+	if _, err := server.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write after KillAll: %v, want ErrInjectedReset", err)
+	}
+	_ = client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := client.Read(make([]byte, 1)); err == nil {
+		t.Fatal("client read succeeded across KillAll")
+	}
+	if got := n.NumConns(); got != 0 {
+		t.Fatalf("NumConns after KillAll = %d, want 0", got)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := New(Config{Seed: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := n.Wrap(ln)
+	defer wrapped.Close()
+
+	accepted := make(chan net.Conn, 4)
+	go func() {
+		for {
+			c, err := wrapped.Accept()
+			if err != nil {
+				close(accepted)
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	n.Partition(true)
+	c1, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The partitioned acceptor closes the conn at once: the dialler's
+	// read fails instead of blocking.
+	_ = c1.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c1.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read succeeded through a partition")
+	}
+	_ = c1.Close()
+
+	n.Partition(false)
+	c2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	select {
+	case sc := <-accepted:
+		defer sc.Close()
+	case <-time.After(2 * time.Second):
+		t.Fatal("no accept after the partition healed")
+	}
+	if s := n.Stats(); s.Refused == 0 || s.Accepted == 0 {
+		t.Fatalf("stats = %+v, want refused and accepted both counted", s)
+	}
+}
+
+func TestBandwidthCap(t *testing.T) {
+	// 10 KiB at 100 KiB/s should take ~100ms.
+	n := New(Config{Seed: 1, BandwidthBps: 100 * 1024})
+	server, client := pair(t, n)
+	go func() { _, _ = io.Copy(io.Discard, client) }()
+	start := time.Now()
+	if _, err := server.Write(make([]byte, 10*1024)); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Fatalf("10KiB at 100KiB/s finished in %v, want >= ~100ms", el)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	// Same seed, same sequence of corruption decisions.
+	run := func(seed int64) []bool {
+		n := New(Config{Seed: seed, CorruptProb: 0.5})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			out = append(out, n.roll() < 0.5)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d with equal seeds", i)
+		}
+	}
+}

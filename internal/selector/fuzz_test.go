@@ -1,0 +1,61 @@
+package selector
+
+import (
+	"testing"
+
+	"repro/internal/jms"
+)
+
+// FuzzParse feeds arbitrary source through the selector pipeline. The
+// contract under fuzz: Parse never panics; whatever it accepts must
+// print (String), re-parse, and reach a printing fixpoint — the second
+// print equals the first — and evaluation of an accepted AST against a
+// representative message never panics either. This pins the
+// parser/printer pair together: any expression the parser admits is
+// expressible in its own output syntax.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"qty > 10 AND region = 'emea'",
+		"price BETWEEN 1.5 AND 9.75 OR NOT urgent",
+		"region IN ('emea', 'apac') AND qty + 2 * 3 >= -4",
+		"name LIKE 'ord_%' ESCAPE '\\'",
+		"JMSCorrelationID = '#7' AND missing IS NULL",
+		"TRUE OR (qty <> 3)",
+		"qty BETWEEN",       // truncated
+		"'unterminated",     // lexer error
+		"region = emea AND", // dangling operator
+		"1 + 2",             // non-boolean root
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	m := jms.NewMessage("orders")
+	_ = m.SetCorrelationID("#7")
+	_ = m.SetInt32Property("qty", 12)
+	_ = m.SetFloat64Property("price", 9.75)
+	_ = m.SetStringProperty("region", "emea")
+	_ = m.SetBoolProperty("urgent", false)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := n.String()
+		n2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own print %q: %v", src, printed, err)
+		}
+		if again := n2.String(); again != printed {
+			t.Fatalf("printing not a fixpoint:\n%q\n%q", printed, again)
+		}
+		// Evaluation must be total on accepted ASTs (three-valued, so
+		// missing properties and type mismatches are Unknown, not panics).
+		v1 := Eval(n, m)
+		v2 := Eval(n2, m)
+		if v1 != v2 {
+			t.Fatalf("reparsed AST evaluates differently: %v vs %v", v1, v2)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package topic_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/jms"
+	"repro/internal/topic"
+)
+
+// randomFilter draws one filter from every family the index treats
+// differently: match-all, hash-indexed exact correlation IDs, globbed
+// and ranged correlation IDs (grouped linear fallback), property
+// selectors, and AND/OR composites. The pools are small on purpose so
+// duplicates are common and the index's rule deduplication is exercised.
+func randomFilter(t *testing.T, rng *rand.Rand, depth int) filter.Filter {
+	t.Helper()
+	mk := func(f filter.Filter, err error) filter.Filter {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	top := 7
+	if depth > 0 {
+		top = 9 // composites only at the top level, to bound depth
+	}
+	switch rng.Intn(top) {
+	case 0:
+		return filter.All{}
+	case 1, 2:
+		return mk(filter.NewCorrelationID(fmt.Sprintf("#%d", rng.Intn(8))))
+	case 3:
+		return mk(filter.NewCorrelationID(fmt.Sprintf("ord-%d*", rng.Intn(3))))
+	case 4:
+		return mk(filter.NewCorrelationID(fmt.Sprintf("#[%d;%d]", rng.Intn(4), 4+rng.Intn(4))))
+	case 5:
+		return mk(filter.NewProperty(fmt.Sprintf("qty > %d", rng.Intn(10))))
+	case 6:
+		return mk(filter.NewProperty(fmt.Sprintf("region = 'r%d'", rng.Intn(3))))
+	case 7:
+		return mk(filter.NewAnd(randomFilter(t, rng, 0), randomFilter(t, rng, 0)))
+	default:
+		return mk(filter.NewOr(randomFilter(t, rng, 0), randomFilter(t, rng, 0)))
+	}
+}
+
+// randomMessage draws correlation IDs and properties from the same
+// pools randomFilter targets, so matches are neither certain nor rare.
+func randomMessage(t *testing.T, rng *rand.Rand) *jms.Message {
+	t.Helper()
+	m := jms.NewMessage("t")
+	var corrID string
+	switch rng.Intn(3) {
+	case 0:
+		corrID = fmt.Sprintf("#%d", rng.Intn(8))
+	case 1:
+		corrID = fmt.Sprintf("ord-%d%d", rng.Intn(3), rng.Intn(100))
+	default:
+		corrID = "other"
+	}
+	if err := m.SetCorrelationID(corrID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetInt32Property("qty", int32(rng.Intn(12))); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetStringProperty("region", fmt.Sprintf("r%d", rng.Intn(4))); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestIndexMatchesLinearScan is the metamorphic equivalence check behind
+// the fast engine's correctness claim: for random subscription
+// populations and random messages, FilterIndex.Match must select exactly
+// the subscriptions a faithful linear scan over Filter.Matches selects.
+// The index's hashing, match-all bucketing, and rule grouping are pure
+// reorganizations of that scan; any divergence is a defect.
+func TestIndexMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 50; round++ {
+		nSubs := 1 + rng.Intn(120)
+		subs := make([]*topic.Subscription, nSubs)
+		for i := range subs {
+			subs[i] = &topic.Subscription{
+				ID:     topic.SubscriptionID(i + 1),
+				Topic:  "t",
+				Filter: randomFilter(t, rng, 1),
+			}
+		}
+		idx := topic.BuildIndex(subs)
+		if idx.NumSubscriptions() != nSubs {
+			t.Fatalf("round %d: index holds %d of %d subscriptions", round, idx.NumSubscriptions(), nSubs)
+		}
+
+		for msg := 0; msg < 20; msg++ {
+			m := randomMessage(t, rng)
+
+			var want []topic.SubscriptionID
+			for _, s := range subs {
+				if s.Filter.Matches(m) {
+					want = append(want, s.ID)
+				}
+			}
+
+			matched, evals := idx.Match(m, nil)
+			got := make([]topic.SubscriptionID, len(matched))
+			for i, s := range matched {
+				got[i] = s.ID
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+
+			if len(got) != len(want) {
+				t.Fatalf("round %d msg %q: index matched %d subs, scan matched %d\nindex: %v\nscan:  %v",
+					round, m.Header.CorrelationID, len(got), len(want), got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("round %d msg %q: match sets diverge at %d: index %v, scan %v",
+						round, m.Header.CorrelationID, i, got, want)
+				}
+			}
+			if evals > nSubs {
+				t.Fatalf("round %d: index spent %d evaluations on %d subscriptions — worse than the scan it replaces",
+					round, evals, nSubs)
+			}
+		}
+	}
+}

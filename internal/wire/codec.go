@@ -315,6 +315,12 @@ type FilterSpec struct {
 	Mode        FilterMode
 	Expr        string
 	DurableName string
+	// Acked requests acknowledged delivery: every MESSAGE frame carries a
+	// delivery sequence number the consumer must answer with MSG_ACK, and
+	// deliveries that were written but never acked when the connection
+	// dies are requeued to the durable backlog instead of being lost.
+	// Only meaningful together with DurableName.
+	Acked bool
 }
 
 // FilterMode selects the filter family in a FilterSpec.
@@ -330,14 +336,22 @@ const (
 	FilterSelector
 )
 
+// subscribeAcked is the flags bit requesting acknowledged delivery.
+const subscribeAcked = 1 << 0
+
 // EncodeSubscribe builds a SUBSCRIBE payload: topic str, mode u8, expr
-// str, durable name str (empty for non-durable).
+// str, durable name str (empty for non-durable), flags u8.
 func EncodeSubscribe(topicName string, spec FilterSpec) []byte {
 	var e encoder
 	e.str(topicName)
 	e.u8(uint8(spec.Mode))
 	e.str(spec.Expr)
 	e.str(spec.DurableName)
+	var flags uint8
+	if spec.Acked {
+		flags |= subscribeAcked
+	}
+	e.u8(flags)
 	return e.buf
 }
 
@@ -358,6 +372,11 @@ func DecodeSubscribe(payload []byte) (topicName string, spec FilterSpec, err err
 	if spec.DurableName, err = d.str(); err != nil {
 		return "", FilterSpec{}, err
 	}
+	flags, err := d.u8()
+	if err != nil {
+		return "", FilterSpec{}, err
+	}
+	spec.Acked = flags&subscribeAcked != 0
 	return topicName, spec, nil
 }
 
@@ -374,28 +393,52 @@ func DecodeU64(payload []byte) (uint64, error) {
 	return d.u64()
 }
 
-// EncodeDelivery builds a MESSAGE payload: subscription id u64, then the
-// encoded message.
-func EncodeDelivery(subID uint64, m *jms.Message) []byte {
-	return AppendDelivery(make([]byte, 0, 8+messageSizeHint(m)), subID, m)
+// EncodeDelivery builds a MESSAGE payload: subscription id u64, delivery
+// sequence u64 (0 when the subscription is not acked), then the encoded
+// message.
+func EncodeDelivery(subID, seq uint64, m *jms.Message) []byte {
+	return AppendDelivery(make([]byte, 0, 16+messageSizeHint(m)), subID, seq, m)
 }
 
 // AppendDelivery appends a MESSAGE payload to buf and returns the extended
 // slice — the zero-extra-copy form of EncodeDelivery for pooled buffers.
-func AppendDelivery(buf []byte, subID uint64, m *jms.Message) []byte {
+func AppendDelivery(buf []byte, subID, seq uint64, m *jms.Message) []byte {
 	e := encoder{buf: buf}
 	e.u64(subID)
+	e.u64(seq)
 	return AppendMessage(e.buf, m)
 }
 
 // DecodeDelivery parses a MESSAGE payload.
-func DecodeDelivery(payload []byte) (subID uint64, m *jms.Message, err error) {
+func DecodeDelivery(payload []byte) (subID, seq uint64, m *jms.Message, err error) {
 	d := decoder{buf: payload}
 	if subID, err = d.u64(); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
+	}
+	if seq, err = d.u64(); err != nil {
+		return 0, 0, nil, err
 	}
 	m, err = DecodeMessage(payload[d.off:])
-	return subID, m, err
+	return subID, seq, m, err
+}
+
+// EncodeAck builds a MSG_ACK payload: subscription id u64, delivery
+// sequence u64. MSG_ACK frames carry no request ID.
+func EncodeAck(subID, seq uint64) []byte {
+	var e encoder
+	e.u64(subID)
+	e.u64(seq)
+	return e.buf
+}
+
+// DecodeAck parses a MSG_ACK payload.
+func DecodeAck(payload []byte) (subID, seq uint64, err error) {
+	d := decoder{buf: payload}
+	if subID, err = d.u64(); err != nil {
+		return 0, 0, err
+	}
+	seq, err = d.u64()
+	return subID, seq, err
 }
 
 // EncodeError builds an ERROR payload: request id u64, message str.

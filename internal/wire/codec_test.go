@@ -155,6 +155,7 @@ func TestSubscribeRoundTrip(t *testing.T) {
 		{Mode: FilterNone},
 		{Mode: FilterCorrelationID, Expr: "[7;13]"},
 		{Mode: FilterSelector, Expr: "user = 'alice' AND age > 3"},
+		{Mode: FilterNone, DurableName: "audit", Acked: true},
 	}
 	for _, spec := range specs {
 		payload := EncodeSubscribe("presence", spec)
@@ -170,12 +171,12 @@ func TestSubscribeRoundTrip(t *testing.T) {
 
 func TestDeliveryRoundTrip(t *testing.T) {
 	m := newRichMessage(t)
-	subID, got, err := DecodeDelivery(EncodeDelivery(99, m))
+	subID, seq, got, err := DecodeDelivery(EncodeDelivery(99, 41, m))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if subID != 99 {
-		t.Errorf("subID = %d", subID)
+	if subID != 99 || seq != 41 {
+		t.Errorf("subID, seq = %d, %d", subID, seq)
 	}
 	if got.Header.CorrelationID != "#0" {
 		t.Errorf("corrID = %q", got.Header.CorrelationID)
@@ -285,8 +286,9 @@ func TestDecodersNeverPanic(t *testing.T) {
 			}()
 			_, _ = DecodeMessage(payload)
 			_, _, _ = DecodeSubscribe(payload)
-			_, _, _ = DecodeDelivery(payload)
+			_, _, _, _ = DecodeDelivery(payload)
 			_, _, _ = DecodeError(payload)
+			_, _, _ = DecodeAck(payload)
 			_, _ = DecodeU64(payload)
 			_, _ = DecodeString(payload)
 		}()
@@ -370,17 +372,17 @@ func TestEncodeMessagePreSized(t *testing.T) {
 
 func TestAppendDeliveryMatchesEncode(t *testing.T) {
 	m := testMessage(t)
-	want := EncodeDelivery(9, m)
-	got := AppendDelivery(nil, 9, m)
+	want := EncodeDelivery(9, 3, m)
+	got := AppendDelivery(nil, 9, 3, m)
 	if !bytes.Equal(got, want) {
 		t.Error("AppendDelivery differs from EncodeDelivery")
 	}
-	subID, dm, err := DecodeDelivery(got)
+	subID, seq, dm, err := DecodeDelivery(got)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if subID != 9 || dm.Header.CorrelationID != "#7" {
-		t.Errorf("DecodeDelivery = (%d, %q), want (9, #7)", subID, dm.Header.CorrelationID)
+	if subID != 9 || seq != 3 || dm.Header.CorrelationID != "#7" {
+		t.Errorf("DecodeDelivery = (%d, %d, %q), want (9, 3, #7)", subID, seq, dm.Header.CorrelationID)
 	}
 }
 

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/jms"
+)
+
+func TestPubDedupRecord(t *testing.T) {
+	var pd pubDedup
+	if !pd.record("a", 1) {
+		t.Fatal("first (a,1) classified duplicate")
+	}
+	if pd.record("a", 1) {
+		t.Fatal("second (a,1) classified new")
+	}
+	if !pd.record("a", 2) {
+		t.Fatal("(a,2) classified duplicate")
+	}
+	if !pd.record("b", 1) {
+		t.Fatal("(b,1) classified duplicate: publishers must be independent")
+	}
+	// Out-of-order within the window is fine.
+	if !pd.record("a", 100) || !pd.record("a", 50) {
+		t.Fatal("out-of-order sequences within the window rejected")
+	}
+	// Sequences that fell out of the window are duplicates by definition.
+	if !pd.record("a", pubDedupWindow+1000) {
+		t.Fatal("advancing the window failed")
+	}
+	if pd.record("a", 3) {
+		t.Fatal("ancient sequence classified new after the window advanced")
+	}
+}
+
+func TestPubIdentity(t *testing.T) {
+	m := jms.NewMessage("t")
+	if _, _, ok := pubIdentity(m); ok {
+		t.Fatal("unstamped message has an identity")
+	}
+	if err := m.SetStringProperty(PubIDProperty, "pub-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := pubIdentity(m); ok {
+		t.Fatal("identity without sequence accepted")
+	}
+	if err := m.SetInt64Property(PubSeqProperty, 7); err != nil {
+		t.Fatal(err)
+	}
+	pub, seq, ok := pubIdentity(m)
+	if !ok || pub != "pub-1" || seq != 7 {
+		t.Fatalf("pubIdentity = %q, %d, %v", pub, seq, ok)
+	}
+}

@@ -53,6 +53,10 @@ const (
 	FrameDeleteDurable
 	// FrameDeleteDurableOK confirms the deletion.
 	FrameDeleteDurableOK
+	// FrameMsgAck acknowledges one delivery of an acked subscription
+	// (subscription id + delivery sequence). Fire-and-forget: it carries
+	// no request ID and has no reply.
+	FrameMsgAck
 )
 
 // String names the frame type.
@@ -86,6 +90,8 @@ func (t FrameType) String() string {
 		return "DELETE_DURABLE"
 	case FrameDeleteDurableOK:
 		return "DELETE_DURABLE_OK"
+	case FrameMsgAck:
+		return "MSG_ACK"
 	default:
 		return "FrameType(" + strconv.Itoa(int(t)) + ")"
 	}

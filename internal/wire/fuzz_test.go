@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/jms"
+)
+
+// fuzzSeedFrames returns well-formed frames of every payload-bearing
+// type, so the fuzzer starts from the interesting part of the input
+// space instead of having to rediscover the frame prologue.
+func fuzzSeedFrames() []Frame {
+	m := jms.NewMessage("orders")
+	_ = m.SetCorrelationID("#7")
+	_ = m.SetBoolProperty("urgent", true)
+	_ = m.SetInt32Property("qty", 12)
+	_ = m.SetInt64Property("ts", 1<<40)
+	_ = m.SetFloat64Property("price", 9.75)
+	_ = m.SetStringProperty("region", "emea")
+	m.SetBody([]byte("payload bytes"))
+	return []Frame{
+		{Type: FramePublish, Payload: EncodeMessage(m)},
+		{Type: FrameMessage, Payload: EncodeDelivery(3, 41, m)},
+		{Type: FrameSubscribe, Payload: EncodeSubscribe("orders", FilterSpec{
+			Mode:        FilterSelector,
+			Expr:        "qty > 10 AND region = 'emea'",
+			DurableName: "audit",
+			Acked:       true,
+		})},
+		{Type: FramePubAck, Payload: EncodeU64(99)},
+		{Type: FrameMsgAck, Payload: EncodeAck(3, 41)},
+		{Type: FrameError, Payload: EncodeError(7, "no such topic")},
+		{Type: FrameConfigureTopic, Payload: EncodeString("orders")},
+		{Type: FramePing},
+	}
+}
+
+// FuzzDecodeFrame feeds arbitrary bytes through the framing layer and
+// every payload decoder. Decoders must reject garbage with an error —
+// never panic, never over-read — and anything they accept must survive
+// a canonical re-encode/decode round trip (encode∘decode is a fixpoint:
+// the second encoding equals the first).
+func FuzzDecodeFrame(f *testing.F) {
+	for _, fr := range fuzzSeedFrames() {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Malformed seeds: truncated header, oversized length, short payload.
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, byte(FramePublish)})
+	f.Add([]byte{0, 0, 0, 9, byte(FramePublish), 1, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			// Rejections must be one of the framing layer's declared
+			// failure modes, not something leaking from deeper layers.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+				!errors.Is(err, ErrFrameTooLarge) {
+				t.Fatalf("ReadFrame: unexpected error class: %v", err)
+			}
+			return
+		}
+
+		// The frame itself must round-trip through WriteFrame.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr); err != nil {
+			t.Fatalf("WriteFrame(%v) of a read frame: %v", fr.Type, err)
+		}
+		back, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame of rewritten frame: %v", err)
+		}
+		if back.Type != fr.Type || !bytes.Equal(back.Payload, fr.Payload) {
+			t.Fatalf("frame round trip changed: %v/%x vs %v/%x",
+				fr.Type, fr.Payload, back.Type, back.Payload)
+		}
+
+		switch fr.Type {
+		case FramePublish:
+			m, err := DecodeMessage(fr.Payload)
+			if err != nil {
+				return
+			}
+			checkMessageFixpoint(t, m)
+		case FrameMessage:
+			subID, seq, m, err := DecodeDelivery(fr.Payload)
+			if err != nil {
+				return
+			}
+			reenc := EncodeDelivery(subID, seq, m)
+			subID2, seq2, m2, err := DecodeDelivery(reenc)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded delivery: %v", err)
+			}
+			if subID2 != subID || seq2 != seq {
+				t.Fatalf("delivery ids changed: (%d,%d) vs (%d,%d)", subID, seq, subID2, seq2)
+			}
+			if !bytes.Equal(EncodeMessage(m), EncodeMessage(m2)) {
+				t.Fatal("delivery message changed across round trip")
+			}
+		case FrameSubscribe:
+			topic, spec, err := DecodeSubscribe(fr.Payload)
+			if err != nil {
+				return
+			}
+			topic2, spec2, err := DecodeSubscribe(EncodeSubscribe(topic, spec))
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded subscribe: %v", err)
+			}
+			if topic2 != topic || spec2 != spec {
+				t.Fatalf("subscribe changed: %q %+v vs %q %+v", topic, spec, topic2, spec2)
+			}
+		case FrameError:
+			reqID, msg, err := DecodeError(fr.Payload)
+			if err != nil {
+				return
+			}
+			reqID2, msg2, err := DecodeError(EncodeError(reqID, msg))
+			if err != nil || reqID2 != reqID || msg2 != msg {
+				t.Fatalf("error frame changed: (%d,%q,%v)", reqID2, msg2, err)
+			}
+		case FrameMsgAck:
+			subID, seq, err := DecodeAck(fr.Payload)
+			if err != nil {
+				return
+			}
+			subID2, seq2, err := DecodeAck(EncodeAck(subID, seq))
+			if err != nil || subID2 != subID || seq2 != seq {
+				t.Fatalf("ack changed: (%d,%d,%v)", subID2, seq2, err)
+			}
+		case FramePubAck, FrameSubscribeOK, FrameUnsubscribe:
+			if v, err := DecodeU64(fr.Payload); err == nil {
+				if v2, err := DecodeU64(EncodeU64(v)); err != nil || v2 != v {
+					t.Fatalf("u64 changed: (%d,%v)", v2, err)
+				}
+			}
+		case FrameConfigureTopic, FrameDeleteDurable:
+			if s, err := DecodeString(fr.Payload); err == nil {
+				if s2, err := DecodeString(EncodeString(s)); err != nil || s2 != s {
+					t.Fatalf("string changed: (%q,%v)", s2, err)
+				}
+			}
+		}
+	})
+}
+
+// checkMessageFixpoint asserts that encoding a decoded message is a
+// fixpoint: properties are canonically ordered (sorted names), so the
+// second encoding must be byte-identical to the first.
+func checkMessageFixpoint(t *testing.T, m *jms.Message) {
+	t.Helper()
+	enc1 := EncodeMessage(m)
+	m2, err := DecodeMessage(enc1)
+	if err != nil {
+		t.Fatalf("re-decode of re-encoded message: %v", err)
+	}
+	enc2 := EncodeMessage(m2)
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatalf("message encoding not a fixpoint:\n%x\n%x", enc1, enc2)
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/broker"
 	"repro/internal/filter"
@@ -26,6 +28,12 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 
+	// dedupe suppresses redelivered publishes from reconnecting
+	// publishers (see dedupe.go). Server-wide: retries arrive on new
+	// connections.
+	dedupe     pubDedup
+	duplicates atomic.Uint64
+
 	wg sync.WaitGroup
 }
 
@@ -44,6 +52,10 @@ func Serve(b *broker.Broker, ln net.Listener) *Server {
 
 // Addr returns the listener address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// DuplicatesSuppressed reports how many redelivered publishes the dedupe
+// table acknowledged without publishing again.
+func (s *Server) DuplicatesSuppressed() uint64 { return s.duplicates.Load() }
 
 // Close stops the listener and all connections and waits for the handler
 // goroutines to exit. It does not close the underlying broker.
@@ -108,6 +120,49 @@ type connSub struct {
 	id   uint64
 	sub  *broker.Subscriber
 	stop chan struct{}
+	// pumpDone is closed when the delivery pump has exited, so teardown
+	// can read the unacked table without a writer racing it.
+	pumpDone chan struct{}
+
+	// Acked-delivery state. The pump records a delivery in unacked
+	// (keyed by its sequence number) before writing the frame; MSG_ACK
+	// deletes it; whatever remains at teardown is requeued.
+	acked   bool
+	ackMu   sync.Mutex
+	nextSeq uint64
+	unacked map[uint64]*jms.Message
+}
+
+// takeUnacked removes and returns the unacked deliveries in delivery
+// order. Call only after the pump has exited.
+func (cs *connSub) takeUnacked() []*jms.Message {
+	cs.ackMu.Lock()
+	defer cs.ackMu.Unlock()
+	if len(cs.unacked) == 0 {
+		return nil
+	}
+	seqs := make([]uint64, 0, len(cs.unacked))
+	for seq := range cs.unacked {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	msgs := make([]*jms.Message, len(seqs))
+	for i, seq := range seqs {
+		msgs[i] = cs.unacked[seq]
+	}
+	cs.unacked = nil
+	return msgs
+}
+
+// finish stops the pump, waits for it, and releases the subscription,
+// requeueing unacked deliveries on acked subscriptions.
+func (cs *connSub) finish() error {
+	close(cs.stop)
+	<-cs.pumpDone
+	if cs.acked {
+		return cs.sub.UnsubscribeRequeue(cs.takeUnacked())
+	}
+	return cs.sub.Unsubscribe()
 }
 
 func (s *Server) handleConn(conn net.Conn) {
@@ -120,9 +175,14 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	sc.readLoop()
 	close(sc.done)
+	// Close the connection before waiting for the pumps: one of them may
+	// be blocked mid-write on the dead peer.
+	_ = conn.Close()
 
-	// Tear down this connection's subscriptions (non-durable mode: a
-	// disconnected subscriber is forgotten).
+	// Tear down this connection's subscriptions. Non-durable mode: a
+	// disconnected subscriber is forgotten. Acked durable subscriptions:
+	// deliveries written but never acknowledged go back to the backlog,
+	// so a reconnecting consumer sees them again instead of losing them.
 	sc.subMu.Lock()
 	subs := make([]*connSub, 0, len(sc.subs))
 	for _, cs := range sc.subs {
@@ -131,14 +191,12 @@ func (s *Server) handleConn(conn net.Conn) {
 	sc.subs = nil
 	sc.subMu.Unlock()
 	for _, cs := range subs {
-		close(cs.stop)
-		_ = cs.sub.Unsubscribe()
+		_ = cs.finish()
 	}
 
 	s.mu.Lock()
 	delete(s.conns, conn)
 	s.mu.Unlock()
-	_ = conn.Close()
 }
 
 func (sc *serverConn) write(f Frame) error {
@@ -191,6 +249,16 @@ func (sc *serverConn) handleFrame(f Frame) error {
 		if err != nil {
 			return err
 		}
+		// A publish stamped with a dedupe identity is recorded before it
+		// reaches the broker; a redelivery (the publisher resent because
+		// the ack was lost in a reconnect) is acknowledged without
+		// publishing again — at-least-once retry, effectively-once effect.
+		if pub, seq, ok := pubIdentity(m); ok {
+			if !sc.server.dedupe.record(pub, seq) {
+				sc.server.duplicates.Add(1)
+				return sc.write(Frame{Type: FramePubAck, Payload: EncodeU64(reqID)})
+			}
+		}
 		// Blocking Publish implements push-back: the ack is delayed while
 		// the topic window is full, which throttles the remote publisher.
 		if err := sc.server.broker.Publish(context.Background(), m); err != nil {
@@ -226,7 +294,16 @@ func (sc *serverConn) handleFrame(f Frame) error {
 			return errors.New("wire: connection closing")
 		}
 		sc.nextSubID++
-		cs := &connSub{id: sc.nextSubID, sub: sub, stop: make(chan struct{})}
+		cs := &connSub{
+			id:       sc.nextSubID,
+			sub:      sub,
+			stop:     make(chan struct{}),
+			pumpDone: make(chan struct{}),
+			acked:    spec.Acked,
+		}
+		if cs.acked {
+			cs.unacked = make(map[uint64]*jms.Message)
+		}
 		sc.subs[cs.id] = cs
 		sc.subMu.Unlock()
 
@@ -252,12 +329,27 @@ func (sc *serverConn) handleFrame(f Frame) error {
 			sc.writeErr(reqID, fmt.Errorf("wire: unknown subscription %d", subID))
 			return nil
 		}
-		close(cs.stop)
-		if err := cs.sub.Unsubscribe(); err != nil {
+		if err := cs.finish(); err != nil {
 			sc.writeErr(reqID, err)
 			return nil
 		}
 		return sc.write(Frame{Type: FrameUnsubscribeOK, Payload: EncodeU64(reqID)})
+
+	case FrameMsgAck:
+		// No request ID, no reply: the payload is (subID, seq).
+		subID, seq, err := DecodeAck(f.Payload)
+		if err != nil {
+			return err
+		}
+		sc.subMu.Lock()
+		cs := sc.subs[subID]
+		sc.subMu.Unlock()
+		if cs != nil && cs.acked {
+			cs.ackMu.Lock()
+			delete(cs.unacked, seq)
+			cs.ackMu.Unlock()
+		}
+		return nil
 
 	case FrameDeleteDurable:
 		d := decoder{buf: rest}
@@ -282,15 +374,26 @@ func (sc *serverConn) handleFrame(f Frame) error {
 }
 
 // deliveryPump forwards broker deliveries for one subscription to the
-// network connection.
+// network connection. On an acked subscription every delivery is
+// recorded in the unacked table before the frame is written, so a
+// connection cut between write and ack leaves the message recoverable.
 func (sc *serverConn) deliveryPump(cs *connSub) {
+	defer close(cs.pumpDone)
 	for {
 		select {
 		case m, ok := <-cs.sub.Chan():
 			if !ok {
 				return
 			}
-			if err := sc.writeDelivery(cs.id, m); err != nil {
+			var seq uint64
+			if cs.acked {
+				cs.ackMu.Lock()
+				cs.nextSeq++
+				seq = cs.nextSeq
+				cs.unacked[seq] = m
+				cs.ackMu.Unlock()
+			}
+			if err := sc.writeDelivery(cs.id, seq, m); err != nil {
 				return
 			}
 		case <-cs.stop:
@@ -305,10 +408,10 @@ func (sc *serverConn) deliveryPump(cs *connSub) {
 // buffer: the 5-byte frame prologue and the payload are built in the same
 // buffer and written with a single conn.Write, so the delivery fast path
 // allocates nothing in steady state.
-func (sc *serverConn) writeDelivery(subID uint64, m *jms.Message) error {
+func (sc *serverConn) writeDelivery(subID, seq uint64, m *jms.Message) error {
 	bp := GetBuffer()
 	buf := append((*bp)[:0], 0, 0, 0, 0, byte(FrameMessage))
-	buf = AppendDelivery(buf, subID, m)
+	buf = AppendDelivery(buf, subID, seq, m)
 	*bp = buf
 	if len(buf)-5 > MaxFrameSize {
 		PutBuffer(bp)

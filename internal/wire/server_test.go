@@ -116,7 +116,7 @@ func TestServerPublishSubscribeRaw(t *testing.T) {
 			}
 			sawAck = true
 		case FrameMessage:
-			gotSub, gotMsg, err := DecodeDelivery(f.Payload)
+			gotSub, _, gotMsg, err := DecodeDelivery(f.Payload)
 			if err != nil {
 				t.Fatal(err)
 			}
