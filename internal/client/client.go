@@ -83,7 +83,21 @@ type Client struct {
 	closed      bool
 	readErr     error
 
+	// Delivery acks are queued here and written by ackLoop, never from
+	// the read loop: a synchronous ack write could block on a full socket
+	// send buffer and stall all inbound frame processing. The queue is
+	// unbounded but its growth is bounded by deliveries the server sent,
+	// which the per-subscription buffers throttle.
+	ackMu   sync.Mutex
+	ackQ    []pendingAck
+	ackKick chan struct{}
+
 	done chan struct{}
+}
+
+// pendingAck is one queued delivery acknowledgement.
+type pendingAck struct {
+	subID, seq uint64
 }
 
 type result struct {
@@ -107,10 +121,55 @@ func NewClient(conn net.Conn) *Client {
 		pending:     make(map[uint64]chan result),
 		subs:        make(map[uint64]*Subscription),
 		pendingSubs: make(map[uint64]*Subscription),
+		ackKick:     make(chan struct{}, 1),
 		done:        make(chan struct{}),
 	}
 	go c.readLoop()
+	go c.ackLoop()
 	return c
+}
+
+// queueAck hands a delivery acknowledgement to ackLoop without blocking.
+func (c *Client) queueAck(subID, seq uint64) {
+	c.ackMu.Lock()
+	c.ackQ = append(c.ackQ, pendingAck{subID: subID, seq: seq})
+	c.ackMu.Unlock()
+	select {
+	case c.ackKick <- struct{}{}:
+	default:
+	}
+}
+
+// ackLoop drains queued delivery acks to the wire in order. It exits on
+// connection teardown or the first write error; acks pending then are
+// dropped — the server requeues the unacknowledged deliveries of a
+// durable subscription on disconnect, so a dropped ack only means a
+// redelivery the subscriber-side dedupe suppresses.
+func (c *Client) ackLoop() {
+	for {
+		select {
+		case <-c.ackKick:
+		case <-c.done:
+			return
+		}
+		for {
+			c.ackMu.Lock()
+			batch := c.ackQ
+			c.ackQ = nil
+			c.ackMu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			for _, a := range batch {
+				c.writeMu.Lock()
+				err := wire.WriteFrame(c.conn, wire.Frame{Type: wire.FrameMsgAck, Payload: wire.EncodeAck(a.subID, a.seq)})
+				c.writeMu.Unlock()
+				if err != nil {
+					return // connection dying; the read loop reports it
+				}
+			}
+		}
+	}
 }
 
 // Abandon terminates the connection while classifying in-flight and
@@ -236,11 +295,11 @@ func (c *Client) dispatch(f wire.Frame) {
 			case sub.ch <- m:
 				// Acked subscription (seq != 0): confirm once the message
 				// is safely in the local delivery queue. An unconfirmed
-				// delivery is requeued server-side on disconnect.
+				// delivery is requeued server-side on disconnect. The ack
+				// goes through ackLoop so a congested socket cannot block
+				// inbound frame processing.
 				if seq != 0 {
-					c.writeMu.Lock()
-					_ = wire.WriteFrame(c.conn, wire.Frame{Type: wire.FrameMsgAck, Payload: wire.EncodeAck(subID, seq)})
-					c.writeMu.Unlock()
+					c.queueAck(subID, seq)
 				}
 			case <-sub.gone:
 			}

@@ -221,9 +221,16 @@ func (r *Reliable) setState(s State, err error) {
 }
 
 // install makes c the current connection and starts its failure watcher.
-// Callers must not hold r.mu.
-func (r *Reliable) install(c *Client) {
+// It reports false — closing c — when the Reliable was concurrently
+// closed, so a redial that completes during Close cannot resurrect the
+// connection and leak it. Callers must not hold r.mu.
+func (r *Reliable) install(c *Client) bool {
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		_ = c.Close()
+		return false
+	}
 	r.cur = c
 	r.redialing = false
 	if r.connReady != nil {
@@ -233,6 +240,7 @@ func (r *Reliable) install(c *Client) {
 	epoch := r.epoch
 	r.mu.Unlock()
 	go r.watch(c, epoch)
+	return true
 }
 
 // watch waits for the connection to die and triggers the redial loop.
@@ -297,14 +305,9 @@ func (r *Reliable) redialLoop() {
 			r.setLastError(err)
 			continue
 		}
-		r.mu.Lock()
-		if r.closed {
-			r.mu.Unlock()
-			_ = c.Close()
+		if !r.install(c) {
 			return
 		}
-		r.mu.Unlock()
-		r.install(c)
 		r.reg.Counter(MetricReconnects).Inc()
 		r.setState(StateConnected, nil)
 		return
@@ -418,13 +421,16 @@ func retryable(err error) bool {
 // reached the broker is acknowledged without being published twice:
 // at-least-once retries, effectively-once delivery.
 func (r *Reliable) Publish(ctx context.Context, m *jms.Message) error {
-	if _, ok := m.Property(wire.PubIDProperty); !ok {
-		if err := m.SetStringProperty(wire.PubIDProperty, r.pubID); err != nil {
-			return err
-		}
-		if err := m.SetInt64Property(wire.PubSeqProperty, r.seq.Add(1)); err != nil {
-			return err
-		}
+	// Restamp on every top-level call, overwriting any identity the
+	// message already carries: re-publishing the same message object is a
+	// new publish and must get a fresh sequence number, or the server's
+	// dedupe would ack it without delivering. Only the in-flight retry
+	// loop below may reuse a stamp — that reuse is what the dedupe is for.
+	if err := m.SetStringProperty(wire.PubIDProperty, r.pubID); err != nil {
+		return err
+	}
+	if err := m.SetInt64Property(wire.PubSeqProperty, r.seq.Add(1)); err != nil {
+		return err
 	}
 	for attempt := 0; ; attempt++ {
 		c, epoch, err := r.current(ctx)

@@ -268,6 +268,84 @@ func TestChaosMidFrameResets(t *testing.T) {
 	}
 }
 
+// TestReliablePublishRestampsReusedMessage: re-publishing the same
+// message object is a new publish — the reliability layer must restamp
+// the dedupe sequence, or the server would ack it as a duplicate and
+// silently drop it.
+func TestReliablePublishRestampsReusedMessage(t *testing.T) {
+	addr, _, b := startChaosServer(t, faultnet.Config{Seed: 2})
+	ctx := ctxT(t)
+	pub := dialReliableT(t, addr, ReliableOptions{Seed: 31, PublisherID: "reuse-pub"})
+	if err := pub.ConfigureTopic(ctx, "reuse"); err != nil {
+		t.Fatal(err)
+	}
+	bsub, err := b.Subscribe("reuse", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := jms.NewMessage("reuse")
+	m.Body = []byte("x")
+	const repeats = 3
+	for i := 0; i < repeats; i++ {
+		if err := pub.Publish(ctx, m); err != nil {
+			t.Fatalf("publish %d of reused message: %v", i, err)
+		}
+	}
+	seen := make(map[int64]bool)
+	for i := 0; i < repeats; i++ {
+		got, err := bsub.Receive(ctx)
+		if err != nil {
+			t.Fatalf("after %d deliveries: %v (reused message swallowed by dedupe?)", i, err)
+		}
+		seq, err := got.Int64Property(wire.PubSeqProperty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[seq] {
+			t.Fatalf("sequence %d delivered twice", seq)
+		}
+		seen[seq] = true
+	}
+}
+
+// TestPublishFailureReleasesSequence: a stamped publish that fails in
+// the broker must not burn its (pub, seq) in the dedupe table — after
+// the client fixes the error (creates the topic), the retried sequence
+// must be published, not acked as a duplicate.
+func TestPublishFailureReleasesSequence(t *testing.T) {
+	addr, _, b := startChaosServer(t, faultnet.Config{Seed: 4})
+	ctx := ctxT(t)
+	c := dialT(t, addr)
+	m := jms.NewMessage("late")
+	m.Body = []byte("x")
+	if err := m.SetStringProperty(wire.PubIDProperty, "late-pub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetInt64Property(wire.PubSeqProperty, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(ctx, m); err == nil {
+		t.Fatal("publish to a missing topic succeeded")
+	}
+	if err := c.ConfigureTopic(ctx, "late"); err != nil {
+		t.Fatal(err)
+	}
+	bsub, err := b.Subscribe("late", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(ctx, m); err != nil {
+		t.Fatalf("retry after fixing the topic: %v", err)
+	}
+	got, err := bsub.Receive(ctx)
+	if err != nil {
+		t.Fatalf("retried publish never delivered (sequence burned by the failed attempt): %v", err)
+	}
+	if string(got.Body) != "x" {
+		t.Fatalf("Body = %q, want %q", got.Body, "x")
+	}
+}
+
 // TestReliableStateCallbacksAndGiveUp: losing the server flips the state
 // to reconnecting; an exhausted redial budget reports closed.
 func TestReliableStateCallbacksAndGiveUp(t *testing.T) {

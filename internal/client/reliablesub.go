@@ -2,7 +2,10 @@ package client
 
 import (
 	"context"
+	"errors"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/jms"
 	"repro/internal/wire"
@@ -51,36 +54,69 @@ func (r *Reliable) Subscribe(ctx context.Context, topicName string, spec wire.Fi
 		attachCh: make(chan *Subscription, 1),
 	}
 
-	// Register before the first attach: if the connection dies between
-	// the subscribe call and the registration, the redial loop must
-	// already know to re-establish this subscription.
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		return nil, ErrClosed
-	}
-	r.subs[rs] = struct{}{}
-	r.mu.Unlock()
 	go rs.pump()
 
-	for {
+	// This retry loop is the sole initial subscriber: rs enters r.subs
+	// only after a subscribe succeeded on a connection that is still the
+	// current one, so a redial racing the first attach can never also
+	// subscribe rs (which would leave a second incarnation nobody drains,
+	// eventually wedging the connection's read loop on its full buffer).
+	staleAttach := false
+	for attempt := 0; ; attempt++ {
 		c, epoch, err := r.current(ctx)
 		if err != nil {
-			rs.deregister()
 			rs.markGone()
 			return nil, err
 		}
 		sub, err := c.Subscribe(ctx, topicName, spec, buffer)
 		if err == nil {
-			rs.handoff(sub)
-			return rs, nil
+			r.mu.Lock()
+			if r.closed {
+				r.mu.Unlock()
+				rs.markGone()
+				return nil, ErrClosed
+			}
+			if epoch == r.epoch {
+				// Registration and the epoch check share r.mu with
+				// noteFailure's bump, so either this registration is
+				// visible to any later redial's reattach, or the bump
+				// already happened and we retry on the next connection.
+				r.subs[rs] = struct{}{}
+				r.mu.Unlock()
+				rs.handoff(sub)
+				return rs, nil
+			}
+			r.mu.Unlock()
+			// The connection died under the successful subscribe; the
+			// incarnation is stranded on it. Drop it (its channel closes
+			// with the connection) and subscribe again on the next one.
+			staleAttach = true
+			continue
 		}
-		if !retryable(err) {
-			rs.deregister()
-			rs.markGone()
-			return nil, err
+		if retryable(err) {
+			r.noteFailure(epoch, err)
+			continue
 		}
-		r.noteFailure(epoch, err)
+		var se *ServerError
+		if staleAttach && errors.As(err, &se) && strings.Contains(se.Msg, "already active") {
+			// A stranded durable attach on the dying connection is still
+			// being torn down server-side; back off like reattach does.
+			r.rngMu.Lock()
+			delay := r.opts.Backoff.Delay(attempt, r.rng)
+			r.rngMu.Unlock()
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				rs.markGone()
+				return nil, ctx.Err()
+			case <-r.done:
+				rs.markGone()
+				return nil, ErrClosed
+			}
+			continue
+		}
+		rs.markGone()
+		return nil, err
 	}
 }
 

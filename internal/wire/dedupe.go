@@ -92,3 +92,17 @@ func (pd *pubDedup) record(pub string, seq int64) bool {
 	}
 	return true
 }
+
+// unrecord forgets a pair recorded for a publish that then failed in the
+// broker, so a retry of the same sequence — e.g. after the client fixes
+// the error by creating the missing topic — is published instead of
+// being acknowledged as a duplicate. maxSeq is left as raised: client
+// sequences are monotonic, so the failed one cannot be far enough ahead
+// to age live sequences out of the window.
+func (pd *pubDedup) unrecord(pub string, seq int64) {
+	pd.mu.Lock()
+	defer pd.mu.Unlock()
+	if w := pd.pubs[pub]; w != nil {
+		delete(w.seen, seq)
+	}
+}

@@ -33,6 +33,24 @@ func TestPubDedupRecord(t *testing.T) {
 	}
 }
 
+func TestPubDedupUnrecord(t *testing.T) {
+	var pd pubDedup
+	if !pd.record("a", 1) {
+		t.Fatal("first (a,1) classified duplicate")
+	}
+	// A failed publish releases its claim; the retry is new again.
+	pd.unrecord("a", 1)
+	if !pd.record("a", 1) {
+		t.Fatal("(a,1) still classified duplicate after unrecord")
+	}
+	if pd.record("a", 1) {
+		t.Fatal("re-recorded (a,1) classified new")
+	}
+	// Unrecording unknown pairs is a no-op, not a panic.
+	pd.unrecord("a", 99)
+	pd.unrecord("nobody", 1)
+}
+
 func TestPubIdentity(t *testing.T) {
 	m := jms.NewMessage("t")
 	if _, _, ok := pubIdentity(m); ok {

@@ -249,19 +249,23 @@ func (sc *serverConn) handleFrame(f Frame) error {
 		if err != nil {
 			return err
 		}
-		// A publish stamped with a dedupe identity is recorded before it
-		// reaches the broker; a redelivery (the publisher resent because
-		// the ack was lost in a reconnect) is acknowledged without
+		// A publish stamped with a dedupe identity claims its (pub, seq)
+		// before it reaches the broker; a redelivery (the publisher resent
+		// because the ack was lost in a reconnect) is acknowledged without
 		// publishing again — at-least-once retry, effectively-once effect.
-		if pub, seq, ok := pubIdentity(m); ok {
-			if !sc.server.dedupe.record(pub, seq) {
-				sc.server.duplicates.Add(1)
-				return sc.write(Frame{Type: FramePubAck, Payload: EncodeU64(reqID)})
-			}
+		pub, seq, stamped := pubIdentity(m)
+		if stamped && !sc.server.dedupe.record(pub, seq) {
+			sc.server.duplicates.Add(1)
+			return sc.write(Frame{Type: FramePubAck, Payload: EncodeU64(reqID)})
 		}
 		// Blocking Publish implements push-back: the ack is delayed while
 		// the topic window is full, which throttles the remote publisher.
 		if err := sc.server.broker.Publish(context.Background(), m); err != nil {
+			// The sequence was claimed but never published; release it so
+			// a retry of this message is not swallowed as a duplicate.
+			if stamped {
+				sc.server.dedupe.unrecord(pub, seq)
+			}
 			sc.writeErr(reqID, err)
 			return nil
 		}
