@@ -13,10 +13,11 @@ test:
 # race runs the data-race detector over the packages with real concurrency:
 # the broker's dispatch engines (sharded fast path included), the lock-free
 # topic snapshots, the copy-on-write message views, the wire layer's pooled
-# buffers, and the reliability stack (fault injection, reconnecting clients,
-# self-healing cluster bridges, conformance harness).
+# buffers, the reliability stack (fault injection, reconnecting clients,
+# self-healing cluster bridges, conformance harness), and the telemetry
+# plane scraped while the broker dispatches.
 race:
-	$(GO) test -race ./internal/jms/... ./internal/topic/... ./internal/broker/... ./internal/wire/... ./internal/client/... ./internal/faultnet/... ./internal/cluster/... ./internal/conformance/...
+	$(GO) test -race ./internal/jms/... ./internal/topic/... ./internal/broker/... ./internal/wire/... ./internal/client/... ./internal/faultnet/... ./internal/cluster/... ./internal/conformance/... ./internal/metrics/... ./internal/telemetry/... ./cmd/jmsd/...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 300ms .

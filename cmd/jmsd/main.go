@@ -2,23 +2,31 @@
 //
 // Usage:
 //
-//	jmsd -addr :7650 -topics presence,orders -inflight 64
+//	jmsd -addr :7650 -topics presence,orders -inflight 64 \
+//	     -http :7651 -log-level info
 //
 // Clients connect with the repro/internal/client package (or any
-// implementation of the wire protocol in repro/internal/wire).
+// implementation of the wire protocol in repro/internal/wire). With -http
+// the daemon serves its telemetry plane — Prometheus /metrics, JSON
+// /stats, /healthz and /debug/pprof/ — and runs the online M/G/1
+// model-drift monitor next to the broker (see internal/telemetry).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/broker"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -31,21 +39,48 @@ func main() {
 		close(stop)
 	}()
 	if err := run(os.Args[1:], stop, nil); err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, "jmsd:", err)
+		os.Exit(1)
 	}
 }
 
+// addrs reports the daemon's bound listen addresses once it is ready.
+type addrs struct {
+	// Broker is the wire-protocol TCP address.
+	Broker string
+	// HTTP is the telemetry address; empty when -http is unset.
+	HTTP string
+}
+
+// parseLogLevel maps a -log-level flag value onto a slog.Level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (valid: debug, info, warn, error)", s)
+}
+
 // run starts the daemon and blocks until stop is closed. If ready is
-// non-nil, the listen address is sent on it once the server is up.
-func run(args []string, stop <-chan struct{}, ready chan<- string) error {
+// non-nil, the bound addresses are sent on it once every listener is up.
+func run(args []string, stop <-chan struct{}, ready chan<- addrs) error {
 	fs := flag.NewFlagSet("jmsd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7650", "listen address")
+	httpAddr := fs.String("http", "", "telemetry listen address (/metrics, /stats, /healthz, /debug/pprof/); empty disables")
 	topics := fs.String("topics", "default", "comma-separated topics to configure at start")
 	inFlight := fs.Int("inflight", 64, "per-topic in-flight window (publisher push-back)")
 	subBuffer := fs.Int("subbuffer", 64, "per-subscriber delivery queue length")
 	engineName := fs.String("engine", "faithful", "dispatch engine: "+strings.Join(broker.EngineNames(), " or "))
 	shards := fs.Int("shards", 0, "fast engine: filter-matching workers per topic (0 = auto)")
 	stages := fs.Bool("stages", false, "record per-stage pipeline timings and log the Eq. 1 components at shutdown")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
+	driftEvery := fs.Duration("drift-interval", 5*time.Second, "model-drift monitor evaluation interval (with -http)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +88,11 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 	if err != nil {
 		return fmt.Errorf("-engine: %w", err)
 	}
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	b := broker.New(broker.Options{
 		InFlight:         *inFlight,
@@ -60,6 +100,8 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 		Engine:           engine,
 		Shards:           *shards,
 		StageTiming:      *stages,
+		// The telemetry plane needs the per-topic waiting-time tracing.
+		WaitTiming: *httpAddr != "",
 	})
 	for _, name := range strings.Split(*topics, ",") {
 		name = strings.TrimSpace(name)
@@ -75,26 +117,87 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	srv := wire.Serve(b, ln)
-	log.Printf("jmsd: listening on %s, engine: %s, topics: %s", ln.Addr(), engine, strings.Join(b.Topics(), ", "))
+	srv := wire.ServeWith(b, ln, wire.ServeOptions{Logger: logger})
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"engine", engine.String(),
+		"topics", strings.Join(b.Topics(), ","))
+
+	// Telemetry plane: /metrics + /stats + /healthz + pprof, plus the
+	// model-drift monitor feeding the jms_model_* gauges.
+	var (
+		drift    *telemetry.Monitor
+		httpSrv  *http.Server
+		httpDone chan struct{}
+		bound    addrs
+	)
+	bound.Broker = ln.Addr().String()
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			_ = srv.Close()
+			_ = b.Close()
+			return fmt.Errorf("-http: %w", err)
+		}
+		drift = telemetry.NewMonitor(b, *driftEvery)
+		drift.Start()
+		httpSrv = &http.Server{Handler: telemetry.NewHandler(telemetry.Options{
+			Broker: b,
+			Wire:   srv,
+			Drift:  drift,
+		})}
+		httpDone = make(chan struct{})
+		go func() {
+			defer close(httpDone)
+			if err := httpSrv.Serve(hln); err != nil && err != http.ErrServerClosed {
+				logger.Error("telemetry server failed", "reason", err.Error())
+			}
+		}()
+		bound.HTTP = hln.Addr().String()
+		logger.Info("telemetry listening", "addr", bound.HTTP, "drift_interval", driftEvery.String())
+	}
 	if ready != nil {
-		ready <- ln.Addr().String()
+		ready <- bound
 	}
 
 	<-stop
-	log.Printf("jmsd: shutting down")
+	// Graceful shutdown: stop accepting and cut client connections first,
+	// then let the broker drain in-flight dispatches through the
+	// pipeline's shutdown drain, and close the telemetry server last so a
+	// final scrape can still read the end-state metrics.
+	logger.Info("shutting down")
 	if err := srv.Close(); err != nil {
-		log.Printf("jmsd: server close: %v", err)
+		logger.Warn("server close failed", "reason", err.Error())
 	}
 	if err := b.Close(); err != nil {
-		log.Printf("jmsd: broker close: %v", err)
+		logger.Warn("broker close failed", "reason", err.Error())
+	}
+	if drift != nil {
+		// One last evaluation over the fully drained broker, then stop.
+		drift.Tick(time.Now())
+		drift.Stop()
 	}
 	s := b.Stats()
-	log.Printf("jmsd: received=%d dispatched=%d filterEvals=%d dropped=%d",
-		s.Received, s.Dispatched, s.FilterEvals, s.Dropped)
+	logger.Info("final stats",
+		"received", s.Received,
+		"dispatched", s.Dispatched,
+		"filter_evals", s.FilterEvals,
+		"dropped", s.Dropped,
+		"expired", s.Expired)
 	if st := b.StageStats(); st.Enabled {
-		log.Printf("jmsd: stage means: receive=%v match=%v replicate=%v transmit=%v",
-			st.Receive.Mean(), st.Match.Mean(), st.Replicate.Mean(), st.Transmit.Mean())
+		logger.Info("stage means",
+			"receive", st.Receive.Mean().String(),
+			"match", st.Match.Mean().String(),
+			"replicate", st.Replicate.Mean().String(),
+			"transmit", st.Transmit.Mean().String())
+	}
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Warn("telemetry close failed", "reason", err.Error())
+		}
+		<-httpDone
 	}
 	return nil
 }

@@ -2,6 +2,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -11,24 +15,30 @@ import (
 	"repro/internal/wire"
 )
 
-func TestDaemonServesClients(t *testing.T) {
+// startDaemon boots run() in the background and waits for readiness.
+func startDaemon(t *testing.T, args ...string) (addrs, chan struct{}, chan error) {
+	t.Helper()
 	stop := make(chan struct{})
-	ready := make(chan string, 1)
+	ready := make(chan addrs, 1)
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- run([]string{"-addr", "127.0.0.1:0", "-topics", "a,b"}, stop, ready)
+		errCh <- run(args, stop, ready)
 	}()
-
-	var addr string
 	select {
-	case addr = <-ready:
+	case bound := <-ready:
+		return bound, stop, errCh
 	case err := <-errCh:
 		t.Fatalf("daemon exited early: %v", err)
 	case <-time.After(5 * time.Second):
 		t.Fatal("daemon never became ready")
 	}
+	panic("unreachable")
+}
 
-	c, err := client.Dial(addr)
+func TestDaemonServesClients(t *testing.T) {
+	bound, stop, errCh := startDaemon(t, "-addr", "127.0.0.1:0", "-topics", "a,b")
+
+	c, err := client.Dial(bound.Broker)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,28 +79,38 @@ func TestDaemonBadFlags(t *testing.T) {
 	if err := run([]string{"-topics", "a,a"}, stop, nil); err == nil {
 		t.Error("duplicate topics accepted")
 	}
+	if err := run([]string{"-log-level", "shouty"}, stop, nil); err == nil {
+		t.Error("bad log level accepted")
+	} else if !strings.Contains(err.Error(), "shouty") {
+		t.Errorf("log-level error %q does not name the bad value", err)
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-http", "256.0.0.1:-1"}, stop, nil); err == nil {
+		t.Error("bad telemetry address accepted")
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug":   slog.LevelDebug,
+		"INFO":    slog.LevelInfo,
+		"warn":    slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"Error":   slog.LevelError,
+	} {
+		got, err := parseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("parseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
 }
 
 // TestDaemonFastEngine boots the daemon on the fast dispatch engine and
 // round-trips a message through TCP.
 func TestDaemonFastEngine(t *testing.T) {
-	stop := make(chan struct{})
-	ready := make(chan string, 1)
-	errCh := make(chan error, 1)
-	go func() {
-		errCh <- run([]string{"-addr", "127.0.0.1:0", "-topics", "a", "-engine", "fast", "-shards", "2"}, stop, ready)
-	}()
+	bound, stop, errCh := startDaemon(t,
+		"-addr", "127.0.0.1:0", "-topics", "a", "-engine", "fast", "-shards", "2")
 
-	var addr string
-	select {
-	case addr = <-ready:
-	case err := <-errCh:
-		t.Fatalf("daemon exited early: %v", err)
-	case <-time.After(5 * time.Second):
-		t.Fatal("daemon never became ready")
-	}
-
-	c, err := client.Dial(addr)
+	c, err := client.Dial(bound.Broker)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,5 +146,122 @@ func TestDaemonBadEngine(t *testing.T) {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("engine error %q missing %q", err, want)
 		}
+	}
+}
+
+// TestDaemonTelemetryPlane boots jmsd with -http, pushes traffic through
+// the broker, and exercises all four telemetry endpoints.
+func TestDaemonTelemetryPlane(t *testing.T) {
+	bound, stop, errCh := startDaemon(t,
+		"-addr", "127.0.0.1:0", "-http", "127.0.0.1:0",
+		"-topics", "a", "-drift-interval", "50ms", "-log-level", "error")
+	if bound.HTTP == "" {
+		t.Fatal("no telemetry address reported")
+	}
+
+	c, err := client.Dial(bound.Broker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sub, err := c.Subscribe(ctx, "a", wire.FilterSpec{Mode: wire.FilterNone}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := c.Publish(ctx, jms.NewMessage("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := sub.Receive(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + bound.HTTP + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics status %d", code)
+	} else {
+		for _, want := range []string{
+			"jms_broker_received_total 100",
+			"jms_broker_topic_received_total{topic=\"a\"} 100",
+			"jms_broker_wait_seconds_count{topic=\"a\"} 100",
+			"jms_broker_sojourn_seconds_count{topic=\"a\"} 100",
+			"jms_wire_connections_total",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("/metrics missing %q", want)
+			}
+		}
+	}
+	if code, body := get("/stats"); code != http.StatusOK {
+		t.Errorf("/stats status %d", code)
+	} else {
+		var st struct {
+			Broker struct {
+				Received uint64
+			} `json:"broker"`
+			Wire struct {
+				OpenConns int `json:"open_conns"`
+			} `json:"wire"`
+		}
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Errorf("/stats not JSON: %v\n%s", err, body)
+		} else {
+			if st.Broker.Received != 100 {
+				t.Errorf("/stats broker received = %d, want 100", st.Broker.Received)
+			}
+			if st.Wire.OpenConns < 1 {
+				t.Errorf("/stats wire open_conns = %d, want >= 1", st.Wire.OpenConns)
+			}
+		}
+	}
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d (goroutine index missing)", code)
+	}
+
+	// Give the 50ms drift monitor a couple of windows, then check its
+	// gauges made it to /metrics (traffic already stopped, so the gauges
+	// retain the last busy window's values).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body := get("/metrics")
+		if strings.Contains(body, "jms_model_observed_ew_seconds{topic=\"a\"}") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("drift gauges never appeared in /metrics")
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	close(stop)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon shutdown error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
 	}
 }

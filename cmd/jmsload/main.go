@@ -1,12 +1,25 @@
 // Command jmsload drives a remote broker (cmd/jmsd) the way the paper's
-// test clients drove FioranoMQ: P saturated publishers and S subscribers,
-// each on an exclusive connection, with a warm-up cut and a trimmed
-// measurement window, printing the received/dispatched/overall rates.
+// test clients drove FioranoMQ: P publishers and S subscribers, each on an
+// exclusive connection, with a warm-up cut and a trimmed measurement
+// window, printing the received/dispatched/overall rates.
+//
+// Two load shapes are supported. The default is the paper's saturated
+// mode: every publisher sends as fast as the broker's push-back allows,
+// which measures the service capacity. With -rate the generator becomes a
+// paced Poisson source at the given aggregate arrival rate — the open
+// M/GI/1 arrival model of the analysis — which is the mode to use when
+// comparing against the broker's online drift monitor (jmsd -http).
+//
+// With -tracesample N every Nth published message carries a trace ID (its
+// send time) through the wire protocol, and the subscriber side reports
+// the end-to-end publish→deliver latency distribution of the sampled
+// messages over the measurement window.
 //
 // Usage:
 //
 //	jmsload -addr 127.0.0.1:7650 -topic bench -publishers 5 \
-//	        -matching 2 -nonmatching 40 -warmup 1s -measure 5s
+//	        -matching 2 -nonmatching 40 -warmup 1s -measure 5s \
+//	        -rate 4000 -tracesample 10 -seed 1
 package main
 
 import (
@@ -23,6 +36,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/jms"
+	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
@@ -36,18 +50,30 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("jmsload", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7650", "broker address")
 	topicName := fs.String("topic", "bench", "topic to use (configured if missing)")
-	publishers := fs.Int("publishers", 5, "saturated publisher connections")
+	publishers := fs.Int("publishers", 5, "publisher connections")
 	matching := fs.Int("matching", 1, "subscribers whose filter matches the traffic (replication grade R)")
 	nonMatching := fs.Int("nonmatching", 0, "subscribers with non-matching filters")
 	useSelectors := fs.Bool("selectors", false, "use application-property selectors instead of correlation-ID filters")
 	warmup := fs.Duration("warmup", time.Second, "warm-up before the measurement window")
 	measure := fs.Duration("measure", 5*time.Second, "trimmed measurement window")
+	rate := fs.Float64("rate", 0, "aggregate Poisson arrival rate in msgs/s (0 = saturated publishers)")
+	seed := fs.Int64("seed", 1, "RNG seed for the Poisson arrival schedule")
+	traceSample := fs.Int("tracesample", 0, "stamp every Nth published message with a trace ID and report publish-to-deliver latency (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *publishers < 1 || *matching < 0 || *nonMatching < 0 {
 		return fmt.Errorf("jmsload: invalid population (publishers=%d matching=%d nonmatching=%d)",
 			*publishers, *matching, *nonMatching)
+	}
+	if *rate < 0 {
+		return fmt.Errorf("jmsload: negative rate %v", *rate)
+	}
+	if *traceSample < 0 {
+		return fmt.Errorf("jmsload: negative tracesample %d", *traceSample)
+	}
+	if *traceSample > 0 && *matching == 0 {
+		return fmt.Errorf("jmsload: -tracesample needs at least one matching subscriber to observe deliveries")
 	}
 
 	admin, err := client.Dial(*addr)
@@ -73,8 +99,17 @@ func run(args []string, stdout io.Writer) error {
 		return wire.FilterSpec{Mode: wire.FilterCorrelationID, Expr: "#" + strconv.Itoa(v)}
 	}
 
-	// Subscribers, each on an exclusive connection (as in the paper).
-	var delivered atomic.Uint64
+	// Subscribers, each on an exclusive connection (as in the paper). The
+	// latency summary collects publish→deliver spans of traced messages
+	// while `measuring` is set; with several matching subscribers each
+	// delivered copy contributes one sample, which is what "latency of a
+	// delivery" means under replication.
+	var (
+		delivered atomic.Uint64
+		measuring atomic.Bool
+		latMu     sync.Mutex
+		lat       = stats.NewSummary()
+	)
 	var subWG sync.WaitGroup
 	subConns := make([]*client.Client, 0, *matching+*nonMatching)
 	defer func() {
@@ -95,13 +130,20 @@ func run(args []string, stdout io.Writer) error {
 		subWG.Add(1)
 		go func() {
 			defer subWG.Done()
-			for range sub.Chan() {
+			for m := range sub.Chan() {
 				delivered.Add(1)
+				if t := m.Header.TraceID; t != 0 && measuring.Load() {
+					d := time.Since(time.Unix(0, int64(t))).Seconds()
+					latMu.Lock()
+					lat.Add(d)
+					latMu.Unlock()
+				}
 			}
 		}()
 	}
 
-	// Publishers: pre-created message, saturated sends.
+	// Publishers: pre-created message template. stamp gives every Nth
+	// clone a trace ID carrying its send time.
 	template := jms.NewMessage(*topicName)
 	if *useSelectors {
 		if err := template.SetInt32Property("prop", 0); err != nil {
@@ -112,33 +154,99 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	var published atomic.Uint64
+	var published, stamped atomic.Uint64
+	stamp := func(m *jms.Message) {
+		if *traceSample > 0 && published.Add(1)%uint64(*traceSample) == 0 {
+			m.Header.TraceID = uint64(time.Now().UnixNano())
+			stamped.Add(1)
+			return
+		}
+		if *traceSample == 0 {
+			published.Add(1)
+		}
+	}
 	pubCtx, cancelPub := context.WithCancel(context.Background())
+	defer cancelPub()
 	var pubWG sync.WaitGroup
+
+	pubConns := make([]*client.Client, 0, *publishers)
 	for p := 0; p < *publishers; p++ {
 		c, err := client.Dial(*addr)
 		if err != nil {
-			cancelPub()
 			return err
 		}
+		pubConns = append(pubConns, c)
+	}
+
+	if *rate > 0 {
+		// Paced mode: one pacer goroutine releases arrivals at the absolute
+		// deadlines of a Poisson schedule (sleep overshoot displaces one
+		// arrival instead of accumulating as drift, and independently
+		// displaced Poisson points stay Poisson); the publisher pool drains
+		// the due channel so one slow publish does not stall the schedule.
+		rng := stats.NewRNG(*seed)
+		due := make(chan struct{}, 1024)
 		pubWG.Add(1)
-		go func(c *client.Client) {
+		go func() {
 			defer pubWG.Done()
-			defer func() { _ = c.Close() }()
+			defer close(due)
+			start := time.Now()
+			var at float64
 			for pubCtx.Err() == nil {
-				if err := c.Publish(pubCtx, template.Clone()); err != nil {
+				at += rng.Exp(*rate)
+				if d := time.Until(start.Add(time.Duration(at * float64(time.Second)))); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-pubCtx.Done():
+						return
+					}
+				}
+				select {
+				case due <- struct{}{}:
+				case <-pubCtx.Done():
 					return
 				}
-				published.Add(1)
 			}
-		}(c)
+		}()
+		for _, c := range pubConns {
+			pubWG.Add(1)
+			go func(c *client.Client) {
+				defer pubWG.Done()
+				defer func() { _ = c.Close() }()
+				for range due {
+					m := template.Clone()
+					stamp(m)
+					if err := c.Publish(pubCtx, m); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	} else {
+		// Saturated mode: send as fast as push-back allows.
+		for _, c := range pubConns {
+			pubWG.Add(1)
+			go func(c *client.Client) {
+				defer pubWG.Done()
+				defer func() { _ = c.Close() }()
+				for pubCtx.Err() == nil {
+					m := template.Clone()
+					stamp(m)
+					if err := c.Publish(pubCtx, m); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
 	}
 
 	time.Sleep(*warmup)
+	measuring.Store(true)
 	pub0, del0 := published.Load(), delivered.Load()
 	start := time.Now()
 	time.Sleep(*measure)
 	pub1, del1 := published.Load(), delivered.Load()
+	measuring.Store(false)
 	elapsed := time.Since(start).Seconds()
 
 	cancelPub()
@@ -152,8 +260,28 @@ func run(args []string, stdout io.Writer) error {
 	recvRate := float64(pub1-pub0) / elapsed
 	dispRate := float64(del1-del0) / elapsed
 	fmt.Fprintf(stdout, "window   : %.2fs (after %v warmup)\n", elapsed, *warmup)
+	if *rate > 0 {
+		fmt.Fprintf(stdout, "target   : %10.0f msgs/s (Poisson, seed %d)\n", *rate, *seed)
+	}
 	fmt.Fprintf(stdout, "received : %10.0f msgs/s\n", recvRate)
 	fmt.Fprintf(stdout, "dispatched:%10.0f msgs/s (R = %.2f)\n", dispRate, dispRate/recvRate)
 	fmt.Fprintf(stdout, "overall  : %10.0f msgs/s\n", recvRate+dispRate)
+	if *traceSample > 0 {
+		latMu.Lock()
+		n := lat.N()
+		var mean, p99 float64
+		if n > 0 {
+			mean, _ = lat.Mean()
+			p99, _ = lat.Quantile(0.99)
+		}
+		latMu.Unlock()
+		if n == 0 {
+			fmt.Fprintf(stdout, "latency  : no traced deliveries in the window\n")
+		} else {
+			fmt.Fprintf(stdout, "latency  : mean %s  p99 %s  (%d traced deliveries, 1 in %d sampled)\n",
+				time.Duration(mean*float64(time.Second)),
+				time.Duration(p99*float64(time.Second)), n, *traceSample)
+		}
+	}
 	return nil
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"net"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -68,6 +70,44 @@ func TestLoadSelectors(t *testing.T) {
 	}
 }
 
+// TestLoadPacedWithTracing runs the Poisson-paced mode with trace
+// sampling and checks the achieved rate tracks the target and the
+// latency summary is reported.
+func TestLoadPacedWithTracing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bound")
+	}
+	addr := startBroker(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", addr, "-publishers", "2", "-matching", "1",
+		"-rate", "2000", "-seed", "7", "-tracesample", "5",
+		"-warmup", "100ms", "-measure", "500ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"target", "Poisson, seed 7", "received", "latency", "p99"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q: %s", want, s)
+		}
+	}
+	// The achieved rate should be in the neighborhood of the 2000 msgs/s
+	// target; wide bounds, this is a smoke test on shared CI hardware.
+	m := regexp.MustCompile(`received : +(\d+) msgs/s`).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("no received rate in output: %s", s)
+	}
+	rate, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 500 || rate > 4000 {
+		t.Errorf("achieved rate %.0f msgs/s not in the neighborhood of the 2000 target: %s", rate, s)
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-publishers", "0"}, &out); err == nil {
@@ -78,5 +118,14 @@ func TestLoadErrors(t *testing.T) {
 	}
 	if err := run([]string{"-addr", "127.0.0.1:1"}, &out); err == nil {
 		t.Error("unreachable broker accepted")
+	}
+	if err := run([]string{"-rate", "-1"}, &out); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := run([]string{"-tracesample", "-2"}, &out); err == nil {
+		t.Error("negative tracesample accepted")
+	}
+	if err := run([]string{"-tracesample", "3", "-matching", "0"}, &out); err == nil {
+		t.Error("tracesample without matching subscriber accepted")
 	}
 }

@@ -80,6 +80,13 @@ type Options struct {
 	// default: the timing adds clock reads to the dispatch hot path, so
 	// paper-facing throughput runs should leave it disabled.
 	StageTiming bool
+	// WaitTiming stamps each message at broker enqueue and records its
+	// waiting time W (enqueue → dispatch start), service time B (dispatch
+	// start → last transmit) and sojourn time (enqueue → last transmit)
+	// into per-topic histograms and raw-moment accumulators, exposed by
+	// Telemetry. This is the measured side of the live model-drift
+	// monitor; off by default for the same hot-path reason as StageTiming.
+	WaitTiming bool
 }
 
 func (o Options) withDefaults() Options {
@@ -190,6 +197,9 @@ func (b *Broker) ConfigureTopic(name string) error {
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
+	if b.opts.WaitTiming {
+		d.tt = &topicTimers{}
+	}
 	b.dispatchers[name] = d
 	p := &pipeline{b: b, d: d, st: b.stages(b.opts.Engine), timers: b.timers}
 	p.tx = queueTransmitter{b: b, d: d}
@@ -211,9 +221,15 @@ func (b *Broker) Publish(ctx context.Context, m *jms.Message) error {
 	if b.opts.WaitObserver != nil && m.Header.Timestamp.IsZero() {
 		m.Header.Timestamp = b.now()
 	}
+	if d.tt != nil {
+		m.EnqueuedAt = b.now()
+	}
 	select {
 	case d.in <- m:
 		b.countAdd(&b.received, 1)
+		if d.tt != nil {
+			d.tt.received.Inc()
+		}
 		return nil
 	case <-d.stop:
 		return ErrClosed
@@ -229,9 +245,15 @@ func (b *Broker) TryPublish(m *jms.Message) error {
 	if err != nil {
 		return err
 	}
+	if d.tt != nil {
+		m.EnqueuedAt = b.now()
+	}
 	select {
 	case d.in <- m:
 		b.countAdd(&b.received, 1)
+		if d.tt != nil {
+			d.tt.received.Inc()
+		}
 		return nil
 	case <-d.stop:
 		return ErrClosed

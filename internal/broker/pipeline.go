@@ -43,6 +43,9 @@ type dispatcher struct {
 	in    chan *jms.Message
 	stop  chan struct{}
 	done  chan struct{}
+	// tt is the topic's waiting-time tracing state; nil unless
+	// Options.WaitTiming (see tracing.go).
+	tt *topicTimers
 }
 
 // pipeline is the per-topic staged dispatch machinery: the dispatcher
@@ -72,6 +75,10 @@ type seqResult struct {
 	// subtracted from the loop total when the receive stage is computed as
 	// the residual. Zero unless stage timing is on.
 	matchDur time.Duration
+	// start is the dispatch-start instant, the end of the message's
+	// waiting time W and the origin of its service time B. Zero unless
+	// waiting-time tracing is on.
+	start time.Time
 }
 
 // start launches the pipeline's goroutines.
@@ -228,6 +235,13 @@ func (p *pipeline) frontStages(mt Matcher, m *jms.Message, dst []*Subscriber) (s
 	if obs := b.opts.WaitObserver; obs != nil && !m.Header.Timestamp.IsZero() {
 		obs(b.now().Sub(m.Header.Timestamp))
 	}
+	var start time.Time
+	if tt := p.d.tt; tt != nil && !m.EnqueuedAt.IsZero() {
+		start = b.now()
+		w := start.Sub(m.EnqueuedAt)
+		tt.wait.Observe(w)
+		tt.waitM.Observe(w)
+	}
 	if !m.Header.Expiration.IsZero() && m.Expired(b.now()) {
 		b.countAdd(&b.expired, 1)
 		return seqResult{m: m, matches: dst}, false
@@ -245,7 +259,19 @@ func (p *pipeline) frontStages(mt Matcher, m *jms.Message, dst []*Subscriber) (s
 		p.timers.match.Observe(matchDur)
 	}
 	b.countAdd(&b.filterEvals, uint64(evals))
-	return seqResult{m: m, matches: matches, nFilters: nFilters, matchDur: matchDur}, true
+	return seqResult{m: m, matches: matches, nFilters: nFilters, matchDur: matchDur, start: start}, true
+}
+
+// traceCommit records the service and sojourn times of one committed
+// message — the end of the spans opened at enqueue and dispatch start.
+func (p *pipeline) traceCommit(res seqResult) {
+	tt := p.d.tt
+	if tt == nil || res.start.IsZero() {
+		return
+	}
+	end := p.b.now()
+	tt.serviceM.Observe(end.Sub(res.start))
+	tt.sojourn.Observe(end.Sub(res.m.EnqueuedAt))
 }
 
 // commitOrdered is the committer's per-result step: expired results were
@@ -278,6 +304,7 @@ func (p *pipeline) commitStages(res seqResult) time.Duration {
 		if obs := p.b.opts.Observer; obs != nil {
 			obs.ObserveDispatch(p.d.topic.Name(), res.nFilters, len(res.matches))
 		}
+		p.traceCommit(res)
 		return 0
 	}
 	start := time.Now()
@@ -298,5 +325,6 @@ func (p *pipeline) commitStages(res seqResult) time.Duration {
 	if obs := p.b.opts.Observer; obs != nil {
 		obs.ObserveDispatch(p.d.topic.Name(), res.nFilters, len(res.matches))
 	}
+	p.traceCommit(res)
 	return time.Since(start)
 }

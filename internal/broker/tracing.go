@@ -1,0 +1,98 @@
+package broker
+
+import "repro/internal/metrics"
+
+// This file is the broker's per-topic waiting-time tracing: with
+// Options.WaitTiming enabled, every accepted message is stamped at enqueue
+// (jms.Message.EnqueuedAt) and the pipeline records, per topic,
+//
+//	W       = enqueue → dispatch start   (the paper's waiting time),
+//	B       = dispatch start → last transmit (the service time),
+//	sojourn = enqueue → last transmit    (W + B, the response time T),
+//
+// into histograms and raw-moment accumulators. The moment accumulators
+// keep exact Σx, Σx², Σx³ so a telemetry consumer can evaluate the
+// Pollaczek–Khinchine closed forms (Eqs. 4–5) and the Gamma quantile
+// approximation (Eqs. 19–20) from measured moments over a rolling window —
+// the live counterpart of the offline conformance suite.
+//
+// On the serial (faithful) engine B is the true single-resource service
+// time of the paper's model. On the sharded fast engine dispatch overlaps
+// across messages, so B includes reorder-commit wait and the M/GI/1
+// prediction built from it is an approximation; the drift monitor surfaces
+// exactly that divergence.
+
+// topicTimers is one topic's tracing state. All fields are lock-cheap and
+// sit on the dispatch path only when Options.WaitTiming is set.
+type topicTimers struct {
+	received metrics.Counter // messages accepted into the topic queue
+	wait     metrics.Histogram
+	sojourn  metrics.Histogram
+	waitM    metrics.Moments
+	serviceM metrics.Moments
+}
+
+// TopicTelemetry is a point-in-time snapshot of one topic's tracing state.
+// Snapshots from two instants subtract (Sub) into a rolling window.
+type TopicTelemetry struct {
+	// Received counts messages accepted into the topic queue — the λ
+	// numerator of a windowed arrival-rate estimate.
+	Received uint64
+	// Wait is the per-message waiting-time histogram (enqueue → dispatch
+	// start).
+	Wait metrics.HistogramSnapshot
+	// Sojourn is the per-message sojourn-time histogram (enqueue → last
+	// transmit of the message's replicas).
+	Sojourn metrics.HistogramSnapshot
+	// WaitMoments are the raw moments of the waiting time in seconds.
+	WaitMoments metrics.MomentsSnapshot
+	// ServiceMoments are the raw moments of the service time in seconds —
+	// the measured E[B], E[B^2], E[B^3] of Eqs. 4–5.
+	ServiceMoments metrics.MomentsSnapshot
+}
+
+// Sub returns the windowed delta s - prev, clamping on counter skew.
+func (s TopicTelemetry) Sub(prev TopicTelemetry) TopicTelemetry {
+	recv := s.Received
+	if prev.Received > recv {
+		recv = 0
+	} else {
+		recv -= prev.Received
+	}
+	return TopicTelemetry{
+		Received:       recv,
+		Wait:           s.Wait.Sub(prev.Wait),
+		Sojourn:        s.Sojourn.Sub(prev.Sojourn),
+		WaitMoments:    s.WaitMoments.Sub(prev.WaitMoments),
+		ServiceMoments: s.ServiceMoments.Sub(prev.ServiceMoments),
+	}
+}
+
+// snapshot copies the timer state.
+func (tt *topicTimers) snapshot() TopicTelemetry {
+	return TopicTelemetry{
+		Received:       tt.received.Value(),
+		Wait:           tt.wait.Snapshot(),
+		Sojourn:        tt.sojourn.Snapshot(),
+		WaitMoments:    tt.waitM.Snapshot(),
+		ServiceMoments: tt.serviceM.Snapshot(),
+	}
+}
+
+// Telemetry returns a snapshot of every topic's tracing state. Without
+// Options.WaitTiming the broker records nothing and the map is empty.
+func (b *Broker) Telemetry() map[string]TopicTelemetry {
+	b.mu.Lock()
+	timers := make(map[string]*topicTimers, len(b.dispatchers))
+	for name, d := range b.dispatchers {
+		if d.tt != nil {
+			timers[name] = d.tt
+		}
+	}
+	b.mu.Unlock()
+	out := make(map[string]TopicTelemetry, len(timers))
+	for name, tt := range timers {
+		out[name] = tt.snapshot()
+	}
+	return out
+}

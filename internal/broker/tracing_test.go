@@ -1,0 +1,133 @@
+package broker
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/jms"
+)
+
+// drainN receives n messages from sub or fails the test.
+func drainN(t *testing.T, sub *Subscriber, n int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		if _, err := sub.Receive(ctx); err != nil {
+			t.Fatalf("receive %d: %v", i, err)
+		}
+	}
+}
+
+// waitTelemetry polls until the topic's sojourn count reaches n (the
+// sojourn is recorded after the last transmit, slightly after the
+// subscriber sees the message).
+func waitTelemetry(t *testing.T, b *Broker, topic string, n uint64) TopicTelemetry {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tel := b.Telemetry()[topic]
+		if tel.Sojourn.Count >= n {
+			return tel
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("telemetry never reached %d sojourns: %+v", n, tel)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func testWaitTracing(t *testing.T, opts Options) {
+	opts.WaitTiming = true
+	b := newTestBroker(t, opts)
+	sub, err := b.Subscribe("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		publishCorr(t, b, "#0")
+	}
+	drainN(t, sub, n)
+	tel := waitTelemetry(t, b, "t", n)
+
+	if tel.Received != n {
+		t.Errorf("Received = %d, want %d", tel.Received, n)
+	}
+	if tel.Wait.Count != n || tel.WaitMoments.N != n {
+		t.Errorf("wait counts = %d/%d, want %d", tel.Wait.Count, tel.WaitMoments.N, n)
+	}
+	if tel.Sojourn.Count != n || tel.ServiceMoments.N != n {
+		t.Errorf("sojourn/service counts = %d/%d, want %d", tel.Sojourn.Count, tel.ServiceMoments.N, n)
+	}
+	// Sojourn = wait + service per message, so the sums must order.
+	if tel.Sojourn.Sum < tel.Wait.Sum {
+		t.Errorf("sojourn sum %d < wait sum %d", tel.Sojourn.Sum, tel.Wait.Sum)
+	}
+	if tel.WaitMoments.Mean() < 0 || tel.ServiceMoments.Mean() <= 0 {
+		t.Errorf("moment means = %v/%v", tel.WaitMoments.Mean(), tel.ServiceMoments.Mean())
+	}
+
+	// Windowed delta: more traffic, subtract the first snapshot.
+	for i := 0; i < n; i++ {
+		publishCorr(t, b, "#0")
+	}
+	drainN(t, sub, n)
+	tel2 := waitTelemetry(t, b, "t", 2*n)
+	d := tel2.Sub(tel)
+	if d.Received != n || d.Wait.Count != n || d.ServiceMoments.N != n {
+		t.Errorf("delta = received %d wait %d service %d, want %d each",
+			d.Received, d.Wait.Count, d.ServiceMoments.N, n)
+	}
+}
+
+func TestWaitTracingFaithful(t *testing.T) {
+	testWaitTracing(t, Options{Engine: EngineFaithful})
+}
+
+func TestWaitTracingFast(t *testing.T) {
+	testWaitTracing(t, Options{Engine: EngineFast, Shards: 4})
+}
+
+// TestTelemetryOffByDefault: without WaitTiming there is no tracing state
+// and Telemetry stays empty — the hot path must not pay for it.
+func TestTelemetryOffByDefault(t *testing.T) {
+	b := newTestBroker(t, Options{})
+	sub, err := b.Subscribe("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishCorr(t, b, "#0")
+	drainN(t, sub, 1)
+	if tel := b.Telemetry(); len(tel) != 0 {
+		t.Errorf("Telemetry without WaitTiming = %v", tel)
+	}
+}
+
+// TestTracedExpiredMessage: an expired message contributes a wait
+// observation (it waited) but no service/sojourn (it was never committed).
+func TestTracedExpiredMessage(t *testing.T) {
+	b := newTestBroker(t, Options{WaitTiming: true})
+	fixed := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.now = func() time.Time { return fixed }
+	m := jms.NewMessage("t")
+	m.Header.Expiration = fixed.Add(-time.Second)
+	if err := b.Publish(context.Background(), m); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tel := b.Telemetry()["t"]
+		if tel.Wait.Count == 1 {
+			if tel.Sojourn.Count != 0 || tel.ServiceMoments.N != 0 {
+				t.Errorf("expired message recorded service/sojourn: %+v", tel)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("wait never observed: %+v", tel)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

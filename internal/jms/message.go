@@ -124,6 +124,12 @@ type Header struct {
 	Timestamp time.Time
 	// Expiration is the absolute expiry; zero means never.
 	Expiration time.Time
+	// TraceID is an optional end-to-end trace identifier carried through
+	// the wire protocol and preserved across replication; zero means
+	// untraced. Load tools stamp sampled messages with it to measure
+	// publish→deliver latency without touching Timestamp (which the broker
+	// uses for its own waiting-time accounting).
+	TraceID uint64
 }
 
 // Message is a JMS message: header, property section, payload.
@@ -137,6 +143,12 @@ type Message struct {
 	// copy-on-write view (see Shared). The first mutation through a setter
 	// copies the map before writing, so views never observe it.
 	shared uint32
+	// EnqueuedAt is the broker-local enqueue stamp: the instant the broker
+	// accepted the message into its topic queue. It is not part of the wire
+	// encoding; the dispatch pipeline reads it to measure the per-message
+	// waiting time W (enqueue → dispatch start) and sojourn time (enqueue →
+	// last transmit) of the paper's M/GI/1 analysis on the live system.
+	EnqueuedAt time.Time
 }
 
 // NewMessage returns an empty persistent message for the given topic.
@@ -308,7 +320,7 @@ func (m *Message) SetBody(b []byte) { m.Body = b }
 // R times when dispatching it to R matching subscribers; Clone is the unit
 // of that replication.
 func (m *Message) Clone() *Message {
-	c := &Message{Header: m.Header}
+	c := &Message{Header: m.Header, EnqueuedAt: m.EnqueuedAt}
 	if m.properties != nil {
 		c.properties = make(map[string]Property, len(m.properties))
 		for k, v := range m.properties {
@@ -344,6 +356,7 @@ func (m *Message) Shared() *Message {
 		properties: m.properties,
 		Body:       m.Body,
 		shared:     1,
+		EnqueuedAt: m.EnqueuedAt,
 	}
 }
 
@@ -378,7 +391,7 @@ func (m *Message) Validate() error {
 // fields plus properties plus body. Used by the metrics subsystem to track
 // network utilization the way the paper's testbed monitored it with sar.
 func (m *Message) Size() int {
-	size := 8 /* id */ + len(m.Header.CorrelationID) + len(m.Header.Topic) + 1 /* mode */ + 1 /* prio */ + 16 /* timestamps */
+	size := 8 /* id */ + len(m.Header.CorrelationID) + len(m.Header.Topic) + 1 /* mode */ + 1 /* prio */ + 16 /* timestamps */ + 8 /* trace ID */
 	for name, p := range m.properties {
 		size += len(name) + 1
 		switch p.Type {

@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file holds the exposition-side primitives of the telemetry plane:
+// gauges, labeled counter/gauge families, and the raw-moment accumulator
+// behind the online M/G/1 model-drift monitor. The families are
+// deliberately minimal — a name, a help string, fixed label names, and
+// children keyed by their label values — just enough structure for
+// internal/telemetry to render them in Prometheus text format.
+
+// Gauge is a settable float64 value safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value (0 before the first Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// labelKey joins label values into a map key. The separator cannot occur
+// in rendered output ambiguity because children keep their value slice.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// family is the shared bookkeeping of GaugeVec and CounterVec.
+type family[T any] struct {
+	mu       sync.Mutex
+	children map[string]*T
+	values   map[string][]string
+}
+
+func (f *family[T]) with(labelNames, labelValues []string) *T {
+	if len(labelValues) != len(labelNames) {
+		panic("metrics: label value count does not match family label names")
+	}
+	key := labelKey(labelValues)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.children == nil {
+		f.children = make(map[string]*T)
+		f.values = make(map[string][]string)
+	}
+	c, ok := f.children[key]
+	if !ok {
+		c = new(T)
+		f.children[key] = c
+		f.values[key] = append([]string(nil), labelValues...)
+	}
+	return c
+}
+
+// each visits children in deterministic (sorted-key) order.
+func (f *family[T]) each(fn func(labelValues []string, c *T)) {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type entry struct {
+		values []string
+		c      *T
+	}
+	entries := make([]entry, len(keys))
+	for i, k := range keys {
+		entries[i] = entry{values: f.values[k], c: f.children[k]}
+	}
+	f.mu.Unlock()
+	for _, e := range entries {
+		fn(e.values, e.c)
+	}
+}
+
+// GaugeVec is a labeled gauge family: one Gauge per distinct label-value
+// tuple, created on demand by With.
+type GaugeVec struct {
+	// Name is the metric name, Help its exposition help line.
+	Name, Help string
+	labelNames []string
+	fam        family[Gauge]
+}
+
+// NewGaugeVec returns an empty gauge family.
+func NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{Name: name, Help: help, labelNames: labelNames}
+}
+
+// LabelNames returns the family's label names.
+func (v *GaugeVec) LabelNames() []string { return v.labelNames }
+
+// With returns (creating on demand) the child gauge for the given label
+// values. It panics when the value count does not match the label names —
+// a programming error, like an index out of range.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.fam.with(v.labelNames, labelValues)
+}
+
+// Each visits every child in deterministic order.
+func (v *GaugeVec) Each(fn func(labelValues []string, g *Gauge)) { v.fam.each(fn) }
+
+// CounterVec is a labeled counter family: one Counter per distinct
+// label-value tuple, created on demand by With.
+type CounterVec struct {
+	// Name is the metric name, Help its exposition help line.
+	Name, Help string
+	labelNames []string
+	fam        family[Counter]
+}
+
+// NewCounterVec returns an empty counter family.
+func NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{Name: name, Help: help, labelNames: labelNames}
+}
+
+// LabelNames returns the family's label names.
+func (v *CounterVec) LabelNames() []string { return v.labelNames }
+
+// With returns (creating on demand) the child counter for the given label
+// values, with the same arity contract as GaugeVec.With.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.fam.with(v.labelNames, labelValues)
+}
+
+// Each visits every child in deterministic order.
+func (v *CounterVec) Each(fn func(labelValues []string, c *Counter)) { v.fam.each(fn) }
+
+// Moments accumulates the first three raw moments of a duration sample in
+// seconds: exactly the E[B], E[B^2], E[B^3] inputs of the paper's
+// Pollaczek–Khinchine formulas (Eqs. 4–5), measured instead of assumed.
+// A histogram's log2 buckets are too coarse for third moments, so the
+// sums are kept exactly. The zero value is ready for use.
+type Moments struct {
+	mu         sync.Mutex
+	n          uint64
+	s1, s2, s3 float64
+}
+
+// Observe records one duration. Negative durations are clamped to zero.
+func (m *Moments) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	x := d.Seconds()
+	x2 := x * x
+	m.mu.Lock()
+	m.n++
+	m.s1 += x
+	m.s2 += x2
+	m.s3 += x2 * x
+	m.mu.Unlock()
+}
+
+// Snapshot returns a consistent point-in-time copy of the accumulator.
+func (m *Moments) Snapshot() MomentsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MomentsSnapshot{N: m.n, S1: m.s1, S2: m.s2, S3: m.s3}
+}
+
+// MomentsSnapshot is a point-in-time copy of a Moments accumulator.
+type MomentsSnapshot struct {
+	// N is the number of observations.
+	N uint64
+	// S1, S2, S3 are the sums of x, x^2 and x^3 over all observations,
+	// with x in seconds.
+	S1, S2, S3 float64
+}
+
+// Sub returns the windowed delta s - prev, clamping each field at zero on
+// counter skew (see HistogramSnapshot.Sub).
+func (s MomentsSnapshot) Sub(prev MomentsSnapshot) MomentsSnapshot {
+	d := MomentsSnapshot{
+		N:  clampSub(s.N, prev.N),
+		S1: s.S1 - prev.S1,
+		S2: s.S2 - prev.S2,
+		S3: s.S3 - prev.S3,
+	}
+	if d.S1 < 0 {
+		d.S1 = 0
+	}
+	if d.S2 < 0 {
+		d.S2 = 0
+	}
+	if d.S3 < 0 {
+		d.S3 = 0
+	}
+	return d
+}
+
+// Raw returns the raw sample moments (E[x], E[x^2], E[x^3]) in seconds,
+// or zeros with no observations.
+func (s MomentsSnapshot) Raw() (m1, m2, m3 float64) {
+	if s.N == 0 {
+		return 0, 0, 0
+	}
+	n := float64(s.N)
+	return s.S1 / n, s.S2 / n, s.S3 / n
+}
+
+// Mean returns the sample mean in seconds.
+func (s MomentsSnapshot) Mean() float64 {
+	m1, _, _ := s.Raw()
+	return m1
+}

@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGaugeSetValue(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Errorf("zero gauge = %v", g.Value())
+	}
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Errorf("Value = %v, want 3.5", g.Value())
+	}
+	g.Set(-1)
+	if g.Value() != -1 {
+		t.Errorf("Value = %v, want -1", g.Value())
+	}
+	g.Set(math.Inf(1))
+	if !math.IsInf(g.Value(), 1) {
+		t.Errorf("Value = %v, want +Inf", g.Value())
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Set(v)
+				_ = g.Value()
+			}
+		}(float64(i))
+	}
+	wg.Wait()
+	if v := g.Value(); v < 0 || v > 7 {
+		t.Errorf("torn gauge value %v", v)
+	}
+}
+
+func TestGaugeVec(t *testing.T) {
+	v := NewGaugeVec("q_depth", "help", "topic", "engine")
+	v.With("a", "fast").Set(1)
+	v.With("b", "fast").Set(2)
+	v.With("a", "fast").Set(3) // same child, overwrites
+
+	if got := v.With("a", "fast").Value(); got != 3 {
+		t.Errorf("child a/fast = %v, want 3", got)
+	}
+	var seen [][]string
+	var vals []float64
+	v.Each(func(values []string, g *Gauge) {
+		seen = append(seen, values)
+		vals = append(vals, g.Value())
+	})
+	if len(seen) != 2 {
+		t.Fatalf("Each visited %d children, want 2", len(seen))
+	}
+	// Deterministic sorted order: ("a","fast") before ("b","fast").
+	if seen[0][0] != "a" || seen[1][0] != "b" || vals[0] != 3 || vals[1] != 2 {
+		t.Errorf("Each order/values = %v %v", seen, vals)
+	}
+	if n := v.LabelNames(); len(n) != 2 || n[0] != "topic" || n[1] != "engine" {
+		t.Errorf("LabelNames = %v", n)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	v := NewCounterVec("hits", "help", "topic")
+	v.With("a").Inc()
+	v.With("a").Inc()
+	v.With("b").Add(5)
+	if got := v.With("a").Value(); got != 2 {
+		t.Errorf("a = %d, want 2", got)
+	}
+	total := uint64(0)
+	v.Each(func(_ []string, c *Counter) { total += c.Value() })
+	if total != 7 {
+		t.Errorf("total = %d, want 7", total)
+	}
+}
+
+func TestVecArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch did not panic")
+		}
+	}()
+	NewGaugeVec("x", "", "a", "b").With("only-one")
+}
+
+func TestMoments(t *testing.T) {
+	var m Moments
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		m.Observe(d)
+	}
+	s := m.Snapshot()
+	if s.N != 3 {
+		t.Fatalf("N = %d", s.N)
+	}
+	m1, m2, m3 := s.Raw()
+	if m1 != 2 { // (1+2+3)/3
+		t.Errorf("E[x] = %v, want 2", m1)
+	}
+	if want := (1.0 + 4.0 + 9.0) / 3; math.Abs(m2-want) > 1e-12 {
+		t.Errorf("E[x^2] = %v, want %v", m2, want)
+	}
+	if want := (1.0 + 8.0 + 27.0) / 3; math.Abs(m3-want) > 1e-12 {
+		t.Errorf("E[x^3] = %v, want %v", m3, want)
+	}
+	if s.Mean() != 2 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+}
+
+func TestMomentsNegativeClamped(t *testing.T) {
+	var m Moments
+	m.Observe(-time.Second)
+	s := m.Snapshot()
+	if s.N != 1 || s.S1 != 0 || s.S2 != 0 || s.S3 != 0 {
+		t.Errorf("negative observation not clamped: %+v", s)
+	}
+}
+
+func TestMomentsSub(t *testing.T) {
+	var m Moments
+	m.Observe(time.Second)
+	before := m.Snapshot()
+	m.Observe(3 * time.Second)
+	d := m.Snapshot().Sub(before)
+	if d.N != 1 || d.S1 != 3 || d.S2 != 9 || d.S3 != 27 {
+		t.Errorf("delta = %+v", d)
+	}
+	// Skewed inputs (prev ahead of cur) clamp to zero instead of going
+	// negative.
+	skew := before.Sub(m.Snapshot())
+	if skew.N != 0 || skew.S1 != 0 || skew.S2 != 0 || skew.S3 != 0 {
+		t.Errorf("skewed delta not clamped: %+v", skew)
+	}
+}
+
+func TestMomentsZeroRaw(t *testing.T) {
+	var s MomentsSnapshot
+	m1, m2, m3 := s.Raw()
+	if m1 != 0 || m2 != 0 || m3 != 0 {
+		t.Errorf("empty Raw = %v %v %v", m1, m2, m3)
+	}
+}

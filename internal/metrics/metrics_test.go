@@ -282,3 +282,76 @@ func TestTimer(t *testing.T) {
 		t.Errorf("timed sleep recorded only %v", time.Duration(s.Sum))
 	}
 }
+
+func TestHistogramSubClampsSkew(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	later := h.Snapshot()
+	h.Observe(100)
+	earlier := h.Snapshot()
+	// Subtracting a later snapshot from an earlier one models the field
+	// skew racing observers can produce; the delta must clamp at zero, not
+	// wrap around the unsigned counters.
+	d := later.Sub(earlier)
+	if d.Count != 0 || d.Sum != 0 {
+		t.Errorf("skewed delta not clamped: count=%d sum=%d", d.Count, d.Sum)
+	}
+	for i, c := range d.Buckets {
+		if c > 1<<63 {
+			t.Errorf("bucket %d wrapped: %d", i, c)
+		}
+	}
+}
+
+func TestBucketBound(t *testing.T) {
+	if BucketBound(0) != 1 {
+		t.Errorf("BucketBound(0) = %v, want 1", BucketBound(0))
+	}
+	if BucketBound(10) != 1024 {
+		t.Errorf("BucketBound(10) = %v, want 1024", BucketBound(10))
+	}
+	if !math.IsInf(BucketBound(HistogramBuckets-1), 1) {
+		t.Errorf("last bucket bound = %v, want +Inf", BucketBound(HistogramBuckets-1))
+	}
+	// Bounds are consistent with bucketIndex: an observation lands strictly
+	// below its bucket's bound and at/above the previous bound.
+	for _, ns := range []uint64{0, 1, 2, 3, 1023, 1024, 1 << 30} {
+		i := bucketIndex(ns)
+		if float64(ns) >= BucketBound(i) {
+			t.Errorf("ns=%d in bucket %d but bound is %v", ns, i, BucketBound(i))
+		}
+		if i > 0 && float64(ns) < BucketBound(i-1)/2 {
+			t.Errorf("ns=%d below bucket %d's range", ns, i)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("q0 = %v, want 0", got)
+	}
+	if got := s.Quantile(1); got != time.Millisecond {
+		t.Errorf("q1 = %v, want 1ms (max)", got)
+	}
+	// Log2 buckets have factor-2 resolution: the estimate must be within
+	// a factor of 2 of the true quantile.
+	for _, p := range []float64{0.25, 0.5, 0.9, 0.99} {
+		want := time.Duration(p*1000) * time.Microsecond
+		got := s.Quantile(p)
+		if got < want/2 || got > want*2 {
+			t.Errorf("q%.2f = %v, want within 2x of %v", p, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("empty q50 = %v", got)
+	}
+}

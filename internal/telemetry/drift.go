@@ -1,0 +1,272 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/metrics"
+	"repro/internal/mg1"
+)
+
+// This file is the online model-drift monitor: the paper's predicted-vs-
+// measured waiting-time comparison (Figs. 8–12) computed continuously on
+// the running broker instead of offline. Each tick takes a rolling window
+// over the broker's per-topic tracing state (broker.Telemetry), estimates
+// the M/GI/1 inputs from it —
+//
+//	λ      from the windowed arrival count,
+//	E[B^k] from the windowed raw service-time moments (Eqs. 7–9 measured
+//	       rather than constructed),
+//	ρ      = λ·E[B] (Eq. 6),
+//
+// — evaluates the Pollaczek–Khinchine mean wait (Eq. 4) and the Gamma
+// quantile approximation (Eqs. 19–20), and publishes predicted and
+// observed E[W]/q99 side by side with their ratio. A drift ratio far from
+// one is the operator's signal that reality has diverged from the model's
+// assumptions (overload, lost Poisson-ness, service-time inflation).
+
+// MonitoredQuantile is the waiting-time quantile the monitor tracks, the
+// paper's q99 dashboard signal.
+const MonitoredQuantile = 0.99
+
+// DefaultMinSamples is the minimum number of served messages a window must
+// contain before an estimate is attempted; smaller windows stay invalid
+// ("too few samples") instead of publishing noise.
+const DefaultMinSamples = 50
+
+// Estimate is one topic's windowed model-vs-measurement comparison.
+type Estimate struct {
+	Topic string `json:"topic"`
+	// Window is the wall-clock span of the rolling window; Messages the
+	// number of messages served in it.
+	Window   time.Duration `json:"window_ns"`
+	Messages uint64        `json:"messages"`
+	// Lambda is the windowed arrival rate (msgs/s), Rho = Lambda*EB.
+	Lambda float64 `json:"lambda"`
+	Rho    float64 `json:"rho"`
+	// EB, EB2, EB3 are the measured raw service-time moments (seconds).
+	EB  float64 `json:"eb"`
+	EB2 float64 `json:"eb2"`
+	EB3 float64 `json:"eb3"`
+	// PredictedEW and PredictedQ are the model's mean wait (Eq. 4) and
+	// MonitoredQuantile waiting-time quantile (Eqs. 19–20), in seconds.
+	PredictedEW float64 `json:"predicted_ew"`
+	PredictedQ  float64 `json:"predicted_q"`
+	// ObservedEW and ObservedQ are the measured mean wait and quantile.
+	ObservedEW float64 `json:"observed_ew"`
+	ObservedQ  float64 `json:"observed_q"`
+	// DriftRatio is ObservedEW / PredictedEW; 1 means the model holds.
+	DriftRatio float64 `json:"drift_ratio"`
+	// Valid reports whether a prediction was computed; Reason explains an
+	// invalid estimate (too few samples, unstable window, ...). Observed
+	// values are filled in whenever the window served any message.
+	Valid  bool   `json:"valid"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Compute evaluates one topic's windowed estimate from a telemetry delta.
+// It is a pure function of its inputs so tests can drive it with synthetic
+// windows.
+func Compute(topic string, delta broker.TopicTelemetry, window time.Duration, quantile float64, minSamples uint64) Estimate {
+	e := Estimate{Topic: topic, Window: window, Messages: delta.ServiceMoments.N}
+	if window <= 0 {
+		e.Reason = "empty window"
+		return e
+	}
+	if delta.WaitMoments.N > 0 {
+		e.ObservedEW = delta.WaitMoments.Mean()
+		e.ObservedQ = delta.Wait.Quantile(quantile).Seconds()
+	}
+	e.Lambda = float64(delta.Received) / window.Seconds()
+	e.EB, e.EB2, e.EB3 = delta.ServiceMoments.Raw()
+	// Measured moments of a (near-)deterministic service time can land a
+	// few ulps below the E[B^2] >= E[B]^2 boundary through summation
+	// error; clamp to the boundary (zero variance) instead of letting the
+	// model reject the window.
+	if e.EB2 < e.EB*e.EB {
+		e.EB2 = e.EB * e.EB
+	}
+	e.Rho = e.Lambda * e.EB
+	if e.Messages < minSamples {
+		e.Reason = "too few samples"
+		return e
+	}
+	q, err := mg1.NewQueue(e.Lambda, mg1.ServiceMoments{M1: e.EB, M2: e.EB2, M3: e.EB3})
+	if err != nil {
+		e.Reason = err.Error()
+		return e
+	}
+	e.PredictedEW = q.MeanWait()
+	dist, err := q.GammaApprox()
+	if err != nil {
+		e.Reason = err.Error()
+		return e
+	}
+	if e.PredictedQ, err = dist.Quantile(quantile); err != nil {
+		e.Reason = err.Error()
+		return e
+	}
+	switch {
+	case e.PredictedEW > 0:
+		e.DriftRatio = e.ObservedEW / e.PredictedEW
+	case e.ObservedEW == 0:
+		e.DriftRatio = 1
+	}
+	e.Valid = true
+	return e
+}
+
+// Monitor periodically evaluates Compute over every topic of a broker and
+// publishes the results as labeled gauges. The broker must run with
+// Options.WaitTiming, otherwise there is nothing to monitor.
+type Monitor struct {
+	b          *broker.Broker
+	interval   time.Duration
+	minSamples uint64
+
+	gLambda, gRho, gServiceMean    *metrics.GaugeVec
+	gPredEW, gPredQ, gObsEW, gObsQ *metrics.GaugeVec
+	gDrift, gWindowMsgs            *metrics.GaugeVec
+
+	mu     sync.Mutex
+	prev   map[string]broker.TopicTelemetry
+	prevAt time.Time
+	est    map[string]Estimate
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewMonitor returns a monitor evaluating every interval (default 5 s).
+func NewMonitor(b *broker.Broker, interval time.Duration) *Monitor {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	return &Monitor{
+		b:          b,
+		interval:   interval,
+		minSamples: DefaultMinSamples,
+		gLambda: metrics.NewGaugeVec("jms_model_lambda",
+			"Windowed arrival rate (messages/s) feeding the M/G/1 model.", "topic"),
+		gRho: metrics.NewGaugeVec("jms_model_rho",
+			"Windowed utilization rho = lambda * E[B] (Eq. 6).", "topic"),
+		gServiceMean: metrics.NewGaugeVec("jms_model_service_mean_seconds",
+			"Windowed mean service time E[B] (seconds).", "topic"),
+		gPredEW: metrics.NewGaugeVec("jms_model_predicted_ew_seconds",
+			"Predicted mean waiting time E[W] by Pollaczek-Khinchine (Eq. 4).", "topic"),
+		gPredQ: metrics.NewGaugeVec("jms_model_predicted_q99_seconds",
+			"Predicted q99 waiting time via the Gamma approximation (Eqs. 19-20).", "topic"),
+		gObsEW: metrics.NewGaugeVec("jms_model_observed_ew_seconds",
+			"Observed mean waiting time over the window.", "topic"),
+		gObsQ: metrics.NewGaugeVec("jms_model_observed_q99_seconds",
+			"Observed q99 waiting time over the window.", "topic"),
+		gDrift: metrics.NewGaugeVec("jms_model_drift_ratio",
+			"Observed / predicted mean waiting time; 1 means the model holds.", "topic"),
+		gWindowMsgs: metrics.NewGaugeVec("jms_model_window_messages",
+			"Messages served in the evaluation window.", "topic"),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// GaugeVecs returns the monitor's gauge families for exposition.
+func (m *Monitor) GaugeVecs() []*metrics.GaugeVec {
+	return []*metrics.GaugeVec{
+		m.gLambda, m.gRho, m.gServiceMean,
+		m.gPredEW, m.gPredQ, m.gObsEW, m.gObsQ,
+		m.gDrift, m.gWindowMsgs,
+	}
+}
+
+// Start establishes the baseline window and launches the evaluation loop;
+// Stop ends it. Taking the baseline synchronously means traffic arriving
+// right after Start is already inside the first evaluated window instead
+// of silently folded into it.
+func (m *Monitor) Start() {
+	m.startOnce.Do(func() {
+		m.Tick(time.Now())
+		go func() {
+			defer close(m.done)
+			t := time.NewTicker(m.interval)
+			defer t.Stop()
+			for {
+				select {
+				case now := <-t.C:
+					m.Tick(now)
+				case <-m.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop ends the evaluation loop and waits for it. Safe without Start.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	select {
+	case <-m.done:
+	default:
+		m.startOnce.Do(func() { close(m.done) })
+		<-m.done
+	}
+}
+
+// Tick evaluates one rolling window ending now. The first call only
+// establishes the baseline. Exported so tests and scrape-driven setups can
+// pace the monitor themselves.
+func (m *Monitor) Tick(now time.Time) {
+	cur := m.b.Telemetry()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.prev == nil || m.prevAt.IsZero() {
+		m.prev, m.prevAt = cur, now
+		return
+	}
+	window := now.Sub(m.prevAt)
+	if m.est == nil {
+		m.est = make(map[string]Estimate)
+	}
+	for topic, c := range cur {
+		delta := c.Sub(m.prev[topic])
+		if delta.Received == 0 && delta.ServiceMoments.N == 0 {
+			continue // idle topic: keep the previous estimate and gauges
+		}
+		e := Compute(topic, delta, window, MonitoredQuantile, m.minSamples)
+		m.est[topic] = e
+		m.publish(e)
+	}
+	m.prev, m.prevAt = cur, now
+}
+
+// publish moves one estimate into the gauge families. Observed values are
+// published whenever the window saw traffic; the prediction gauges only
+// update on valid estimates, so they never expose NaN or a half-computed
+// window.
+func (m *Monitor) publish(e Estimate) {
+	m.gLambda.With(e.Topic).Set(e.Lambda)
+	m.gRho.With(e.Topic).Set(e.Rho)
+	m.gServiceMean.With(e.Topic).Set(e.EB)
+	m.gObsEW.With(e.Topic).Set(e.ObservedEW)
+	m.gObsQ.With(e.Topic).Set(e.ObservedQ)
+	m.gWindowMsgs.With(e.Topic).Set(float64(e.Messages))
+	if e.Valid {
+		m.gPredEW.With(e.Topic).Set(e.PredictedEW)
+		m.gPredQ.With(e.Topic).Set(e.PredictedQ)
+		m.gDrift.With(e.Topic).Set(e.DriftRatio)
+	}
+}
+
+// Estimates returns the latest estimate per topic.
+func (m *Monitor) Estimates() map[string]Estimate {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]Estimate, len(m.est))
+	for k, v := range m.est {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+// Package telemetry is the broker's live observability plane: it renders
+// the metrics primitives of internal/metrics (counters, gauges, labeled
+// families, log2 duration histograms) in Prometheus text exposition format,
+// serves a consistent JSON stats snapshot, and hosts the online M/G/1
+// model-drift monitor (drift.go) that compares the paper's predicted
+// waiting time against the waiting time actually measured on the running
+// broker.
+//
+// The HTTP surface (NewHandler) exposes:
+//
+//	/metrics       Prometheus text format (version 0.0.4)
+//	/stats         JSON: broker counters, stage timings, per-topic tracing,
+//	               wire-server counters and drift estimates in one response
+//	/healthz       liveness probe ("ok")
+//	/debug/pprof/  net/http/pprof profiles
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Label is one exposition label pair.
+type Label struct {
+	Name, Value string
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// sanitizeName maps an arbitrary counter name (e.g. "client.reconnects")
+// onto the metric-name alphabet [a-zA-Z0-9_:].
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trip float, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeHeader writes the # HELP / # TYPE preamble of one metric family.
+func writeHeader(w io.Writer, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// writeSample writes one `name{labels} value` line.
+func writeSample(w io.Writer, name string, labels []Label, v float64) {
+	io.WriteString(w, name)
+	if len(labels) > 0 {
+		io.WriteString(w, "{")
+		for i, l := range labels {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, `%s="%s"`, l.Name, escapeLabel(l.Value))
+		}
+		io.WriteString(w, "}")
+	}
+	io.WriteString(w, " ")
+	io.WriteString(w, formatValue(v))
+	io.WriteString(w, "\n")
+}
+
+// WriteCounter writes a single unlabeled counter family with one sample.
+func WriteCounter(w io.Writer, name, help string, v uint64) {
+	writeHeader(w, name, help, "counter")
+	writeSample(w, name, nil, float64(v))
+}
+
+// WriteGauge writes a single unlabeled gauge family with one sample.
+func WriteGauge(w io.Writer, name, help string, v float64) {
+	writeHeader(w, name, help, "gauge")
+	writeSample(w, name, nil, v)
+}
+
+// WriteHistogram renders one histogram snapshot in Prometheus histogram
+// convention: cumulative `_bucket{le="<seconds>"}` series over the log2
+// bucket bounds (see metrics.BucketBound), a `_sum` in seconds, and a
+// `_count`. Empty interior buckets are elided (the series stays cumulative
+// and parseable, just shorter); the +Inf bucket is always present.
+func WriteHistogram(w io.Writer, name, help string, labels []Label, s metrics.HistogramSnapshot) {
+	writeHeader(w, name, help, "histogram")
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if c == 0 && i < metrics.HistogramBuckets-1 {
+			continue
+		}
+		bound := metrics.BucketBound(i)
+		le := "+Inf"
+		if !math.IsInf(bound, 1) {
+			le = formatValue(bound / 1e9)
+		}
+		writeSample(w, name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", le}), float64(cum))
+	}
+	writeSample(w, name+"_sum", labels, float64(s.Sum)/1e9)
+	writeSample(w, name+"_count", labels, float64(s.Count))
+}
+
+// WriteGaugeVec renders a labeled gauge family, children in deterministic
+// order.
+func WriteGaugeVec(w io.Writer, v *metrics.GaugeVec) {
+	writeHeader(w, v.Name, v.Help, "gauge")
+	names := v.LabelNames()
+	v.Each(func(values []string, g *metrics.Gauge) {
+		labels := make([]Label, len(names))
+		for i := range names {
+			labels[i] = Label{names[i], values[i]}
+		}
+		writeSample(w, v.Name, labels, g.Value())
+	})
+}
+
+// WriteCounterVec renders a labeled counter family, children in
+// deterministic order.
+func WriteCounterVec(w io.Writer, v *metrics.CounterVec) {
+	writeHeader(w, v.Name, v.Help, "counter")
+	names := v.LabelNames()
+	v.Each(func(values []string, c *metrics.Counter) {
+		labels := make([]Label, len(names))
+		for i := range names {
+			labels[i] = Label{names[i], values[i]}
+		}
+		writeSample(w, v.Name, labels, float64(c.Value()))
+	})
+}
+
+// WriteRegistry renders every counter of a metrics.Registry snapshot as
+// `<prefix>_<sanitized name>` counters, in sorted name order.
+func WriteRegistry(w io.Writer, prefix string, snap metrics.Snapshot) {
+	names := make([]string, 0, len(snap.Values))
+	for name := range snap.Values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		WriteCounter(w, prefix+"_"+sanitizeName(name), "registry counter "+name, snap.Values[name])
+	}
+}
+
+// Options configure the telemetry handler. Broker is required; everything
+// else is optional and simply absent from the output when nil.
+type Options struct {
+	// Broker supplies Stats, StageStats and per-topic Telemetry.
+	Broker *broker.Broker
+	// Wire supplies connection and dedupe counters.
+	Wire *wire.Server
+	// Drift supplies the model-drift gauges and JSON estimates.
+	Drift *Monitor
+	// Registry counters are rendered under the jms_registry_ prefix.
+	Registry *metrics.Registry
+	// Gauges and Counters are additional labeled families to expose.
+	Gauges []*metrics.GaugeVec
+	// Counters are additional labeled counter families to expose.
+	Counters []*metrics.CounterVec
+}
+
+// WriteMetrics renders the full /metrics payload for the given sources.
+func WriteMetrics(w io.Writer, opts Options) {
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	if b := opts.Broker; b != nil {
+		st := b.Stats()
+		WriteCounter(bw, "jms_broker_received_total", "Messages accepted from publishers.", st.Received)
+		WriteCounter(bw, "jms_broker_dispatched_total", "Message copies forwarded to subscribers.", st.Dispatched)
+		WriteCounter(bw, "jms_broker_filter_evals_total", "Individual filter evaluations.", st.FilterEvals)
+		WriteCounter(bw, "jms_broker_dropped_total", "Non-persistent deliveries discarded on full queues.", st.Dropped)
+		WriteCounter(bw, "jms_broker_expired_total", "Messages discarded at dispatch because their expiration passed.", st.Expired)
+		WriteGauge(bw, "jms_broker_filters", "Currently installed filters (the paper's n_fltr).", float64(b.NumFilters()))
+
+		tel := b.Telemetry()
+		if len(tel) > 0 {
+			topics := make([]string, 0, len(tel))
+			for name := range tel {
+				topics = append(topics, name)
+			}
+			sort.Strings(topics)
+			writeHeader(bw, "jms_broker_topic_received_total", "Messages accepted into the topic queue.", "counter")
+			for _, name := range topics {
+				writeSample(bw, "jms_broker_topic_received_total", []Label{{"topic", name}}, float64(tel[name].Received))
+			}
+			for _, name := range topics {
+				WriteHistogram(bw, "jms_broker_wait_seconds",
+					"Per-message waiting time W: broker enqueue to dispatch start.",
+					[]Label{{"topic", name}}, tel[name].Wait)
+			}
+			for _, name := range topics {
+				WriteHistogram(bw, "jms_broker_sojourn_seconds",
+					"Per-message sojourn time: broker enqueue to last transmit.",
+					[]Label{{"topic", name}}, tel[name].Sojourn)
+			}
+		}
+
+		if ss := b.StageStats(); ss.Enabled {
+			stages := []struct {
+				name string
+				snap metrics.HistogramSnapshot
+			}{
+				{"receive", ss.Receive},
+				{"match", ss.Match},
+				{"replicate", ss.Replicate},
+				{"transmit", ss.Transmit},
+			}
+			for _, st := range stages {
+				WriteHistogram(bw, "jms_broker_stage_seconds",
+					"Per-stage dispatch pipeline time (the Eq. 1 terms).",
+					[]Label{{"stage", st.name}}, st.snap)
+			}
+		}
+	}
+
+	if s := opts.Wire; s != nil {
+		WriteGauge(bw, "jms_wire_open_connections", "Currently open client connections.", float64(s.OpenConns()))
+		WriteCounter(bw, "jms_wire_connections_total", "Client connections accepted.", s.AcceptedConns())
+		WriteCounter(bw, "jms_wire_duplicates_suppressed_total", "Redelivered publishes acknowledged without publishing again.", s.DuplicatesSuppressed())
+	}
+
+	if d := opts.Drift; d != nil {
+		for _, v := range d.GaugeVecs() {
+			WriteGaugeVec(bw, v)
+		}
+	}
+	for _, v := range opts.Gauges {
+		WriteGaugeVec(bw, v)
+	}
+	for _, v := range opts.Counters {
+		WriteCounterVec(bw, v)
+	}
+	if opts.Registry != nil {
+		WriteRegistry(bw, "jms_registry", opts.Registry.Snapshot(time.Now()))
+	}
+}
+
+// Stats is the /stats JSON payload: one response carrying every snapshot
+// the telemetry plane knows about, taken as close together as the sources
+// allow (Broker.Stats itself is a consistent cut).
+type Stats struct {
+	Time   time.Time                        `json:"time"`
+	Broker broker.Stats                     `json:"broker"`
+	Stages *broker.StageStats               `json:"stages,omitempty"`
+	Topics map[string]broker.TopicTelemetry `json:"topics,omitempty"`
+	Wire   *WireStats                       `json:"wire,omitempty"`
+	Drift  map[string]Estimate              `json:"drift,omitempty"`
+}
+
+// WireStats are the wire server's counters in the /stats payload.
+type WireStats struct {
+	OpenConns            int    `json:"open_conns"`
+	AcceptedConns        uint64 `json:"accepted_conns"`
+	DuplicatesSuppressed uint64 `json:"duplicates_suppressed"`
+}
+
+// CollectStats gathers the /stats payload.
+func CollectStats(opts Options) Stats {
+	out := Stats{Time: time.Now()}
+	if b := opts.Broker; b != nil {
+		out.Broker = b.Stats()
+		if ss := b.StageStats(); ss.Enabled {
+			out.Stages = &ss
+		}
+		if tel := b.Telemetry(); len(tel) > 0 {
+			out.Topics = tel
+		}
+	}
+	if s := opts.Wire; s != nil {
+		out.Wire = &WireStats{
+			OpenConns:            s.OpenConns(),
+			AcceptedConns:        s.AcceptedConns(),
+			DuplicatesSuppressed: s.DuplicatesSuppressed(),
+		}
+	}
+	if d := opts.Drift; d != nil {
+		if est := d.Estimates(); len(est) > 0 {
+			out.Drift = est
+		}
+	}
+	return out
+}
+
+// NewHandler returns the telemetry HTTP handler serving /metrics, /stats,
+// /healthz and /debug/pprof/.
+func NewHandler(opts Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w, opts)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(CollectStats(opts))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -152,8 +152,9 @@ func EncodeMessage(m *jms.Message) []byte {
 // extended slice.
 //
 // Layout: messageID u64, topic str, corrID str, mode u8, priority u8,
-// timestamp i64 (unix nanos), expiration i64 (0 = never), property count
-// u32, properties (name str, type u8, value), body bytes.
+// timestamp i64 (unix nanos), expiration i64 (0 = never), traceID u64
+// (0 = untraced), property count u32, properties (name str, type u8,
+// value), body bytes.
 func AppendMessage(buf []byte, m *jms.Message) []byte {
 	e := encoder{buf: buf}
 	e.u64(m.Header.MessageID)
@@ -171,6 +172,7 @@ func AppendMessage(buf []byte, m *jms.Message) []byte {
 	} else {
 		e.i64(m.Header.Expiration.UnixNano())
 	}
+	e.u64(m.Header.TraceID)
 	names := m.PropertyNames()
 	e.u32(uint32(len(names)))
 	for _, name := range names {
@@ -237,6 +239,9 @@ func DecodeMessage(payload []byte) (*jms.Message, error) {
 	}
 	if exp != 0 {
 		m.Header.Expiration = time.Unix(0, exp)
+	}
+	if m.Header.TraceID, err = d.u64(); err != nil {
+		return nil, err
 	}
 
 	nProps, err := d.u32()

@@ -63,6 +63,7 @@ func newRichMessage(t testing.TB) *jms.Message {
 	m.Header.Priority = 7
 	m.Header.Timestamp = time.Unix(0, 1700000000000000000)
 	m.Header.Expiration = time.Unix(0, 1800000000000000000)
+	m.Header.TraceID = 0xCAFEBABEDEADBEEF
 	if err := m.SetCorrelationID("#0"); err != nil {
 		t.Fatal(err)
 	}
@@ -96,6 +97,9 @@ func TestMessageRoundTrip(t *testing.T) {
 	}
 	if !got.Header.Expiration.Equal(m.Header.Expiration) {
 		t.Errorf("expiration = %v", got.Header.Expiration)
+	}
+	if got.Header.TraceID != 0xCAFEBABEDEADBEEF {
+		t.Errorf("trace ID = %#x, want 0xCAFEBABEDEADBEEF", got.Header.TraceID)
 	}
 	if v, err := got.BoolProperty("online"); err != nil || !v {
 		t.Errorf("online = %v, %v", v, err)

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -23,6 +25,7 @@ import (
 type Server struct {
 	broker *broker.Broker
 	ln     net.Listener
+	log    *slog.Logger
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -33,16 +36,35 @@ type Server struct {
 	// connections.
 	dedupe     pubDedup
 	duplicates atomic.Uint64
+	nextConnID atomic.Uint64
+	accepted   atomic.Uint64
 
 	wg sync.WaitGroup
+}
+
+// ServeOptions configure optional server behaviour.
+type ServeOptions struct {
+	// Logger receives structured connection-lifecycle and error events
+	// (connection IDs, topics, reasons). Nil disables logging.
+	Logger *slog.Logger
 }
 
 // Serve starts accepting connections on ln and serving b. It returns
 // immediately; use Close to stop.
 func Serve(b *broker.Broker, ln net.Listener) *Server {
+	return ServeWith(b, ln, ServeOptions{})
+}
+
+// ServeWith is Serve with explicit options.
+func ServeWith(b *broker.Broker, ln net.Listener, opts ServeOptions) *Server {
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		broker: b,
 		ln:     ln,
+		log:    logger,
 		conns:  make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
@@ -56,6 +78,16 @@ func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 // DuplicatesSuppressed reports how many redelivered publishes the dedupe
 // table acknowledged without publishing again.
 func (s *Server) DuplicatesSuppressed() uint64 { return s.duplicates.Load() }
+
+// OpenConns returns the number of currently open client connections.
+func (s *Server) OpenConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// AcceptedConns returns the total number of connections accepted.
+func (s *Server) AcceptedConns() uint64 { return s.accepted.Load() }
 
 // Close stops the listener and all connections and waits for the handler
 // goroutines to exit. It does not close the underlying broker.
@@ -96,6 +128,7 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 
+		s.accepted.Add(1)
 		s.wg.Add(1)
 		go s.handleConn(conn)
 	}
@@ -105,6 +138,8 @@ func (s *Server) acceptLoop() {
 type serverConn struct {
 	server *Server
 	conn   net.Conn
+	id     uint64
+	log    *slog.Logger
 	done   chan struct{}
 
 	writeMu sync.Mutex
@@ -167,12 +202,16 @@ func (cs *connSub) finish() error {
 
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
+	id := s.nextConnID.Add(1)
 	sc := &serverConn{
 		server: s,
 		conn:   conn,
+		id:     id,
+		log:    s.log.With("conn", id),
 		done:   make(chan struct{}),
 		subs:   make(map[uint64]*connSub),
 	}
+	sc.log.Debug("connection accepted", "remote", conn.RemoteAddr().String())
 	sc.readLoop()
 	close(sc.done)
 	// Close the connection before waiting for the pumps: one of them may
@@ -193,6 +232,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	for _, cs := range subs {
 		_ = cs.finish()
 	}
+	sc.log.Debug("connection closed", "subscriptions", len(subs))
 
 	s.mu.Lock()
 	delete(s.conns, conn)
@@ -206,6 +246,7 @@ func (sc *serverConn) write(f Frame) error {
 }
 
 func (sc *serverConn) writeErr(reqID uint64, err error) {
+	sc.log.Debug("request failed", "req", reqID, "reason", err.Error())
 	_ = sc.write(Frame{Type: FrameError, Payload: EncodeError(reqID, err.Error())})
 }
 
@@ -310,6 +351,8 @@ func (sc *serverConn) handleFrame(f Frame) error {
 		}
 		sc.subs[cs.id] = cs
 		sc.subMu.Unlock()
+		sc.log.Debug("subscribed", "sub", cs.id, "topic", topicName,
+			"durable", spec.DurableName, "acked", spec.Acked)
 
 		go sc.deliveryPump(cs)
 
@@ -337,6 +380,7 @@ func (sc *serverConn) handleFrame(f Frame) error {
 			sc.writeErr(reqID, err)
 			return nil
 		}
+		sc.log.Debug("unsubscribed", "sub", subID)
 		return sc.write(Frame{Type: FrameUnsubscribeOK, Payload: EncodeU64(reqID)})
 
 	case FrameMsgAck:
