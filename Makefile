@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fuzz verify
+.PHONY: all build test race bench bench-all fuzz verify
 
 all: build test
 
@@ -19,13 +19,25 @@ test:
 race:
 	$(GO) test -race ./internal/jms/... ./internal/topic/... ./internal/broker/... ./internal/wire/... ./internal/client/... ./internal/faultnet/... ./internal/cluster/... ./internal/conformance/... ./internal/metrics/... ./internal/telemetry/... ./cmd/jmsd/...
 
+# bench runs the regression benchmark set (publish, dispatch, batch
+# codec), records a dated trajectory point under bench/BENCH_<date>.json,
+# and fails on a >20% regression against the previous point. The two
+# commands are separate so a go test failure is not swallowed by a pipe.
 bench:
+	@mkdir -p bench
+	$(GO) test -run xxx -bench BenchmarkRegression -benchtime 200ms -benchmem . | tee bench/latest.txt
+	$(GO) run ./cmd/benchjson -in bench/latest.txt -dir bench
+
+# bench-all runs every benchmark (figure regenerations + ablations) once.
+bench-all:
 	$(GO) test -run xxx -bench . -benchtime 300ms .
 
-# fuzz smokes the two parsing surfaces fed by the network: the frame codec
-# and the JMS selector grammar. Seed corpora live under testdata/fuzz.
+# fuzz smokes the three parsing surfaces fed by the network: the frame
+# codec, the batch frame splitter, and the JMS selector grammar. Seed
+# corpora live under testdata/fuzz.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/wire/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeBatch -fuzztime=10s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/selector/
 
 # verify is the tier-1 gate plus the race pass.

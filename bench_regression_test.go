@@ -1,0 +1,144 @@
+// Regression benchmarks: the small, stable set of hot-path measurements
+// tracked over time by `make bench`. Unlike the figure benches in
+// bench_test.go (which regenerate the paper's tables and report model
+// scalars), these measure the implementation itself — publish ingest,
+// dispatch fan-out, and the batch codec — and their ns/op and allocs/op
+// are written to bench/BENCH_<date>.json by cmd/benchjson, which fails
+// when a run regresses >20% against the previous recorded point.
+package jmsperf_test
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"repro/internal/broker"
+	"repro/internal/filter"
+	"repro/internal/jms"
+	"repro/internal/wire"
+)
+
+// regressionBroker is the shared fixture: a fast-engine broker with one
+// wildcard subscriber draining deliveries, the minimal end-to-end
+// publish→dispatch path.
+func regressionBroker(b *testing.B, engine broker.Engine, nonMatching int) *broker.Broker {
+	b.Helper()
+	br := broker.New(broker.Options{
+		InFlight: 1024, SubscriberBuffer: 1 << 16,
+		Engine: engine, Shards: 4,
+	})
+	b.Cleanup(func() { _ = br.Close() })
+	if err := br.ConfigureTopic("t"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nonMatching; i++ {
+		f, err := filter.NewCorrelationID("#never-" + strconv.Itoa(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := br.Subscribe("t", f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sub, err := br.Subscribe("t", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for range sub.Chan() {
+		}
+	}()
+	return br
+}
+
+// BenchmarkRegressionPublish is the per-message publish path on the fast
+// engine: one broker.Publish per message, one in-flight slot each.
+func BenchmarkRegressionPublish(b *testing.B) {
+	br := regressionBroker(b, broker.EngineFast, 0)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.Publish(ctx, jms.NewMessage("t")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegressionPublishBatch16 is the batched publish path: 16
+// messages per broker.PublishBatch, one in-flight slot per batch. Its
+// per-message cost against BenchmarkRegressionPublish is the batching win
+// the jmsbench -compare row quantifies end to end.
+func BenchmarkRegressionPublishBatch16(b *testing.B) {
+	const batch = 16
+	br := regressionBroker(b, broker.EngineFast, 0)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		// Fresh slice per call: PublishBatch retains it.
+		msgs := make([]*jms.Message, batch)
+		for j := range msgs {
+			msgs[j] = jms.NewMessage("t")
+		}
+		if err := br.PublishBatch(ctx, msgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegressionDispatch is the filter-scan dispatch stage on the
+// faithful engine: 64 non-matching correlation-ID filters plus one
+// wildcard, the paper's n_fltr cost per published message.
+func BenchmarkRegressionDispatch(b *testing.B) {
+	br := regressionBroker(b, broker.EngineFaithful, 64)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.Publish(ctx, jms.NewMessage("t")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegressionBatchEncode measures the batch codec's encode side:
+// a 16-message batch appended into a pooled buffer, the client
+// PublishBatch hot path.
+func BenchmarkRegressionBatchEncode(b *testing.B) {
+	msgs := make([]*jms.Message, 16)
+	for i := range msgs {
+		m := jms.NewMessage("t")
+		m.SetBody(make([]byte, 128))
+		if err := m.SetStringProperty("region", "eu"); err != nil {
+			b.Fatal(err)
+		}
+		msgs[i] = m
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := wire.GetBuffer()
+		*buf = wire.AppendBatch((*buf)[:0], msgs)
+		wire.PutBuffer(buf)
+	}
+}
+
+// BenchmarkRegressionBatchDecode measures the decode side: the broker
+// front door splitting a 16-message batch frame back into messages.
+func BenchmarkRegressionBatchDecode(b *testing.B) {
+	msgs := make([]*jms.Message, 16)
+	for i := range msgs {
+		m := jms.NewMessage("t")
+		m.SetBody(make([]byte, 128))
+		msgs[i] = m
+	}
+	payload := wire.EncodeBatch(msgs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.DecodeBatch(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

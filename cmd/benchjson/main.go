@@ -1,0 +1,219 @@
+// Command benchjson turns `go test -bench` output into a dated JSON
+// point on the benchmark trajectory and gates regressions against the
+// previous point.
+//
+//	go test -run xxx -bench BenchmarkRegression -benchmem . > bench/latest.txt
+//	go run ./cmd/benchjson -in bench/latest.txt -dir bench
+//
+// It parses the ns/op, B/op and allocs/op columns, writes
+// bench/BENCH_<date>.json, and compares against the most recent earlier
+// BENCH_*.json in the same directory: allocs/op is machine-independent
+// and always checked; ns/op is only checked when the recorded host
+// fingerprint (cpu model + GOMAXPROCS) matches, so a committed trajectory
+// point from one machine does not fail CI on another. Any tracked metric
+// regressing more than -threshold (default 20%) exits non-zero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's recorded metrics.
+type Result struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// Record is one trajectory point: who measured and what.
+type Record struct {
+	Date    string            `json:"date"`
+	Go      string            `json:"go"`
+	GOOS    string            `json:"goos"`
+	GOARCH  string            `json:"goarch"`
+	CPU     string            `json:"cpu,omitempty"`
+	MaxProc int               `json:"maxprocs"`
+	Results map[string]Result `json:"results"`
+}
+
+// fingerprint identifies the machine well enough to decide whether ns/op
+// comparisons are meaningful.
+func (r Record) fingerprint() string {
+	return fmt.Sprintf("%s/%s/%s/%d", r.GOOS, r.GOARCH, r.CPU, r.MaxProc)
+}
+
+// benchLine matches one `go test -bench` result row, e.g.
+//
+//	BenchmarkRegressionPublish-8   183571   619.2 ns/op   193 B/op   1 allocs/op
+//
+// The -N GOMAXPROCS suffix is optional and stripped, so trajectories
+// survive core-count changes in the name (the fingerprint still gates the
+// time comparison).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+
+func parseBench(path string) (map[string]Result, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	results := make(map[string]Result)
+	var cpu string
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var r Result
+		r.NsOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			r.BOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			r.AllocsOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		results[strings.TrimPrefix(m[1], "Benchmark")] = r
+	}
+	return results, cpu, nil
+}
+
+// previous returns the newest BENCH_*.json in dir other than self.
+// BENCH_<RFC3339-date> names sort chronologically as strings.
+func previous(dir, self string) (string, error) {
+	entries, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(entries)
+	prev := ""
+	for _, e := range entries {
+		if filepath.Base(e) != filepath.Base(self) {
+			prev = e
+		}
+	}
+	return prev, nil
+}
+
+func load(path string) (Record, error) {
+	var r Record
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	return r, json.Unmarshal(data, &r)
+}
+
+// compare reports every >threshold regression of cur vs prev. ns/op is
+// compared only when hosts match; allocs/op always, with a +0.5 absolute
+// floor so a one-alloc jitter on a two-alloc benchmark does not fail.
+func compare(prev, cur Record, threshold float64) []string {
+	var regressions []string
+	sameHost := prev.fingerprint() == cur.fingerprint()
+	names := make([]string, 0, len(cur.Results))
+	for name := range cur.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := cur.Results[name]
+		p, ok := prev.Results[name]
+		if !ok {
+			fmt.Printf("  %-28s new benchmark, no baseline\n", name)
+			continue
+		}
+		if c.AllocsOp > p.AllocsOp*(1+threshold)+0.5 {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: allocs/op %g -> %g (>%g%%)", name, p.AllocsOp, c.AllocsOp, 100*threshold))
+		}
+		if sameHost && p.NsOp > 0 && c.NsOp > p.NsOp*(1+threshold) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: ns/op %g -> %g (>%g%%)", name, p.NsOp, c.NsOp, 100*threshold))
+		}
+		note := ""
+		if !sameHost {
+			note = " (ns/op not compared: different host)"
+		}
+		fmt.Printf("  %-28s ns/op %10.1f -> %10.1f   allocs/op %5g -> %-5g%s\n",
+			name, p.NsOp, c.NsOp, p.AllocsOp, c.AllocsOp, note)
+	}
+	return regressions
+}
+
+func run() error {
+	in := flag.String("in", "bench/latest.txt", "go test -bench output to parse")
+	dir := flag.String("dir", "bench", "directory holding BENCH_<date>.json trajectory points")
+	threshold := flag.Float64("threshold", 0.20, "relative regression that fails the check")
+	flag.Parse()
+
+	results, cpu, err := parseBench(*in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", *in)
+	}
+	cur := Record{
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPU:     cpu,
+		MaxProc: runtime.GOMAXPROCS(0),
+		Results: results,
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	out := filepath.Join(*dir, "BENCH_"+time.Now().UTC().Format("2006-01-02")+".json")
+	prevPath, err := previous(*dir, out)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(cur, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(results))
+
+	if prevPath == "" {
+		fmt.Println("no previous trajectory point: seeded, nothing to compare")
+		return nil
+	}
+	prev, err := load(prevPath)
+	if err != nil {
+		return fmt.Errorf("loading baseline %s: %w", prevPath, err)
+	}
+	fmt.Printf("comparing against %s:\n", prevPath)
+	if regressions := compare(prev, cur, *threshold); len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "REGRESSION "+r)
+		}
+		return fmt.Errorf("%d benchmark regression(s) above %.0f%%", len(regressions), 100**threshold)
+	}
+	fmt.Println("no regressions above threshold")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -48,6 +48,10 @@ type NativeConfig struct {
 	Engine broker.Engine
 	// Shards is the fast engine's per-topic worker count (0 = default).
 	Shards int
+	// Batch coalesces the publish path: each publisher call sends Batch
+	// cloned messages through Broker.PublishBatch as one arrival unit
+	// (one in-flight slot per batch). 0 or 1 publishes per message.
+	Batch int
 	// StageTiming additionally records per-stage dispatch times on the
 	// broker and reports measured t_rcv/t_fltr/t_tx per scenario (the
 	// Stages field of NativeResult). The clock reads perturb absolute
@@ -246,6 +250,19 @@ func measureOnce(cfg NativeConfig, n, r int) (NativeResult, error) {
 		pubWG.Add(1)
 		go func() {
 			defer pubWG.Done()
+			if cfg.Batch > 1 {
+				for ctx.Err() == nil {
+					// Fresh slice per call: PublishBatch retains it.
+					msgs := make([]*jms.Message, cfg.Batch)
+					for i := range msgs {
+						msgs[i] = template.Clone()
+					}
+					if err := b.PublishBatch(ctx, msgs); err != nil {
+						return
+					}
+				}
+				return
+			}
 			for ctx.Err() == nil {
 				if err := b.Publish(ctx, template.Clone()); err != nil {
 					return

@@ -193,7 +193,7 @@ func (b *Broker) ConfigureTopic(name string) error {
 	}
 	d := &dispatcher{
 		topic: t,
-		in:    make(chan *jms.Message, b.opts.InFlight),
+		in:    make(chan pubUnit, b.opts.InFlight),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
@@ -225,10 +225,96 @@ func (b *Broker) Publish(ctx context.Context, m *jms.Message) error {
 		m.EnqueuedAt = b.now()
 	}
 	select {
-	case d.in <- m:
+	case d.in <- pubUnit{m: m}:
 		b.countAdd(&b.received, 1)
 		if d.tt != nil {
 			d.tt.received.Inc()
+			d.tt.batchM.ObserveValue(1)
+		}
+		return nil
+	case <-d.stop:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// PublishBatch delivers several messages as one dispatch unit, blocking
+// like Publish while the topic's in-flight window is full. The whole batch
+// occupies a single in-flight slot regardless of its size — amortizing the
+// push-back window is the point of batching — and its messages fan out to
+// subscribers individually, in slice order. A batch spanning topics is
+// split into consecutive same-topic runs, each enqueued as its own unit in
+// slice order; on error a suffix of those runs was not accepted (the
+// already-enqueued prefix is dispatched normally). The broker retains the
+// slice: neither it nor the messages may be modified by the caller
+// afterwards — hand over a fresh slice per call.
+func (b *Broker) PublishBatch(ctx context.Context, msgs []*jms.Message) error {
+	switch len(msgs) {
+	case 0:
+		return nil
+	case 1:
+		return b.Publish(ctx, msgs[0])
+	}
+	for _, m := range msgs {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	// Resolve every run's dispatcher under one lock, so the batch is
+	// admitted or rejected against a single broker state.
+	type run struct {
+		d    *dispatcher
+		msgs []*jms.Message
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	var runs []run
+	for start := 0; start < len(msgs); {
+		name := msgs[start].Header.Topic
+		end := start + 1
+		for end < len(msgs) && msgs[end].Header.Topic == name {
+			end++
+		}
+		d, ok := b.dispatchers[name]
+		if !ok {
+			b.mu.Unlock()
+			return fmt.Errorf("%w: %q", topic.ErrNoSuchTopic, name)
+		}
+		runs = append(runs, run{d: d, msgs: msgs[start:end]})
+		start = end
+	}
+	b.mu.Unlock()
+	for _, r := range runs {
+		if err := b.sendUnit(ctx, r.d, r.msgs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendUnit stamps and enqueues one same-topic run as a single pubUnit.
+func (b *Broker) sendUnit(ctx context.Context, d *dispatcher, msgs []*jms.Message) error {
+	if b.opts.WaitObserver != nil || d.tt != nil {
+		now := b.now()
+		for _, m := range msgs {
+			if b.opts.WaitObserver != nil && m.Header.Timestamp.IsZero() {
+				m.Header.Timestamp = now
+			}
+			if d.tt != nil {
+				m.EnqueuedAt = now
+			}
+		}
+	}
+	select {
+	case d.in <- pubUnit{batch: msgs}:
+		b.countAdd(&b.received, uint64(len(msgs)))
+		if d.tt != nil {
+			d.tt.received.Add(uint64(len(msgs)))
+			d.tt.batchM.ObserveValue(float64(len(msgs)))
 		}
 		return nil
 	case <-d.stop:
@@ -249,10 +335,11 @@ func (b *Broker) TryPublish(m *jms.Message) error {
 		m.EnqueuedAt = b.now()
 	}
 	select {
-	case d.in <- m:
+	case d.in <- pubUnit{m: m}:
 		b.countAdd(&b.received, 1)
 		if d.tt != nil {
 			d.tt.received.Inc()
+			d.tt.batchM.ObserveValue(1)
 		}
 		return nil
 	case <-d.stop:

@@ -36,11 +36,21 @@ import (
 // messages), the downstream stages finish the drained work, and d.done is
 // closed after the last message was transmitted.
 
+// pubUnit is one intake-queue entry: either a single message (m non-nil)
+// or a batch accepted as one unit. A batch occupies a single in-flight
+// slot — amortizing the push-back window over its messages is the point of
+// batching — and fans out per message downstream, so the dispatch stages
+// never see batches.
+type pubUnit struct {
+	m     *jms.Message
+	batch []*jms.Message
+}
+
 // dispatcher holds one topic's pipeline channels: intake, stop signal, and
 // completion signal.
 type dispatcher struct {
 	topic *topic.Topic
-	in    chan *jms.Message
+	in    chan pubUnit
 	stop  chan struct{}
 	done  chan struct{}
 	// tt is the topic's waiting-time tracing state; nil unless
@@ -56,12 +66,21 @@ type pipeline struct {
 	st     stageSet
 	tx     Transmitter
 	timers *stageTimers // nil when Options.StageTiming is off
+	// runScratch backs commitBatchRuns' transmit runs. Only the pipeline's
+	// single committing goroutine (serial loop or sharded committer) touches
+	// it, and no callee retains it past the call.
+	runScratch []*jms.Message
 }
 
-// seqMsg is a sequence-stamped message on its way to a match worker.
+// seqMsg is a sequence-stamped unit on its way to a match worker: one
+// message, or a whole batch occupying the contiguous sequence range
+// [seq, seq+len(batch)). Keeping batches whole through the worker
+// channels amortizes the channel handoffs the same way the batch
+// amortized its in-flight slot.
 type seqMsg struct {
-	seq uint64
-	m   *jms.Message
+	seq   uint64
+	m     *jms.Message
+	batch []*jms.Message
 }
 
 // seqResult is one matched message awaiting in-order commit.
@@ -70,7 +89,11 @@ type seqResult struct {
 	m        *jms.Message
 	matches  []*Subscriber
 	nFilters int
-	expired  bool
+	// evals is the number of filter evaluations performed by the match
+	// stage; the caller folds it into the broker counter (batched units
+	// fold all members in one update).
+	evals   int
+	expired bool
 	// matchDur is the wall time already attributed to the match stage,
 	// subtracted from the loop total when the receive stage is computed as
 	// the residual. Zero unless stage timing is on.
@@ -79,6 +102,18 @@ type seqResult struct {
 	// waiting time W and the origin of its service time B. Zero unless
 	// waiting-time tracing is on.
 	start time.Time
+	// batch carries the member results of a batched unit, in order; the
+	// unit's seq is the first member's and it spans len(batch) sequence
+	// slots. The per-message fields above are unused on a batch carrier.
+	batch []seqResult
+}
+
+// span is the number of sequence slots the result occupies.
+func (r seqResult) span() uint64 {
+	if r.batch != nil {
+		return uint64(len(r.batch))
+	}
+	return 1
 }
 
 // start launches the pipeline's goroutines.
@@ -91,19 +126,19 @@ func (p *pipeline) start() {
 	p.runSharded()
 }
 
-// intake runs fn for every message accepted on d.in until d.stop closes,
-// then drains the channel completely before returning — the shared
-// accepted-message no-loss guarantee of both modes.
-func (d *dispatcher) intake(fn func(*jms.Message)) {
+// intakeUnits runs fn for every publish unit accepted on d.in until
+// d.stop closes, then drains the channel completely before returning —
+// the shared accepted-message no-loss guarantee of both modes.
+func (d *dispatcher) intakeUnits(fn func(pubUnit)) {
 	for {
 		select {
-		case m := <-d.in:
-			fn(m)
+		case u := <-d.in:
+			fn(u)
 		case <-d.stop:
 			for {
 				select {
-				case m := <-d.in:
-					fn(m)
+				case u := <-d.in:
+					fn(u)
 				default:
 					return
 				}
@@ -112,25 +147,48 @@ func (d *dispatcher) intake(fn func(*jms.Message)) {
 	}
 }
 
+// intake is the per-message view of intakeUnits: batched units unfold
+// here, in slice order, so the caller sees a plain message sequence.
+func (d *dispatcher) intake(fn func(*jms.Message)) {
+	d.intakeUnits(func(u pubUnit) {
+		if u.m != nil {
+			fn(u.m)
+			return
+		}
+		for _, m := range u.batch {
+			fn(m)
+		}
+	})
+}
+
 // runSerial is the single-worker mode: all four stages inline, one message
 // at a time. matches is the per-pipeline scratch slice — the loop is
 // single-threaded, so reusing it across messages keeps the steady state of
 // the faithful path allocation-free for the filter scan.
+//
+// Batched units take a dedicated sub-loop (when stage timing is off and
+// the transmitter supports runs): members are matched against shared
+// scratch, the filter-evaluation counter folds once per batch, and the
+// commit coalesces same-subscriber runs through TransmitBatch — the serial
+// analogue of the sharded committer's batch handling, and where the
+// batched publish path earns its per-message amortization on a
+// single-worker broker.
 func (p *pipeline) runSerial() {
 	defer p.b.wg.Done()
 	defer close(p.d.done)
 	mt := p.st.newMatcher()
 	matches := make([]*Subscriber, 0, 16)
-	p.d.intake(func(m *jms.Message) {
+	single := func(m *jms.Message) {
 		var t0 time.Time
 		if p.timers != nil {
 			t0 = time.Now()
 		}
 		res, ok := p.frontStages(mt, m, matches[:0])
 		matches = res.matches[:0]
+		p.b.countAdd(&p.b.filterEvals, uint64(res.evals))
 		var commitDur time.Duration
 		if ok {
-			commitDur = p.commitStages(res)
+			commitDur = p.commitStages(&res)
 		}
 		if p.timers != nil {
 			// Receive stage = the full loop iteration minus what the other
@@ -139,6 +197,46 @@ func (p *pipeline) runSerial() {
 			// calls t_rcv.
 			p.timers.receive.Observe(time.Since(t0) - res.matchDur - commitDur)
 		}
+	}
+	btx, hasBatchTx := p.tx.(batchTransmitter)
+	// Per-batch scratch, reused across units: the loop is single-threaded
+	// and commitBatchRuns finishes with the members before returning.
+	var members []seqResult
+	var buf []*Subscriber
+	p.d.intakeUnits(func(u pubUnit) {
+		if u.m != nil {
+			single(u.m)
+			return
+		}
+		if p.timers != nil || !hasBatchTx {
+			for _, m := range u.batch {
+				single(m)
+			}
+			return
+		}
+		if cap(members) < len(u.batch) {
+			members = make([]seqResult, len(u.batch))
+			buf = make([]*Subscriber, 0, len(u.batch))
+		}
+		members = members[:len(u.batch)]
+		buf = buf[:0]
+		var evals uint64
+		for i, m := range u.batch {
+			start := len(buf)
+			res, ok := p.frontStages(mt, m, buf[start:start:cap(buf)])
+			res.expired = !ok
+			got := res.matches
+			if n := len(got); n > 0 && start+n <= cap(buf) && &got[0] == &buf[:start+1][start] {
+				// Appended in place: advance buf past the segment and cap
+				// the member's view so later appends cannot grow into it.
+				buf = buf[:start+n]
+				res.matches = buf[start : start+n : start+n]
+			}
+			evals += uint64(res.evals)
+			members[i] = res
+		}
+		p.b.countAdd(&p.b.filterEvals, evals)
+		p.commitBatchRuns(members, btx)
 	})
 }
 
@@ -148,21 +246,29 @@ func (p *pipeline) runSharded() {
 	workCh := make(chan seqMsg, b.opts.InFlight)
 	commitCh := make(chan seqResult, b.opts.InFlight)
 
-	// Sequencer: stamp accepted messages in channel-receive order.
+	// Sequencer: stamp accepted units in channel-receive order. A batch
+	// claims a contiguous sequence range and travels whole, one channel
+	// send for all its messages.
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
 		defer close(workCh)
 		var seq uint64
-		p.d.intake(func(m *jms.Message) {
-			workCh <- seqMsg{seq: seq, m: m}
-			seq++
+		p.d.intakeUnits(func(u pubUnit) {
+			if u.m != nil {
+				workCh <- seqMsg{seq: seq, m: u.m}
+				seq++
+				return
+			}
+			workCh <- seqMsg{seq: seq, batch: u.batch}
+			seq += uint64(len(u.batch))
 		})
 	}()
 
 	// Match workers: receive + match stages, concurrently. Every sequence
 	// number is forwarded to the committer, expired or not, so the reorder
-	// window never stalls on a hole.
+	// window never stalls on a hole. A batched unit is matched member by
+	// member on one worker and forwarded as one carrier result.
 	var workers sync.WaitGroup
 	workers.Add(p.st.shards)
 	b.wg.Add(p.st.shards)
@@ -171,12 +277,12 @@ func (p *pipeline) runSharded() {
 			defer b.wg.Done()
 			defer workers.Done()
 			mt := p.st.newMatcher()
-			for sm := range workCh {
+			front := func(m *jms.Message, seq uint64, dst []*Subscriber) seqResult {
 				var t0 time.Time
 				if p.timers != nil {
 					t0 = time.Now()
 				}
-				res, ok := p.frontStages(mt, sm.m, nil)
+				res, ok := p.frontStages(mt, m, dst)
 				if p.timers != nil {
 					// Sharded receive residual: the worker's fixed
 					// per-message cost (the committer's overhead is
@@ -184,9 +290,42 @@ func (p *pipeline) runSharded() {
 					// path the way it is in serial mode).
 					p.timers.receive.Observe(time.Since(t0) - res.matchDur)
 				}
-				res.seq = sm.seq
+				res.seq = seq
 				res.expired = !ok
-				commitCh <- res
+				return res
+			}
+			for sm := range workCh {
+				if sm.batch == nil {
+					res := front(sm.m, sm.seq, nil)
+					p.b.countAdd(&p.b.filterEvals, uint64(res.evals))
+					commitCh <- res
+					continue
+				}
+				// One result carrier and one matches backing array per
+				// batch: member i's matches slice is the segment of buf
+				// its Match call appended, capped so later members'
+				// appends can never write into it. Filter evaluations
+				// fold into the broker counter once per batch.
+				members := make([]seqResult, len(sm.batch))
+				buf := make([]*Subscriber, 0, len(sm.batch))
+				var evals uint64
+				for i, m := range sm.batch {
+					start := len(buf)
+					members[i] = front(m, sm.seq+uint64(i), buf[start:start:cap(buf)])
+					got := members[i].matches
+					if n := len(got); n > 0 && start+n <= cap(buf) && &got[0] == &buf[:start+1][start] {
+						// Appended in place: advance buf past the segment
+						// and cap the member's view so later appends
+						// cannot grow into it.
+						buf = buf[:start+n]
+						members[i].matches = buf[start : start+n : start+n]
+					}
+					// Otherwise Match outgrew the backing and got owns
+					// fresh storage; buf is unchanged.
+					evals += uint64(members[i].evals)
+				}
+				p.b.countAdd(&p.b.filterEvals, evals)
+				commitCh <- seqResult{seq: sm.seq, batch: members}
 			}
 		}()
 	}
@@ -207,19 +346,82 @@ func (p *pipeline) runSharded() {
 				pending[res.seq] = res
 				continue
 			}
-			p.commitOrdered(res)
-			next++
+			next += p.commitUnit(res)
 			for {
 				r, ok := pending[next]
 				if !ok {
 					break
 				}
 				delete(pending, next)
-				p.commitOrdered(r)
-				next++
+				next += p.commitUnit(r)
 			}
 		}
 	}()
+}
+
+// commitUnit commits one reordered unit — a single result or a whole
+// batch, in member order — and returns the number of sequence slots it
+// consumed. Units claim contiguous ranges and are committed whole, so
+// `next` only ever lands on unit boundaries.
+func (p *pipeline) commitUnit(res seqResult) uint64 {
+	if res.batch == nil {
+		p.commitOrdered(&res)
+		return 1
+	}
+	if p.timers == nil {
+		if btx, ok := p.tx.(batchTransmitter); ok {
+			p.commitBatchRuns(res.batch, btx)
+			return res.span()
+		}
+	}
+	for i := range res.batch {
+		p.commitOrdered(&res.batch[i])
+	}
+	return res.span()
+}
+
+// commitBatchRuns commits a batch's members in order, coalescing
+// consecutive single-subscriber deliveries to the same handle and
+// delivery mode into one TransmitBatch run (one send lock, one counter
+// update). Members outside the pattern — expired, fanned out to several
+// subscribers, or switching handles — fall back to the per-message path,
+// preserving order throughout.
+func (p *pipeline) commitBatchRuns(members []seqResult, btx batchTransmitter) {
+	if cap(p.runScratch) < len(members) {
+		p.runScratch = make([]*jms.Message, 0, len(members))
+	}
+	run := p.runScratch[:0]
+	for i := 0; i < len(members); {
+		r := &members[i]
+		if r.expired || len(r.matches) != 1 {
+			p.commitOrdered(r)
+			i++
+			continue
+		}
+		h := r.matches[0]
+		mode := r.m.Header.DeliveryMode
+		run = run[:0]
+		j := i
+		for j < len(members) {
+			rj := &members[j]
+			if rj.expired || len(rj.matches) != 1 || rj.matches[0] != h ||
+				rj.m.Header.DeliveryMode != mode {
+				break
+			}
+			run = append(run, rj.m)
+			j++
+		}
+		btx.TransmitBatch(h, run, mode)
+		obs := p.b.opts.Observer
+		for k := i; k < j; k++ {
+			if obs != nil {
+				obs.ObserveDispatch(p.d.topic.Name(), members[k].nFilters, 1)
+			}
+			p.traceCommit(&members[k])
+		}
+		i = j
+	}
+	p.runScratch = run[:0]
 }
 
 // frontStages runs the receive and match stages for one message, appending
@@ -258,13 +460,12 @@ func (p *pipeline) frontStages(mt Matcher, m *jms.Message, dst []*Subscriber) (s
 		matchDur = time.Since(t0)
 		p.timers.match.Observe(matchDur)
 	}
-	b.countAdd(&b.filterEvals, uint64(evals))
-	return seqResult{m: m, matches: matches, nFilters: nFilters, matchDur: matchDur, start: start}, true
+	return seqResult{m: m, matches: matches, nFilters: nFilters, evals: evals, matchDur: matchDur, start: start}, true
 }
 
 // traceCommit records the service and sojourn times of one committed
 // message — the end of the spans opened at enqueue and dispatch start.
-func (p *pipeline) traceCommit(res seqResult) {
+func (p *pipeline) traceCommit(res *seqResult) {
 	tt := p.d.tt
 	if tt == nil || res.start.IsZero() {
 		return
@@ -276,7 +477,7 @@ func (p *pipeline) traceCommit(res seqResult) {
 
 // commitOrdered is the committer's per-result step: expired results were
 // counted in frontStages and only occupy a sequence slot.
-func (p *pipeline) commitOrdered(res seqResult) {
+func (p *pipeline) commitOrdered(res *seqResult) {
 	if res.expired {
 		return
 	}
@@ -291,7 +492,7 @@ func (p *pipeline) commitOrdered(res seqResult) {
 // overhead is attributed to the per-replica stages it belongs to instead
 // of leaking into the per-message residual and faking an R-dependent
 // t_rcv.
-func (p *pipeline) commitStages(res seqResult) time.Duration {
+func (p *pipeline) commitStages(res *seqResult) time.Duration {
 	m := res.m
 	if p.timers == nil {
 		for _, h := range res.matches {

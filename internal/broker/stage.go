@@ -127,6 +127,17 @@ func (tx queueTransmitter) Transmit(h *Subscriber, m *jms.Message, mode jms.Deli
 	if h.dead {
 		return
 	}
+	// Fast path: a non-blocking send avoids the multi-case select machinery
+	// whenever the subscriber queue has room — the steady state of a
+	// correctly-sized buffer, and the dominant per-replica cost at full
+	// throughput.
+	select {
+	case h.ch <- m:
+		h.delivered.Add(1)
+		b.countAdd(&b.dispatched, 1)
+		return
+	default:
+	}
 	if mode == jms.Persistent {
 		select {
 		case h.ch <- m:
@@ -151,6 +162,56 @@ func (tx queueTransmitter) Transmit(h *Subscriber, m *jms.Message, mode jms.Deli
 		default:
 			b.countAdd(&b.dropped, 1)
 		}
+	}
+}
+
+// batchTransmitter is the optional batched form of a Transmitter: one
+// lock acquisition and one counter update for a run of replicas bound for
+// the same subscriber — the transmit-stage analogue of the batch's single
+// in-flight slot.
+type batchTransmitter interface {
+	TransmitBatch(h *Subscriber, msgs []*jms.Message, mode jms.DeliveryMode)
+}
+
+// TransmitBatch forwards a run of replicas to one subscriber under a
+// single send lock, counting deliveries once. Semantics per message match
+// Transmit exactly.
+func (tx queueTransmitter) TransmitBatch(h *Subscriber, msgs []*jms.Message, mode jms.DeliveryMode) {
+	b, d := tx.b, tx.d
+	h.sendMu.Lock()
+	defer h.sendMu.Unlock()
+	if h.dead {
+		return
+	}
+	sent := 0
+	for _, m := range msgs {
+		select {
+		case h.ch <- m:
+			sent++
+			continue
+		default:
+		}
+		if mode != jms.Persistent {
+			b.countAdd(&b.dropped, 1)
+			continue
+		}
+		select {
+		case h.ch <- m:
+			sent++
+		case <-h.gone:
+		case <-d.stop:
+			// Broker closing: best effort, do not block shutdown.
+			select {
+			case h.ch <- m:
+				sent++
+			default:
+				b.countAdd(&b.dropped, 1)
+			}
+		}
+	}
+	if sent > 0 {
+		h.delivered.Add(uint64(sent))
+		b.countAdd(&b.dispatched, uint64(sent))
 	}
 }
 

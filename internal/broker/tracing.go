@@ -30,6 +30,9 @@ type topicTimers struct {
 	sojourn  metrics.Histogram
 	waitM    metrics.Moments
 	serviceM metrics.Moments
+	// batchM accumulates the per-arrival batch size X (1 for every plain
+	// Publish), whose moments drive the M^X/G/1 batch-arrival extension.
+	batchM metrics.Moments
 }
 
 // TopicTelemetry is a point-in-time snapshot of one topic's tracing state.
@@ -49,6 +52,11 @@ type TopicTelemetry struct {
 	// ServiceMoments are the raw moments of the service time in seconds —
 	// the measured E[B], E[B^2], E[B^3] of Eqs. 4–5.
 	ServiceMoments metrics.MomentsSnapshot
+	// BatchMoments are the raw moments of the arrival batch size X
+	// (dimensionless; 1 per plain Publish). N counts arrival units, so the
+	// windowed batch-arrival rate is BatchMoments.N / window while Received
+	// stays the per-message λ numerator.
+	BatchMoments metrics.MomentsSnapshot
 }
 
 // Sub returns the windowed delta s - prev, clamping on counter skew.
@@ -65,6 +73,7 @@ func (s TopicTelemetry) Sub(prev TopicTelemetry) TopicTelemetry {
 		Sojourn:        s.Sojourn.Sub(prev.Sojourn),
 		WaitMoments:    s.WaitMoments.Sub(prev.WaitMoments),
 		ServiceMoments: s.ServiceMoments.Sub(prev.ServiceMoments),
+		BatchMoments:   s.BatchMoments.Sub(prev.BatchMoments),
 	}
 }
 
@@ -76,6 +85,7 @@ func (tt *topicTimers) snapshot() TopicTelemetry {
 		Sojourn:        tt.sojourn.Snapshot(),
 		WaitMoments:    tt.waitM.Snapshot(),
 		ServiceMoments: tt.serviceM.Snapshot(),
+		BatchMoments:   tt.batchM.Snapshot(),
 	}
 }
 

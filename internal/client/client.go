@@ -16,6 +16,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/jms"
 	"repro/internal/wire"
@@ -64,9 +65,36 @@ type ServerError struct {
 // Error implements the error interface.
 func (e *ServerError) Error() string { return "client: server error: " + e.Msg }
 
+// Options configure optional client behaviour. The zero value is a plain
+// unbatched client.
+type Options struct {
+	// BatchMax, when > 1, turns on auto-coalescing publishes: Publish
+	// calls buffer their messages and flush as one MSG_BATCH frame once
+	// BatchMax messages have accumulated or BatchLinger has elapsed since
+	// the first buffered message, whichever comes first. One broker
+	// acknowledgement then covers the whole batch, amortizing the
+	// push-back round trip.
+	BatchMax int
+	// BatchLinger bounds how long the first buffered message waits for
+	// company before the batch is flushed anyway. Defaults to 1ms when
+	// BatchMax > 1.
+	BatchLinger time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchMax > 1 && o.BatchLinger <= 0 {
+		o.BatchLinger = time.Millisecond
+	}
+	return o
+}
+
 // Client is one connection to a broker. It is safe for concurrent use.
 type Client struct {
 	conn net.Conn
+
+	// batch is the auto-coalescing publish buffer; nil unless
+	// Options.BatchMax enables it.
+	batch *batcher
 
 	writeMu sync.Mutex
 
@@ -107,15 +135,26 @@ type result struct {
 
 // Dial connects to a broker at addr ("host:port").
 func Dial(addr string) (*Client, error) {
+	return DialWith(addr, Options{})
+}
+
+// DialWith is Dial with client options.
+func DialWith(addr string, opts Options) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial: %w", err)
 	}
-	return NewClient(conn), nil
+	return NewClientWith(conn, opts), nil
 }
 
 // NewClient wraps an established connection.
 func NewClient(conn net.Conn) *Client {
+	return NewClientWith(conn, Options{})
+}
+
+// NewClientWith is NewClient with client options.
+func NewClientWith(conn net.Conn, opts Options) *Client {
+	opts = opts.withDefaults()
 	c := &Client{
 		conn:        conn,
 		pending:     make(map[uint64]chan result),
@@ -123,6 +162,9 @@ func NewClient(conn net.Conn) *Client {
 		pendingSubs: make(map[uint64]*Subscription),
 		ackKick:     make(chan struct{}, 1),
 		done:        make(chan struct{}),
+	}
+	if opts.BatchMax > 1 {
+		c.batch = &batcher{c: c, max: opts.BatchMax, linger: opts.BatchLinger}
 	}
 	go c.readLoop()
 	go c.ackLoop()
@@ -391,10 +433,20 @@ func (c *Client) ConfigureTopic(ctx context.Context, name string) error {
 
 // Publish sends a message and waits for the broker's acknowledgement. The
 // ack is delayed while the broker's in-flight window is full, which is the
-// network form of publisher push-back. The request is encoded into a
-// pooled buffer, so the publish fast path allocates no fresh buffer per
-// message.
+// network form of publisher push-back. On a client with Options.BatchMax
+// the message is coalesced with concurrent publishes into one MSG_BATCH
+// frame and the shared acknowledgement is awaited instead. The request is
+// encoded into a pooled buffer, so the publish fast path allocates no
+// fresh buffer per message.
 func (c *Client) Publish(ctx context.Context, m *jms.Message) error {
+	if c.batch != nil {
+		return c.batch.publish(ctx, m)
+	}
+	return c.publishOne(ctx, m)
+}
+
+// publishOne sends one message as a plain PUBLISH frame.
+func (c *Client) publishOne(ctx context.Context, m *jms.Message) error {
 	reqID := c.reqID.Add(1)
 	bp := wire.GetBuffer()
 	buf := append((*bp)[:0], 0, 0, 0, 0, 0, 0, 0, 0)
@@ -402,6 +454,29 @@ func (c *Client) Publish(ctx context.Context, m *jms.Message) error {
 	buf = wire.AppendMessage(buf, m)
 	*bp = buf
 	_, err := c.callPayload(ctx, reqID, wire.FramePublish, buf)
+	wire.PutBuffer(bp)
+	return err
+}
+
+// PublishBatch sends several messages in one MSG_BATCH frame and waits for
+// the broker's single shared acknowledgement — one push-back round trip
+// amortized over the whole batch. An empty batch is a no-op; a batch of
+// one degrades to a plain PUBLISH. Messages may span topics; the broker
+// preserves slice order.
+func (c *Client) PublishBatch(ctx context.Context, msgs []*jms.Message) error {
+	switch len(msgs) {
+	case 0:
+		return nil
+	case 1:
+		return c.publishOne(ctx, msgs[0])
+	}
+	reqID := c.reqID.Add(1)
+	bp := wire.GetBuffer()
+	buf := append((*bp)[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint64(buf, reqID)
+	buf = wire.AppendBatch(buf, msgs)
+	*bp = buf
+	_, err := c.callPayload(ctx, reqID, wire.FrameBatch, buf)
 	wire.PutBuffer(bp)
 	return err
 }

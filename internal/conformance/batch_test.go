@@ -1,0 +1,113 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/mg1"
+)
+
+// batchFamilies returns one representative of each batch-size law the
+// batched path supports: fixed (every publish coalesces the same count),
+// geometric (a memoryless batcher cut by timeouts), and uniform (a
+// bounded batcher under uneven producers).
+func batchFamilies(t *testing.T) map[string]mg1.BatchDist {
+	t.Helper()
+	fixed, err := mg1.NewFixedBatch(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom, err := mg1.NewGeometricBatch(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unif, err := mg1.NewUniformBatch(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]mg1.BatchDist{
+		"fixed-4":        fixed,
+		"geometric-0.25": geom,
+		"uniform-7":      unif,
+	}
+}
+
+// TestAnalyticVsSimulatedBatch pins the M^X/G/1 extension the same way
+// TestAnalyticVsSimulated pins the per-message model: for each batch law
+// crossed with each replication family, the closed forms and the batched
+// Lindley simulator must agree on E[W] within 3% and on the 99% quantile
+// within 15% (the quantile goes through the Gamma approximation, which is
+// approximate by construction). Fixed seeds; the tolerances hold with
+// margin at these sample sizes (CI-safe).
+func TestAnalyticVsSimulatedBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical run")
+	}
+	rnames := []string{"deterministic", "scaledBernoulli", "binomial"}
+	xnames := []string{"fixed-4", "geometric-0.25", "uniform-7"}
+	repls := families(t)
+	batches := batchFamilies(t)
+	for ri, rname := range rnames {
+		for xi, xname := range xnames {
+			r, x := repls[rname], batches[xname]
+			cfg := BatchConfig{
+				D:         1.0,
+				TTx:       0.2,
+				R:         r,
+				X:         x,
+				Rho:       0.7,
+				Customers: 2000000,
+				Warmup:    100000,
+				// Deterministic per-combination seed: map iteration order
+				// must not decide which case gets which sample path.
+				Seed: int64(41 + 3*ri + xi),
+			}
+			t.Run(rname+"/"+xname, func(t *testing.T) {
+				t.Parallel()
+				a, err := AnalyticBatch(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := SimulatedBatch(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("analytic mean=%.4f q99=%.4f | simulated mean=%.4f q99=%.4f",
+					a.MeanWait, a.Quantile, s.MeanWait, s.Quantile)
+				if err := agree("mean wait", a.MeanWait, s.MeanWait, 0.03, 0); err != nil {
+					t.Error(err)
+				}
+				if err := agree("99% quantile", a.Quantile, s.Quantile, 0.15, 0); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchConfigCollapses pins that a batch size of exactly one
+// reproduces the per-message legs: both batched legs must return the same
+// points as Analytic/Simulated under identical seeds.
+func TestBatchConfigCollapses(t *testing.T) {
+	one, err := mg1.NewFixedBatch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range families(t) {
+		cfg := Config{D: 1.0, TTx: 0.2, R: r, Rho: 0.7,
+			Customers: 50000, Warmup: 2500, Seed: 9}
+		bcfg := BatchConfig{D: cfg.D, TTx: cfg.TTx, R: r, X: one, Rho: cfg.Rho,
+			Customers: cfg.Customers, Warmup: cfg.Warmup, Seed: cfg.Seed}
+		a, err := Analytic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := AnalyticBatch(bcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The analytic collapse is exact (shared closed forms).
+		if err := CheckAgreement(a, ab, 1e-12, 0); err != nil {
+			t.Errorf("%s: analytic collapse: %v", name, err)
+		}
+	}
+}

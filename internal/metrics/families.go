@@ -149,7 +149,17 @@ func (m *Moments) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	x := d.Seconds()
+	m.ObserveValue(d.Seconds())
+}
+
+// ObserveValue records one dimensionless sample — e.g. a batch size, whose
+// first three moments parameterize the M^X/G/1 batch-arrival extension the
+// same way the duration moments parameterize Eqs. 4–5. Negative values are
+// clamped to zero.
+func (m *Moments) ObserveValue(x float64) {
+	if x < 0 {
+		x = 0
+	}
 	x2 := x * x
 	m.mu.Lock()
 	m.n++

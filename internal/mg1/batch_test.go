@@ -1,0 +1,289 @@
+package mg1
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func relDiff(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// TestBatchDistMoments checks every closed-form moment formula against
+// empirical sample moments of the same distribution's Sample method.
+func TestBatchDistMoments(t *testing.T) {
+	mustFixed := func(k int) BatchDist {
+		d, err := NewFixedBatch(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	mustGeom := func(p float64) BatchDist {
+		d, err := NewGeometricBatch(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	mustUnif := func(k int) BatchDist {
+		d, err := NewUniformBatch(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	cases := []struct {
+		name string
+		dist BatchDist
+	}{
+		{"fixed-1", mustFixed(1)},
+		{"fixed-16", mustFixed(16)},
+		{"geometric-0.25", mustGeom(0.25)},
+		{"geometric-0.8", mustGeom(0.8)},
+		{"uniform-7", mustUnif(7)},
+		{"uniform-1", mustUnif(1)},
+	}
+	const samples = 500000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.dist.Moments()
+			if err := m.Valid(); err != nil {
+				t.Fatalf("Valid: %v", err)
+			}
+			rng := stats.NewRNG(17)
+			var s1, s2, s3 float64
+			for i := 0; i < samples; i++ {
+				k := tc.dist.Sample(rng)
+				if k < 1 {
+					t.Fatalf("sample %d < 1", k)
+				}
+				x := float64(k)
+				s1 += x
+				s2 += x * x
+				s3 += x * x * x
+			}
+			n := float64(samples)
+			for _, chk := range []struct {
+				name      string
+				got, want float64
+				tol       float64
+			}{
+				{"E[X]", s1 / n, m.M1, 0.01},
+				{"E[X^2]", s2 / n, m.M2, 0.02},
+				{"E[X^3]", s3 / n, m.M3, 0.04},
+			} {
+				if d := relDiff(chk.got, chk.want); d > chk.tol {
+					t.Errorf("%s: empirical %g vs formula %g (rel %.3f > %.3f)",
+						chk.name, chk.got, chk.want, d, chk.tol)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchQueueCollapsesToMG1 pins the X ≡ 1 degeneration: every batch
+// metric must equal the plain M/GI/1 queue's to floating-point accuracy.
+func TestBatchQueueCollapsesToMG1(t *testing.T) {
+	b := ServiceMoments{M1: 2e-3, M2: 6e-6, M3: 3e-8}
+	q, err := NewQueue(350, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := NewFixedBatch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bq, err := NewBatchQueue(350, one.Moments(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name         string
+		plain, batch float64
+	}{
+		{"Lambda", q.Lambda, bq.Lambda()},
+		{"Rho", q.Rho(), bq.Rho()},
+		{"MeanWait", q.MeanWait(), bq.MeanWait()},
+		{"WaitMoment2", q.WaitMoment2(), bq.WaitMoment2()},
+		{"DelayProbability", q.WaitingProbability(), bq.DelayProbability()},
+		{"MeanResponse", q.MeanResponse(), bq.MeanResponse()},
+		{"MeanQueueLength", q.MeanQueueLength(), bq.MeanQueueLength()},
+	}
+	for _, c := range checks {
+		if relDiff(c.plain, c.batch) > 1e-12 {
+			t.Errorf("%s: plain %g vs batch %g", c.name, c.plain, c.batch)
+		}
+	}
+	qd, err := q.GammaApprox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := bq.GammaApprox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.9999} {
+		qq, err1 := qd.Quantile(p)
+		bb, err2 := bd.Quantile(p)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("quantile errors: %v %v", err1, err2)
+		}
+		if relDiff(qq, bb) > 1e-9 {
+			t.Errorf("Quantile(%g): plain %g vs batch %g", p, qq, bb)
+		}
+	}
+}
+
+// TestBatchMeanWaitDecomposition asserts the two derivations of E[W]
+// agree: the closed form (MeanWait) and the W = V + Y decomposition the
+// second moment is built from must be the same number.
+func TestBatchMeanWaitDecomposition(t *testing.T) {
+	b := ServiceMoments{M1: 1e-3, M2: 2.5e-6, M3: 9e-9}
+	dists := map[string]BatchDist{
+		"fixed-8":        FixedBatch{K: 8},
+		"geometric-0.2":  GeometricBatch{P: 0.2},
+		"uniform-15":     UniformBatch{K: 15},
+		"degenerate-one": FixedBatch{K: 1},
+	}
+	for name, dist := range dists {
+		for _, rho := range []float64{0.3, 0.7, 0.95} {
+			q, err := BatchQueueAtUtilization(rho, dist.Moments(), b)
+			if err != nil {
+				t.Fatalf("%s rho=%g: %v", name, rho, err)
+			}
+			super := Queue{Lambda: q.LambdaB, B: q.SuperMoments()}
+			if err := super.B.Valid(); err != nil {
+				t.Fatalf("%s rho=%g: super moments invalid: %v", name, rho, err)
+			}
+			ea, _ := q.positionMoments()
+			decomposed := super.MeanWait() + ea*q.B.M1
+			if d := relDiff(decomposed, q.MeanWait()); d > 1e-9 {
+				t.Errorf("%s rho=%g: decomposition E[V]+E[Y]=%g vs closed form %g (rel %g)",
+					name, rho, decomposed, q.MeanWait(), d)
+			}
+		}
+	}
+}
+
+// TestBatchQueueVsSimulation is the tolerance-pinned table: for fixed,
+// geometric and uniform batch laws over deterministic and exponential
+// services, the M^X/G/1 closed forms must agree with a batched-arrival
+// Lindley simulation — 3% on E[W] and the delay probability, 6% on
+// Std[W], 15% on the Gamma-approximated 99th percentile (the same
+// tolerance the per-message conformance families pin).
+func TestBatchQueueVsSimulation(t *testing.T) {
+	const meanB = 1e-3
+	detService := func(*stats.RNG) float64 { return meanB }
+	expService := func(rng *stats.RNG) float64 { return rng.Exp(1 / meanB) }
+	detMoments := ServiceMoments{M1: meanB, M2: meanB * meanB, M3: meanB * meanB * meanB}
+	expMoments := ServiceMoments{M1: meanB, M2: 2 * meanB * meanB, M3: 6 * meanB * meanB * meanB}
+
+	cases := []struct {
+		name    string
+		dist    BatchDist
+		service sim.ServiceSampler
+		b       ServiceMoments
+		rho     float64
+	}{
+		{"fixed-4/deterministic/0.7", FixedBatch{K: 4}, detService, detMoments, 0.7},
+		{"fixed-16/exponential/0.6", FixedBatch{K: 16}, expService, expMoments, 0.6},
+		{"geometric-0.25/deterministic/0.7", GeometricBatch{P: 0.25}, detService, detMoments, 0.7},
+		{"geometric-0.25/exponential/0.5", GeometricBatch{P: 0.25}, expService, expMoments, 0.5},
+		{"uniform-7/deterministic/0.8", UniformBatch{K: 7}, detService, detMoments, 0.8},
+		{"uniform-7/exponential/0.7", UniformBatch{K: 7}, expService, expMoments, 0.7},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := BatchQueueAtUtilization(tc.rho, tc.dist.Moments(), tc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.SimulateMXG1(sim.MXG1Config{
+				LambdaB:   q.LambdaB,
+				Batch:     tc.dist.Sample,
+				Service:   tc.service,
+				Customers: 400000,
+				Warmup:    20000,
+				Seed:      int64(1000 + i),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			simMean, err := res.Waits.Mean()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := relDiff(simMean, q.MeanWait()); d > 0.03 {
+				t.Errorf("E[W]: sim %g vs model %g (rel %.3f)", simMean, q.MeanWait(), d)
+			}
+			simStd, err := res.Waits.StdDev()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := relDiff(simStd, q.WaitStdDev()); d > 0.06 {
+				t.Errorf("Std[W]: sim %g vs model %g (rel %.3f)", simStd, q.WaitStdDev(), d)
+			}
+			// Empirical delay probability: fraction of strictly positive waits.
+			simDelay := 1 - res.Waits.FractionAtOrBelow(0)
+			if d := math.Abs(simDelay - q.DelayProbability()); d > 0.03 {
+				t.Errorf("P(W>0): sim %g vs model %g (abs %.3f)", simDelay, q.DelayProbability(), d)
+			}
+			dist, err := q.GammaApprox()
+			if err != nil {
+				t.Fatal(err)
+			}
+			q99, err := dist.Quantile(0.99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simQ99, err := res.Waits.Quantile(0.99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := relDiff(simQ99, q99); d > 0.15 {
+				t.Errorf("Q99: sim %g vs Gamma approx %g (rel %.3f)", simQ99, q99, d)
+			}
+		})
+	}
+}
+
+// TestBatchValidation covers the constructor guard rails.
+func TestBatchValidation(t *testing.T) {
+	b := ServiceMoments{M1: 1e-3, M2: 2e-6, M3: 8e-9}
+	x := FixedBatch{K: 4}.Moments()
+	if _, err := NewFixedBatch(0); err == nil {
+		t.Error("NewFixedBatch(0) accepted")
+	}
+	if _, err := NewGeometricBatch(0); err == nil {
+		t.Error("NewGeometricBatch(0) accepted")
+	}
+	if _, err := NewGeometricBatch(1.5); err == nil {
+		t.Error("NewGeometricBatch(1.5) accepted")
+	}
+	if _, err := NewUniformBatch(0); err == nil {
+		t.Error("NewUniformBatch(0) accepted")
+	}
+	if _, err := NewBatchQueue(0, x, b); err == nil {
+		t.Error("NewBatchQueue(lambdaB=0) accepted")
+	}
+	if _, err := NewBatchQueue(1000, x, b); err == nil {
+		t.Error("unstable batch queue accepted") // rho = 1000*4*1e-3 = 4
+	}
+	if _, err := NewBatchQueue(10, BatchMoments{M1: 0.5, M2: 1, M3: 1}, b); err == nil {
+		t.Error("E[X] < 1 accepted")
+	}
+	if _, err := BatchQueueAtUtilization(1.2, x, b); err == nil {
+		t.Error("rho > 1 accepted")
+	}
+	if g, err := NewGeometricBatch(1); err != nil || g.Sample(stats.NewRNG(1)) != 1 {
+		t.Error("geometric p=1 must sample 1")
+	}
+}

@@ -254,17 +254,25 @@ type WaitDist struct {
 // GammaApprox fits the waiting-time distribution of the queue.
 func (q Queue) GammaApprox() (WaitDist, error) {
 	m1, m2 := q.DelayedWaitMoments()
+	return fitWaitDist(q.Rho(), m1, m2)
+}
+
+// fitWaitDist fits Eq. 20's two-part form to a delay probability pw =
+// P(W > 0) and the first two moments (m1, m2) of the conditional wait
+// W1 = W | W > 0. For the plain M/GI/1 queue pw is rho; the M^X/G/1
+// batch extension supplies its own delay probability (batch.go).
+func fitWaitDist(pw, m1, m2 float64) (WaitDist, error) {
 	if m1 <= 0 {
 		return WaitDist{}, fmt.Errorf("%w: E[W1]=%g", ErrParams, m1)
 	}
 	v := m2 - m1*m1
 	if v <= 1e-300*m1*m1 {
-		return WaitDist{rho: q.Rho(), det: true, detAt: m1}, nil
+		return WaitDist{rho: pw, det: true, detAt: m1}, nil
 	}
 	cvar2 := v / (m1 * m1)
 	alpha := 1 / cvar2
 	beta := m1 / alpha
-	return WaitDist{rho: q.Rho(), alpha: alpha, beta: beta}, nil
+	return WaitDist{rho: pw, alpha: alpha, beta: beta}, nil
 }
 
 // Rho returns the waiting probability of the fitted distribution.

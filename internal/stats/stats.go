@@ -208,6 +208,22 @@ func (s *Summary) Quantile(p float64) (float64, error) {
 	return s.values[lo]*(1-frac) + s.values[hi]*frac, nil
 }
 
+// FractionAtOrBelow returns the empirical CDF at x: the fraction of
+// observations <= x (0 with no observations). FractionAtOrBelow(0) on a
+// waiting-time sample is 1 - P(W > 0), the empirical no-delay
+// probability the M^X/G/1 conformance legs check.
+func (s *Summary) FractionAtOrBelow(x float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+	return float64(sort.SearchFloat64s(s.values, math.Nextafter(x, math.Inf(1)))) /
+		float64(len(s.values))
+}
+
 // ConfidenceInterval returns the half-width of the level-confidence
 // interval for the mean using the normal approximation (the paper notes
 // confidence intervals are "very narrow even for a few runs", so the

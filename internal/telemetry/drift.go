@@ -45,6 +45,11 @@ type Estimate struct {
 	// Lambda is the windowed arrival rate (msgs/s), Rho = Lambda*EB.
 	Lambda float64 `json:"lambda"`
 	Rho    float64 `json:"rho"`
+	// EX is the windowed mean batch size E[X] (messages per arrival
+	// unit). Set only when the window recorded batch sizes; when it is,
+	// the prediction uses the M^X/G/1 extension with the observed
+	// batch-size moments instead of the per-message M/G/1 model.
+	EX float64 `json:"ex,omitempty"`
 	// EB, EB2, EB3 are the measured raw service-time moments (seconds).
 	EB  float64 `json:"eb"`
 	EB2 float64 `json:"eb2"`
@@ -92,17 +97,46 @@ func Compute(topic string, delta broker.TopicTelemetry, window time.Duration, qu
 		e.Reason = "too few samples"
 		return e
 	}
-	q, err := mg1.NewQueue(e.Lambda, mg1.ServiceMoments{M1: e.EB, M2: e.EB2, M3: e.EB3})
-	if err != nil {
-		e.Reason = err.Error()
-		return e
+	b := mg1.ServiceMoments{M1: e.EB, M2: e.EB2, M3: e.EB3}
+	var dist mg1.WaitDist
+	if bm := delta.BatchMoments; bm.N > 0 {
+		// The window recorded arrival-unit batch sizes: predict with the
+		// M^X/G/1 extension. The batch-arrival rate is arrival units per
+		// second; the batch-size moments are measured, clamped the same
+		// way as the service moments (X >= 1 by construction, and
+		// E[X^2] >= E[X]^2 can be lost to summation error).
+		x1, x2, x3 := bm.Raw()
+		if x1 < 1 {
+			x1 = 1
+		}
+		if x2 < x1*x1 {
+			x2 = x1 * x1
+		}
+		e.EX = x1
+		lambdaB := float64(bm.N) / window.Seconds()
+		q, err := mg1.NewBatchQueue(lambdaB, mg1.BatchMoments{M1: x1, M2: x2, M3: x3}, b)
+		if err != nil {
+			e.Reason = err.Error()
+			return e
+		}
+		e.PredictedEW = q.MeanWait()
+		if dist, err = q.GammaApprox(); err != nil {
+			e.Reason = err.Error()
+			return e
+		}
+	} else {
+		q, err := mg1.NewQueue(e.Lambda, b)
+		if err != nil {
+			e.Reason = err.Error()
+			return e
+		}
+		e.PredictedEW = q.MeanWait()
+		if dist, err = q.GammaApprox(); err != nil {
+			e.Reason = err.Error()
+			return e
+		}
 	}
-	e.PredictedEW = q.MeanWait()
-	dist, err := q.GammaApprox()
-	if err != nil {
-		e.Reason = err.Error()
-		return e
-	}
+	var err error
 	if e.PredictedQ, err = dist.Quantile(quantile); err != nil {
 		e.Reason = err.Error()
 		return e

@@ -89,6 +89,76 @@ func TestComputeMD1Agreement(t *testing.T) {
 	}
 }
 
+// TestComputeBatchedWindow drives the batch-aware branch: a synthetic
+// M^X/D/1 window (fixed batches of 4) must be predicted with the
+// M^X/G/1 extension — the per-message model would underestimate E[W] by
+// the whole batch-mate term and push the drift ratio far above 1.
+func TestComputeBatchedWindow(t *testing.T) {
+	const (
+		lambdaB = 125.0
+		k       = 4
+		b       = time.Millisecond // rho = lambdaB*k*b = 0.5
+		units   = 50000
+	)
+	rng := stats.NewRNG(5)
+	bs := b.Seconds()
+	var tel broker.TopicTelemetry
+	var wb, clock float64
+	var waitHist, sojournHist metrics.Histogram
+	var waitM, svcM, batchM metrics.Moments
+	for i := 0; i < units; i++ {
+		if i > 0 {
+			a := rng.Exp(lambdaB)
+			clock += a
+			wb = math.Max(0, wb-a)
+		}
+		batchM.ObserveValue(k)
+		var prefix float64
+		for j := 0; j < k; j++ {
+			wd := time.Duration((wb + prefix) * float64(time.Second))
+			waitHist.Observe(wd)
+			waitM.Observe(wd)
+			sojournHist.Observe(wd + b)
+			svcM.Observe(b)
+			prefix += bs
+		}
+		wb += prefix
+	}
+	tel.Received = uint64(units * k)
+	tel.Wait = waitHist.Snapshot()
+	tel.Sojourn = sojournHist.Snapshot()
+	tel.WaitMoments = waitM.Snapshot()
+	tel.ServiceMoments = svcM.Snapshot()
+	tel.BatchMoments = batchM.Snapshot()
+	window := time.Duration(clock * float64(time.Second))
+
+	e := Compute("t", tel, window, MonitoredQuantile, DefaultMinSamples)
+	if !e.Valid {
+		t.Fatalf("estimate invalid: %q (%+v)", e.Reason, e)
+	}
+	if math.Abs(e.EX-k) > 1e-9 {
+		t.Errorf("E[X] = %v, want %v", e.EX, float64(k))
+	}
+	if math.Abs(e.Rho-0.5) > 0.05 {
+		t.Errorf("rho = %v, want ~0.5", e.Rho)
+	}
+	// Exact M^X/D/1 mean wait at these parameters:
+	// lambda*E[B^2]/(2(1-rho)) + (M2-M1)E[B]/(2 M1 (1-rho))
+	//   = 500e-6/1 + 12e-3/4 = 3.5 ms.
+	exact := lambdaB * k * bs * bs / (2 * (1 - 0.5))
+	exact += float64(k*k-k) * bs / (2 * k * (1 - 0.5))
+	if math.Abs(e.PredictedEW-exact)/exact > 0.10 {
+		t.Errorf("predicted E[W] = %v, want ~%v", e.PredictedEW, exact)
+	}
+	if rel := math.Abs(e.ObservedEW-e.PredictedEW) / e.PredictedEW; rel > 0.15 {
+		t.Errorf("predicted/observed E[W] disagree by %.1f%%: predicted %v observed %v",
+			100*rel, e.PredictedEW, e.ObservedEW)
+	}
+	if e.DriftRatio < 0.85 || e.DriftRatio > 1.15 {
+		t.Errorf("drift ratio = %v, want ~1", e.DriftRatio)
+	}
+}
+
 // TestComputeDetectsDrift: waits measured from a slower reality than the
 // moments fed to the model must push the drift ratio above 1.
 func TestComputeDetectsDrift(t *testing.T) {

@@ -57,6 +57,11 @@ const (
 	// (subscription id + delivery sequence). Fire-and-forget: it carries
 	// no request ID and has no reply.
 	FrameMsgAck
+	// FrameBatch carries several publishes coalesced into one frame:
+	// a message count followed by length-prefixed message encodings (see
+	// batch.go). The broker answers the whole batch with a single PUB_ACK,
+	// so one push-back round trip amortizes over every message in it.
+	FrameBatch
 )
 
 // String names the frame type.
@@ -92,6 +97,8 @@ func (t FrameType) String() string {
 		return "DELETE_DURABLE_OK"
 	case FrameMsgAck:
 		return "MSG_ACK"
+	case FrameBatch:
+		return "MSG_BATCH"
 	default:
 		return "FrameType(" + strconv.Itoa(int(t)) + ")"
 	}
