@@ -20,24 +20,30 @@ race:
 	$(GO) test -race ./internal/jms/... ./internal/topic/... ./internal/broker/... ./internal/wire/... ./internal/client/... ./internal/faultnet/... ./internal/cluster/... ./internal/conformance/... ./internal/metrics/... ./internal/telemetry/... ./cmd/jmsd/...
 
 # bench runs the regression benchmark set (publish, dispatch, batch
-# codec), records a dated trajectory point under bench/BENCH_<date>.json,
-# and fails on a >20% regression against the previous point. The two
-# commands are separate so a go test failure is not swallowed by a pipe.
+# codec, end-to-end wire loop), records a dated trajectory point under
+# bench/BENCH_<date>.json, and fails on a >20% regression against the
+# previous point. The two commands are separate so a go test failure is
+# not swallowed by a pipe. -maxallocs pins the zero-allocation wire-path
+# rows to their designed budgets (batch decode: message + body slab;
+# batch encode and delivery: pooled, allocation-free) as hard ceilings.
 bench:
 	@mkdir -p bench
-	$(GO) test -run xxx -bench BenchmarkRegression -benchtime 200ms -benchmem . | tee bench/latest.txt
-	$(GO) run ./cmd/benchjson -in bench/latest.txt -dir bench
+	$(GO) test -run xxx -bench BenchmarkRegression -benchtime 1s -benchmem . | tee bench/latest.txt
+	$(GO) run ./cmd/benchjson -in bench/latest.txt -dir bench \
+		-maxallocs 'RegressionBatchDecode=2,RegressionBatchEncode=2,RegressionDeliver=0'
 
 # bench-all runs every benchmark (figure regenerations + ablations) once.
 bench-all:
 	$(GO) test -run xxx -bench . -benchtime 300ms .
 
-# fuzz smokes the three parsing surfaces fed by the network: the frame
-# codec, the batch frame splitter, and the JMS selector grammar. Seed
+# fuzz smokes the parsing surfaces fed by the network: the frame codec,
+# the batch frame splitter, the lazy message-view decoder (held
+# differentially to DecodeMessage), and the JMS selector grammar. Seed
 # corpora live under testdata/fuzz.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeBatch -fuzztime=10s ./internal/wire/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeMessageView -fuzztime=10s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/selector/
 
 # verify is the tier-1 gate plus the race pass.

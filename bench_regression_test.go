@@ -9,10 +9,14 @@ package jmsperf_test
 
 import (
 	"context"
+	"net"
+	"runtime"
 	"strconv"
+	"sync"
 	"testing"
 
 	"repro/internal/broker"
+	"repro/internal/client"
 	"repro/internal/filter"
 	"repro/internal/jms"
 	"repro/internal/wire"
@@ -124,8 +128,125 @@ func BenchmarkRegressionBatchEncode(b *testing.B) {
 	}
 }
 
-// BenchmarkRegressionBatchDecode measures the decode side: the broker
-// front door splitting a 16-message batch frame back into messages.
+// BenchmarkRegressionDeliver measures the delivery fast path's per-frame
+// cost: one MESSAGE frame (prologue + delivery header + message) encoded
+// into a pooled buffer, exactly what the server's delivery pump does per
+// replica. The steady state must be allocation-free — this row is gated
+// at 0 allocs/op by cmd/benchjson -maxallocs.
+func BenchmarkRegressionDeliver(b *testing.B) {
+	m := jms.NewMessage("t")
+	m.SetBody(make([]byte, 128))
+	if err := m.SetStringProperty("region", "eu"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp := wire.GetBuffer()
+		buf := append((*bp)[:0], 0, 0, 0, 0, byte(wire.FrameMessage))
+		buf = wire.AppendDelivery(buf, 7, uint64(i), m)
+		*bp = buf
+		wire.PutBuffer(bp)
+	}
+}
+
+// BenchmarkRegressionEndToEnd is the full wire loop on TCP loopback:
+// batching publisher clients → server ingress → fast-engine dispatch →
+// delivery pump egress → subscriber client. ns/op is the end-to-end
+// per-message cost; the msgs/s/core metric is the throughput headline the
+// IoT-edge broker benchmarking literature reports, normalized by
+// GOMAXPROCS so trajectory points from different hosts stay comparable.
+func BenchmarkRegressionEndToEnd(b *testing.B) {
+	const batch = 16
+	const publishers = 4
+	br := broker.New(broker.Options{
+		InFlight: 1024, SubscriberBuffer: 1 << 15,
+		Engine: broker.EngineFast, Shards: 4,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := wire.Serve(br, ln)
+	b.Cleanup(func() {
+		_ = srv.Close()
+		_ = br.Close()
+	})
+	ctx := context.Background()
+
+	subCl, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = subCl.Close() })
+	if err := subCl.ConfigureTopic(ctx, "t"); err != nil {
+		b.Fatal(err)
+	}
+	sub, err := subCl.Subscribe(ctx, "t", wire.FilterSpec{Mode: wire.FilterNone}, 1<<15)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	pubs := make([]*client.Client, publishers)
+	for i := range pubs {
+		if pubs[i], err = client.Dial(ln.Addr().String()); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func(c *client.Client) func() {
+			return func() { _ = c.Close() }
+		}(pubs[i]))
+	}
+
+	// Round b.N up to a whole number of batches per publisher.
+	perPub := (b.N + publishers*batch - 1) / (publishers * batch) * batch
+	total := perPub * publishers
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for n := 0; n < total; {
+			if _, ok := <-sub.Chan(); !ok {
+				return
+			}
+			n++
+		}
+	}()
+	var wg sync.WaitGroup
+	for _, p := range pubs {
+		wg.Add(1)
+		go func(c *client.Client) {
+			defer wg.Done()
+			msgs := make([]*jms.Message, batch)
+			for sent := 0; sent < perPub; sent += batch {
+				for j := range msgs {
+					m := jms.NewMessage("t")
+					m.SetBody(make([]byte, 128))
+					msgs[j] = m
+				}
+				if err := c.PublishBatch(ctx, msgs); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	<-done
+	elapsed := b.Elapsed()
+	b.StopTimer()
+	if s := elapsed.Seconds(); s > 0 {
+		b.ReportMetric(float64(total)/s/float64(runtime.GOMAXPROCS(0)), "msgs/s/core")
+	}
+}
+
+// BenchmarkRegressionBatchDecode measures the decode side as the server
+// actually runs it: view-parse + validate the 16-message batch frame, then
+// materialize through a connection arena into a reused destination slice.
+// Steady state is two allocations per batch (the message slab and the body
+// slab — GC-owned because subscribers retain the messages), gated by
+// cmd/benchjson -maxallocs.
 func BenchmarkRegressionBatchDecode(b *testing.B) {
 	msgs := make([]*jms.Message, 16)
 	for i := range msgs {
@@ -134,10 +255,14 @@ func BenchmarkRegressionBatchDecode(b *testing.B) {
 		msgs[i] = m
 	}
 	payload := wire.EncodeBatch(msgs)
+	arena := wire.NewMessageArena()
+	dst := make([]*jms.Message, 0, 16)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := wire.DecodeBatch(payload); err != nil {
+		var err error
+		dst, err = arena.AppendBatchMessages(dst[:0], payload)
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,6 +12,13 @@
 // fingerprint (cpu model + GOMAXPROCS) matches, so a committed trajectory
 // point from one machine does not fail CI on another. Any tracked metric
 // regressing more than -threshold (default 20%) exits non-zero.
+//
+// -maxallocs pins absolute ceilings on top of the relative gate:
+// "name=ceiling,..." pairs (benchmark names without the Benchmark prefix)
+// that fail the run whenever allocs/op exceeds the ceiling, regardless of
+// what the previous point recorded. The zero-allocation wire-path rows are
+// held at their designed budgets this way, so an alloc regression cannot
+// ratchet in across two >20%-tolerant steps.
 package main
 
 import (
@@ -153,18 +160,75 @@ func compare(prev, cur Record, threshold float64) []string {
 	return regressions
 }
 
+// parseMaxAllocs parses a "name=ceiling,name=ceiling" spec into absolute
+// allocs/op ceilings keyed by benchmark name (without Benchmark prefix).
+func parseMaxAllocs(spec string) (map[string]float64, error) {
+	ceilings := make(map[string]float64)
+	if spec == "" {
+		return ceilings, nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -maxallocs entry %q: want name=ceiling", pair)
+		}
+		ceiling, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -maxallocs ceiling in %q: %w", pair, err)
+		}
+		ceilings[strings.TrimPrefix(name, "Benchmark")] = ceiling
+	}
+	return ceilings, nil
+}
+
+// checkCeilings reports every benchmark whose allocs/op exceeds its -maxallocs
+// ceiling, and flags ceilings naming benchmarks absent from the run (a
+// renamed benchmark must not silently unpin its budget).
+func checkCeilings(results map[string]Result, ceilings map[string]float64) []string {
+	var violations []string
+	names := make([]string, 0, len(ceilings))
+	for name := range ceilings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r, ok := results[name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf(
+				"%s: -maxallocs ceiling set but benchmark not in run", name))
+			continue
+		}
+		if r.AllocsOp > ceilings[name] {
+			violations = append(violations, fmt.Sprintf(
+				"%s: allocs/op %g exceeds ceiling %g", name, r.AllocsOp, ceilings[name]))
+		}
+	}
+	return violations
+}
+
 func run() error {
 	in := flag.String("in", "bench/latest.txt", "go test -bench output to parse")
 	dir := flag.String("dir", "bench", "directory holding BENCH_<date>.json trajectory points")
 	threshold := flag.Float64("threshold", 0.20, "relative regression that fails the check")
+	maxAllocs := flag.String("maxallocs", "", "absolute allocs/op ceilings as name=ceiling,... (hard failure)")
 	flag.Parse()
 
+	ceilings, err := parseMaxAllocs(*maxAllocs)
+	if err != nil {
+		return err
+	}
 	results, cpu, err := parseBench(*in)
 	if err != nil {
 		return err
 	}
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark lines found in %s", *in)
+	}
+	if violations := checkCeilings(results, ceilings); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "CEILING "+v)
+		}
+		return fmt.Errorf("%d allocs/op ceiling violation(s)", len(violations))
 	}
 	cur := Record{
 		Date:    time.Now().UTC().Format(time.RFC3339),

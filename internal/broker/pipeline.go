@@ -44,6 +44,10 @@ import (
 type pubUnit struct {
 	m     *jms.Message
 	batch []*jms.Message
+	// carrier, when non-nil, is the pooled unit that owns batch and the
+	// match-stage scratch; the committing goroutine recycles it after the
+	// batch's last transmit (see carrier.go).
+	carrier *BatchCarrier
 }
 
 // dispatcher holds one topic's pipeline channels: intake, stop signal, and
@@ -81,6 +85,9 @@ type seqMsg struct {
 	seq   uint64
 	m     *jms.Message
 	batch []*jms.Message
+	// carrier accompanies batch through the worker to the committer; its
+	// scratch backs the member results (see carrier.go).
+	carrier *BatchCarrier
 }
 
 // seqResult is one matched message awaiting in-order commit.
@@ -106,6 +113,9 @@ type seqResult struct {
 	// unit's seq is the first member's and it spans len(batch) sequence
 	// slots. The per-message fields above are unused on a batch carrier.
 	batch []seqResult
+	// carrier is the pooled unit to recycle once the batch has committed;
+	// nil for plain (non-carrier) batches.
+	carrier *BatchCarrier
 }
 
 // span is the number of sequence slots the result occupies.
@@ -212,6 +222,9 @@ func (p *pipeline) runSerial() {
 			for _, m := range u.batch {
 				single(m)
 			}
+			if u.carrier != nil {
+				u.carrier.recycle()
+			}
 			return
 		}
 		if cap(members) < len(u.batch) {
@@ -237,6 +250,11 @@ func (p *pipeline) runSerial() {
 		}
 		p.b.countAdd(&p.b.filterEvals, evals)
 		p.commitBatchRuns(members, btx)
+		if u.carrier != nil {
+			// Recycle-after-transmit: the batch is fully committed and
+			// nothing downstream holds the carrier's slices.
+			u.carrier.recycle()
+		}
 	})
 }
 
@@ -260,7 +278,7 @@ func (p *pipeline) runSharded() {
 				seq++
 				return
 			}
-			workCh <- seqMsg{seq: seq, batch: u.batch}
+			workCh <- seqMsg{seq: seq, batch: u.batch, carrier: u.carrier}
 			seq += uint64(len(u.batch))
 		})
 	}()
@@ -305,9 +323,18 @@ func (p *pipeline) runSharded() {
 				// batch: member i's matches slice is the segment of buf
 				// its Match call appended, capped so later members'
 				// appends can never write into it. Filter evaluations
-				// fold into the broker counter once per batch.
-				members := make([]seqResult, len(sm.batch))
-				buf := make([]*Subscriber, 0, len(sm.batch))
+				// fold into the broker counter once per batch. A pooled
+				// carrier brings its own scratch for both, so the
+				// carrier path allocates nothing here.
+				var members []seqResult
+				var buf []*Subscriber
+				if sm.carrier != nil {
+					members = sm.carrier.memberScratch(len(sm.batch))
+					buf = sm.carrier.subScratch(len(sm.batch))
+				} else {
+					members = make([]seqResult, len(sm.batch))
+					buf = make([]*Subscriber, 0, len(sm.batch))
+				}
 				var evals uint64
 				for i, m := range sm.batch {
 					start := len(buf)
@@ -325,7 +352,7 @@ func (p *pipeline) runSharded() {
 					evals += uint64(members[i].evals)
 				}
 				p.b.countAdd(&p.b.filterEvals, evals)
-				commitCh <- seqResult{seq: sm.seq, batch: members}
+				commitCh <- seqResult{seq: sm.seq, batch: members, carrier: sm.carrier}
 			}
 		}()
 	}
@@ -368,16 +395,25 @@ func (p *pipeline) commitUnit(res seqResult) uint64 {
 		p.commitOrdered(&res)
 		return 1
 	}
+	span := res.span()
 	if p.timers == nil {
 		if btx, ok := p.tx.(batchTransmitter); ok {
 			p.commitBatchRuns(res.batch, btx)
-			return res.span()
+			if res.carrier != nil {
+				// Recycle-after-transmit: the last member is committed and
+				// nothing downstream holds the carrier's slices.
+				res.carrier.recycle()
+			}
+			return span
 		}
 	}
 	for i := range res.batch {
 		p.commitOrdered(&res.batch[i])
 	}
-	return res.span()
+	if res.carrier != nil {
+		res.carrier.recycle()
+	}
+	return span
 }
 
 // commitBatchRuns commits a batch's members in order, coalescing

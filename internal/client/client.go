@@ -202,13 +202,21 @@ func (c *Client) ackLoop() {
 			if len(batch) == 0 {
 				break
 			}
+			// Coalesce the drained acks into one pooled buffer and one
+			// write: MSG_ACK frames are fixed-size, so the whole burst is
+			// appended back to back.
+			bp := wire.GetBuffer()
+			buf := (*bp)[:0]
 			for _, a := range batch {
-				c.writeMu.Lock()
-				err := wire.WriteFrame(c.conn, wire.Frame{Type: wire.FrameMsgAck, Payload: wire.EncodeAck(a.subID, a.seq)})
-				c.writeMu.Unlock()
-				if err != nil {
-					return // connection dying; the read loop reports it
-				}
+				buf = wire.AppendAckFrame(buf, a.subID, a.seq)
+			}
+			c.writeMu.Lock()
+			_, err := c.conn.Write(buf)
+			c.writeMu.Unlock()
+			*bp = buf
+			wire.PutBuffer(bp)
+			if err != nil {
+				return // connection dying; the read loop reports it
 			}
 		}
 	}
@@ -240,13 +248,18 @@ func (c *Client) Close() error {
 
 func (c *Client) readLoop() {
 	defer close(c.done)
+	// Buffered ingress: frames are views into the reader's window (valid
+	// for one dispatch call, which materializes deliveries through the
+	// arena), and one Read syscall typically yields several frames.
+	fr := wire.NewFrameReader(c.conn)
+	arena := wire.NewMessageArena()
 	for {
-		f, err := wire.ReadFrame(c.conn)
+		f, err := fr.Next()
 		if err != nil {
 			c.failAll(err)
 			return
 		}
-		c.dispatch(f)
+		c.dispatch(f, arena)
 	}
 }
 
@@ -290,7 +303,11 @@ func (c *Client) Err() error {
 	return nil
 }
 
-func (c *Client) dispatch(f wire.Frame) {
+// dispatch routes one inbound frame. f.Payload may be a view into the
+// read loop's buffer, valid only for this call: replies handed to waiting
+// callers carry only the frame type (everything a waiter needs is parsed
+// here first), and deliveries are materialized through the arena.
+func (c *Client) dispatch(f wire.Frame, arena *wire.MessageArena) {
 	switch f.Type {
 	case wire.FrameSubscribeOK:
 		if len(f.Payload) < 16 {
@@ -307,7 +324,7 @@ func (c *Client) dispatch(f wire.Frame) {
 			}
 		}
 		c.mu.Unlock()
-		c.complete(reqID, result{frame: f})
+		c.complete(reqID, result{frame: wire.Frame{Type: f.Type}})
 
 	case wire.FramePubAck, wire.FrameUnsubscribeOK,
 		wire.FrameConfigureTopicOK, wire.FrameDeleteDurableOK:
@@ -315,7 +332,7 @@ func (c *Client) dispatch(f wire.Frame) {
 			return
 		}
 		reqID := binary.BigEndian.Uint64(f.Payload)
-		c.complete(reqID, result{frame: f})
+		c.complete(reqID, result{frame: wire.Frame{Type: f.Type}})
 
 	case wire.FrameError:
 		reqID, msg, err := wire.DecodeError(f.Payload)
@@ -325,7 +342,7 @@ func (c *Client) dispatch(f wire.Frame) {
 		c.complete(reqID, result{err: &ServerError{Msg: msg}})
 
 	case wire.FrameMessage:
-		subID, seq, m, err := wire.DecodeDelivery(f.Payload)
+		subID, seq, m, err := arena.DecodeDeliveryArena(f.Payload)
 		if err != nil {
 			return
 		}
@@ -525,11 +542,10 @@ func (c *Client) Subscribe(ctx context.Context, topicName string, spec wire.Filt
 		c.mu.Unlock()
 		return nil, err
 	}
-	if len(f.Payload) < 16 {
-		return nil, errors.New("client: short SUBSCRIBE_OK payload")
-	}
-	// The read loop has already registered the subscription and set its
-	// ID before completing the call.
+	// The read loop validated the SUBSCRIBE_OK payload and registered the
+	// subscription (setting its ID) before completing the call; the reply
+	// frame itself carries no payload across goroutines.
+	_ = f
 	return sub, nil
 }
 

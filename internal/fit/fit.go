@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/wire"
 )
 
 // Errors returned by the fitter.
@@ -177,4 +178,31 @@ func FromStages(nFltr int, r float64, tRcv, tFltr, tTx float64) (Observation, er
 		return Observation{}, fmt.Errorf("%w: non-positive composed service time %g", ErrBadObservation, st)
 	}
 	return Observation{NFltr: nFltr, R: r, ServiceTime: st}, nil
+}
+
+// TTxFromWire returns the mean per-frame transmit cost in seconds measured
+// directly at the socket: the wall time the wire server spent inside write
+// syscalls divided by the frames sent. Where the dispatch-stage transmit
+// histogram times the hand-off into subscriber queues, this is the t_tx the
+// paper actually models — the cost of pushing one replica's bytes out —
+// including the coalescing win when several frames leave in one writev.
+func TTxFromWire(ws wire.WireStats) (float64, error) {
+	if ws.FramesOut == 0 {
+		return 0, fmt.Errorf("%w: no frames sent", ErrBadObservation)
+	}
+	return float64(ws.WriteNanos) / float64(ws.FramesOut) / 1e9, nil
+}
+
+// FromWire is FromStages with t_tx taken from the wire server's egress
+// syscall timers instead of the dispatch-stage histogram: the receive and
+// filter costs come from the broker's stage instrumentation, the transmit
+// cost from the socket itself. Fitting wire-grounded observations next to
+// throughput-derived ones separates the queueing-model constants from the
+// syscall costs they absorb.
+func FromWire(nFltr int, r float64, tRcv, tFltr float64, ws wire.WireStats) (Observation, error) {
+	tTx, err := TTxFromWire(ws)
+	if err != nil {
+		return Observation{}, err
+	}
+	return FromStages(nFltr, r, tRcv, tFltr, tTx)
 }

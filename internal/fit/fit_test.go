@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/wire"
 )
 
 // paperGrid is the paper's experiment grid: n additional non-matching
@@ -193,5 +194,32 @@ func TestFromStagesErrors(t *testing.T) {
 	}
 	if _, err := FromStages(5, 1, math.NaN(), 1e-6, 1e-6); err == nil {
 		t.Error("NaN stage time accepted")
+	}
+}
+
+func TestFromWire(t *testing.T) {
+	// 2.5us/frame inside write syscalls, composed with stage-measured
+	// receive and filter costs.
+	ws := wire.WireStats{FramesOut: 4000, WriteNanos: 10_000_000}
+	tTx, err := TTxFromWire(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tTx-2.5e-6)/2.5e-6 > 1e-12 {
+		t.Errorf("TTxFromWire = %g, want 2.5e-6", tTx)
+	}
+	o, err := FromWire(10, 3, 20e-6, 1e-6, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 20e-6 + 10*1e-6 + 3*2.5e-6
+	if math.Abs(o.ServiceTime-want)/want > 1e-12 {
+		t.Errorf("FromWire ServiceTime = %g, want %g", o.ServiceTime, want)
+	}
+	if _, err := TTxFromWire(wire.WireStats{}); err == nil {
+		t.Error("zero FramesOut accepted")
+	}
+	if _, err := FromWire(10, 3, 20e-6, 1e-6, wire.WireStats{}); err == nil {
+		t.Error("FromWire with no frames accepted")
 	}
 }

@@ -12,7 +12,6 @@ package jms
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -294,12 +293,28 @@ func (m *Message) PropertyNames() []string {
 	if len(m.properties) == 0 {
 		return nil
 	}
-	names := make([]string, 0, len(m.properties))
+	return m.AppendPropertyNames(make([]string, 0, len(m.properties)))
+}
+
+// AppendPropertyNames appends the property names to dst in sorted order
+// and returns the extended slice. It is the allocation-free form of
+// PropertyNames for hot paths that bring their own scratch: when dst has
+// capacity for every name, nothing escapes to the heap (the wire encoder
+// passes a stack array).
+func (m *Message) AppendPropertyNames(dst []string) []string {
+	base := len(dst)
 	for name := range m.properties {
-		names = append(names, name)
+		dst = append(dst, name)
 	}
-	sort.Strings(names)
-	return names
+	// Insertion sort instead of sort.Strings: the sort interface would
+	// force dst onto the heap, and property sections are small.
+	s := dst[base:]
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return dst
 }
 
 // NumProperties returns the number of properties.

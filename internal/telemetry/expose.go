@@ -258,6 +258,20 @@ func WriteMetrics(w io.Writer, opts Options) {
 		WriteGauge(bw, "jms_wire_open_connections", "Currently open client connections.", float64(s.OpenConns()))
 		WriteCounter(bw, "jms_wire_connections_total", "Client connections accepted.", s.AcceptedConns())
 		WriteCounter(bw, "jms_wire_duplicates_suppressed_total", "Redelivered publishes acknowledged without publishing again.", s.DuplicatesSuppressed())
+
+		// Wire-path counters: frame counts against syscall counts quantify
+		// the coalescing of the ingress window and egress queues, and
+		// write_seconds_total/frames_out_total is the measured per-frame
+		// t_tx (see fit.TTxFromWire).
+		ws := s.WireStats()
+		WriteCounter(bw, "jms_wire_frames_in_total", "Frames received from clients.", ws.FramesIn)
+		WriteCounter(bw, "jms_wire_bytes_in_total", "Bytes received from clients (prologues included).", ws.BytesIn)
+		WriteCounter(bw, "jms_wire_read_calls_total", "Read syscalls on client sockets.", ws.ReadCalls)
+		WriteCounter(bw, "jms_wire_frames_out_total", "Frames sent to clients.", ws.FramesOut)
+		WriteCounter(bw, "jms_wire_bytes_out_total", "Bytes sent to clients.", ws.BytesOut)
+		WriteCounter(bw, "jms_wire_write_calls_total", "Write syscalls (vectored writes count once).", ws.WriteCalls)
+		writeHeader(bw, "jms_wire_write_seconds_total", "Wall time spent inside socket write syscalls.", "counter")
+		writeSample(bw, "jms_wire_write_seconds_total", nil, float64(ws.WriteNanos)/1e9)
 	}
 
 	if d := opts.Drift; d != nil {
@@ -293,6 +307,9 @@ type WireStats struct {
 	OpenConns            int    `json:"open_conns"`
 	AcceptedConns        uint64 `json:"accepted_conns"`
 	DuplicatesSuppressed uint64 `json:"duplicates_suppressed"`
+	// Path holds the frame/byte/syscall counters of the zero-allocation
+	// wire path (ingress window reads, coalesced egress writes).
+	Path wire.WireStats `json:"path"`
 }
 
 // CollectStats gathers the /stats payload.
@@ -312,6 +329,7 @@ func CollectStats(opts Options) Stats {
 			OpenConns:            s.OpenConns(),
 			AcceptedConns:        s.AcceptedConns(),
 			DuplicatesSuppressed: s.DuplicatesSuppressed(),
+			Path:                 s.WireStats(),
 		}
 	}
 	if d := opts.Drift; d != nil {

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -16,8 +17,10 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/client"
 	"repro/internal/jms"
 	"repro/internal/metrics"
+	"repro/internal/wire"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -343,4 +346,58 @@ func ExampleWriteCounter() {
 	// # HELP jms_example_total An example counter.
 	// # TYPE jms_example_total counter
 	// jms_example_total 7
+}
+
+// TestWireMetricsExposed drives one real publish through a wire server and
+// asserts the wire-path counters surface on /metrics and /stats: frames and
+// read/write syscalls in, the write-time counter parseable and finite.
+func TestWireMetricsExposed(t *testing.T) {
+	b := broker.New(broker.Options{InFlight: 16, SubscriberBuffer: 16})
+	t.Cleanup(func() { _ = b.Close() })
+	if err := b.ConfigureTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := wire.Serve(b, ln)
+	t.Cleanup(func() { _ = ws.Close() })
+	cl, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cl.Close() })
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := cl.Publish(ctx, jms.NewMessage("t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf strings.Builder
+	WriteMetrics(&buf, Options{Broker: b, Wire: ws})
+	body := buf.String()
+	checkExposition(t, body)
+	for _, name := range []string{
+		"jms_wire_frames_in_total", "jms_wire_bytes_in_total", "jms_wire_read_calls_total",
+		"jms_wire_frames_out_total", "jms_wire_bytes_out_total", "jms_wire_write_calls_total",
+		"jms_wire_write_seconds_total",
+	} {
+		if !strings.Contains(body, name+" ") {
+			t.Errorf("missing %s in exposition", name)
+		}
+	}
+	// Each publish is one inbound frame and one outbound PUB_ACK.
+	stats := CollectStats(Options{Broker: b, Wire: ws})
+	if stats.Wire == nil {
+		t.Fatal("stats.Wire missing")
+	}
+	p := stats.Wire.Path
+	if p.FramesIn < 5 || p.FramesOut < 5 || p.ReadCalls == 0 || p.WriteCalls == 0 {
+		t.Errorf("wire path counters = %+v, want >=5 frames each way", p)
+	}
+	if p.BytesIn == 0 || p.BytesOut == 0 {
+		t.Errorf("wire path bytes = (%d, %d), want nonzero", p.BytesIn, p.BytesOut)
+	}
 }

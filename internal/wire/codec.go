@@ -173,7 +173,10 @@ func AppendMessage(buf []byte, m *jms.Message) []byte {
 		e.i64(m.Header.Expiration.UnixNano())
 	}
 	e.u64(m.Header.TraceID)
-	names := m.PropertyNames()
+	// Stack scratch keeps the sorted-name pass allocation-free for the
+	// common property counts; only messages with >16 properties spill.
+	var nameScratch [16]string
+	names := m.AppendPropertyNames(nameScratch[:0])
 	e.u32(uint32(len(names)))
 	for _, name := range names {
 		p, _ := m.Property(name)
@@ -431,6 +434,18 @@ func DecodeDelivery(payload []byte) (subID, seq uint64, m *jms.Message, err erro
 // sequence u64. MSG_ACK frames carry no request ID.
 func EncodeAck(subID, seq uint64) []byte {
 	var e encoder
+	e.u64(subID)
+	e.u64(seq)
+	return e.buf
+}
+
+// AppendAckFrame appends a complete MSG_ACK frame — prologue and payload —
+// to buf, so a burst of acks can be coalesced into one buffer and one
+// write.
+func AppendAckFrame(buf []byte, subID, seq uint64) []byte {
+	e := encoder{buf: buf}
+	e.u32(16)
+	e.u8(uint8(FrameMsgAck))
 	e.u64(subID)
 	e.u64(seq)
 	return e.buf

@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the egress half of the zero-allocation wire path: a
+// per-connection write queue whose single writer goroutine gathers queued
+// frames — deliveries from every pump on the connection plus control
+// replies — into one vectored net.Buffers write. It replaces the
+// per-frame write-mutex pattern: instead of each delivery pump taking a
+// lock and issuing its own write, producers enqueue complete frames and
+// the writer coalesces across producers, so concurrent subscriptions on
+// one connection share syscalls instead of contending for them.
+
+// writerQueueDepth bounds the per-connection egress queue. A full queue
+// blocks the producer (delivery pumps, control replies), which is exactly
+// the push-back chain: slow consumer connection → blocked pump → full
+// subscriber buffer → blocked transmit stage.
+const writerQueueDepth = 256
+
+// writeCoalesce bounds how many queued frames one writev gathers. Past the
+// low tens the syscall amortization has flattened out and larger gathers
+// only add latency for the frames at the head.
+const writeCoalesce = 32
+
+// errWriterClosed is returned by submit after the writer has shut down.
+var errWriterClosed = errors.New("wire: connection writer closed")
+
+// wireCounters are a Server's aggregate wire-path counters, shared by all
+// connections and exported via Server.WireStats for telemetry and the
+// fine-grained Eq. 1 constant fit (fit.FromWire).
+type wireCounters struct {
+	framesIn  atomic.Uint64
+	bytesIn   atomic.Uint64
+	readCalls atomic.Uint64
+
+	framesOut  atomic.Uint64
+	bytesOut   atomic.Uint64
+	writeCalls atomic.Uint64
+	writeNanos atomic.Uint64
+}
+
+// connWriter is one connection's coalescing egress queue.
+//
+// Ownership contract: submit passes ownership of a pooled buffer holding
+// one complete frame (5-byte prologue + payload) to the writer, which
+// returns it to the pool after the write — the producer must not touch the
+// buffer afterwards. On the first write error the writer closes the
+// connection (which surfaces the failure to the read loop) and drains
+// subsequent submissions without writing, so producers never block on a
+// dead peer.
+type connWriter struct {
+	conn  net.Conn
+	stats *wireCounters // nil disables counting
+	ch    chan *[]byte
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+func newConnWriter(conn net.Conn, stats *wireCounters) *connWriter {
+	w := &connWriter{
+		conn:  conn,
+		stats: stats,
+		ch:    make(chan *[]byte, writerQueueDepth),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+// submit queues one complete frame built in a pooled buffer, transferring
+// its ownership to the writer. It blocks while the queue is full
+// (push-back) and fails only after the writer has shut down.
+func (w *connWriter) submit(bp *[]byte) error {
+	select {
+	case w.ch <- bp:
+		return nil
+	case <-w.done:
+		PutBuffer(bp)
+		return errWriterClosed
+	}
+}
+
+// close stops the writer and waits for it; queued frames are discarded
+// (the connection is gone by the time teardown calls this).
+func (w *connWriter) close() {
+	close(w.stop)
+	<-w.done
+}
+
+func (w *connWriter) run() {
+	defer close(w.done)
+	bufs := make(net.Buffers, 0, writeCoalesce)
+	pool := make([]*[]byte, 0, writeCoalesce)
+	dead := false
+	for {
+		var bp *[]byte
+		select {
+		case bp = <-w.ch:
+		case <-w.stop:
+			for {
+				select {
+				case bp := <-w.ch:
+					PutBuffer(bp)
+				default:
+					return
+				}
+			}
+		}
+		// Greedy gather: everything already queued, up to the coalesce
+		// bound, goes out in one vectored write.
+		bufs, pool = append(bufs[:0], *bp), append(pool[:0], bp)
+		for len(bufs) < writeCoalesce {
+			select {
+			case bp2 := <-w.ch:
+				bufs, pool = append(bufs, *bp2), append(pool, bp2)
+			default:
+				goto gathered
+			}
+		}
+	gathered:
+		if !dead {
+			var total int
+			for _, b := range bufs {
+				total += len(b)
+			}
+			start := time.Now()
+			var err error
+			if len(bufs) == 1 {
+				_, err = w.conn.Write(bufs[0])
+			} else {
+				// WriteTo consumes the slice it is given; hand it a copy of
+				// the header so bufs keeps its backing array.
+				nb := bufs
+				_, err = nb.WriteTo(w.conn)
+			}
+			if w.stats != nil {
+				w.stats.writeCalls.Add(1)
+				w.stats.writeNanos.Add(uint64(time.Since(start)))
+				w.stats.framesOut.Add(uint64(len(bufs)))
+				w.stats.bytesOut.Add(uint64(total))
+			}
+			if err != nil {
+				// Surface the failure: closing the connection wakes the read
+				// loop, which tears the connection down. From here on the
+				// writer only drains, so producers never wedge.
+				dead = true
+				_ = w.conn.Close()
+			}
+		}
+		for _, p := range pool {
+			PutBuffer(p)
+		}
+	}
+}
+
+// frameBuffer builds one complete frame (prologue + payload copy) in a
+// pooled buffer, ready for connWriter.submit.
+func frameBuffer(f Frame) (*[]byte, error) {
+	if len(f.Payload) > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	bp := GetBuffer()
+	buf := append((*bp)[:0], 0, 0, 0, 0, byte(f.Type))
+	buf = append(buf, f.Payload...)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-5))
+	*bp = buf
+	return bp, nil
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"strconv"
 )
 
@@ -121,7 +122,10 @@ type Frame struct {
 	Payload []byte
 }
 
-// WriteFrame writes one frame to w.
+// WriteFrame writes one frame to w with a single Write call: prologue and
+// payload are coalesced into one pooled buffer (small frames) or a vectored
+// net.Buffers write (frames too large to pool), so the plain per-frame path
+// used by the client and bridges costs one syscall per frame, not two.
 func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxFrameSize {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.Payload))
@@ -129,13 +133,28 @@ func WriteFrame(w io.Writer, f Frame) error {
 	var hdr [5]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(f.Payload)))
 	hdr[4] = byte(f.Type)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
-	}
-	if len(f.Payload) > 0 {
-		if _, err := w.Write(f.Payload); err != nil {
-			return fmt.Errorf("wire: write payload: %w", err)
+	if len(f.Payload) == 0 {
+		if _, err := w.Write(hdr[:]); err != nil {
+			return fmt.Errorf("wire: write header: %w", err)
 		}
+		return nil
+	}
+	if len(f.Payload) > maxPooledBuffer {
+		// Too big to stage through the pool: vectored write. On *net.TCPConn
+		// this is one writev syscall; other writers degrade to two Writes.
+		bufs := net.Buffers{hdr[:], f.Payload}
+		if _, err := bufs.WriteTo(w); err != nil {
+			return fmt.Errorf("wire: write frame: %w", err)
+		}
+		return nil
+	}
+	bp := GetBuffer()
+	buf := append(append((*bp)[:0], hdr[:]...), f.Payload...)
+	_, err := w.Write(buf)
+	*bp = buf
+	PutBuffer(bp)
+	if err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	return nil
 }

@@ -196,6 +196,91 @@ func FuzzDecodeBatch(f *testing.F) {
 	})
 }
 
+// FuzzDecodeMessageView holds the lazy decoder to DecodeMessage,
+// byte-for-byte: for arbitrary payloads, ParseMessageView (and arena
+// materialization through it) must accept exactly the payloads
+// DecodeMessage accepts, and on acceptance both paths must materialize
+// messages with identical canonical encodings.
+func FuzzDecodeMessageView(f *testing.F) {
+	m := jms.NewMessage("orders")
+	_ = m.SetCorrelationID("#7")
+	_ = m.SetBoolProperty("urgent", true)
+	_ = m.SetInt32Property("qty", 12)
+	_ = m.SetInt64Property("ts", 1<<40)
+	_ = m.SetFloat64Property("price", 9.75)
+	_ = m.SetStringProperty("region", "emea")
+	m.SetBody([]byte("payload bytes"))
+	f.Add(EncodeMessage(m))
+	f.Add(EncodeMessage(jms.NewMessage("t")))
+	// Malformed seeds: truncations, trailing garbage, and a property name
+	// starting with a digit — distinct rejection paths the two decoders
+	// must agree on.
+	valid := EncodeMessage(m)
+	f.Add(valid[:9])
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(append([]byte{}, valid...), 0xff))
+	var e encoder
+	e.u64(0)
+	e.str("t")
+	e.str("")
+	e.u8(1)
+	e.u8(4)
+	e.i64(0)
+	e.i64(0)
+	e.u64(0)
+	e.u32(1)
+	e.str("9bad")
+	e.u8(uint8(jms.TypeBool))
+	e.u8(1)
+	e.u32(0)
+	f.Add(e.buf)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ref, refErr := DecodeMessage(data)
+		v, viewErr := ParseMessageView(data)
+		if (refErr == nil) != (viewErr == nil) {
+			t.Fatalf("decoders disagree: DecodeMessage err=%v, ParseMessageView err=%v", refErr, viewErr)
+		}
+		arena := NewMessageArena()
+		got, arenaErr := arena.DecodeMessageArena(data)
+		if (refErr == nil) != (arenaErr == nil) {
+			t.Fatalf("decoders disagree: DecodeMessage err=%v, DecodeMessageArena err=%v", refErr, arenaErr)
+		}
+		if refErr != nil {
+			return
+		}
+
+		// View accessors must report the reference header.
+		if v.MessageID() != ref.Header.MessageID ||
+			string(v.TopicBytes()) != ref.Header.Topic ||
+			string(v.CorrelationIDBytes()) != ref.Header.CorrelationID ||
+			v.DeliveryMode() != ref.Header.DeliveryMode ||
+			v.Priority() != ref.Header.Priority ||
+			v.TraceID() != ref.Header.TraceID {
+			t.Fatal("view header accessors diverge from DecodeMessage")
+		}
+		if !bytes.Equal(v.Body(), ref.Body) {
+			t.Fatalf("view body %x diverges from DecodeMessage body %x", v.Body(), ref.Body)
+		}
+		// Wire order can carry duplicate names; the view counts entries,
+		// the materialized map collapses them.
+		if v.NumProperties() < ref.NumProperties() {
+			t.Fatalf("view NumProperties %d < materialized %d", v.NumProperties(), ref.NumProperties())
+		}
+		var walked int
+		v.EachProperty(func(PropertyView) bool { walked++; return true })
+		if walked != v.NumProperties() {
+			t.Fatalf("EachProperty walked %d of %d", walked, v.NumProperties())
+		}
+
+		// Both materializations must agree canonically.
+		if !bytes.Equal(EncodeMessage(ref), EncodeMessage(got)) {
+			t.Fatal("arena materialization diverges from DecodeMessage")
+		}
+		checkMessageFixpoint(t, got)
+	})
+}
+
 // checkMessageFixpoint asserts that encoding a decoded message is a
 // fixpoint: properties are canonically ordered (sorted names), so the
 // second encoding must be byte-identical to the first.

@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// frameReaderInitial is the starting capacity of a FrameReader's window.
+// The window grows on demand up to the size of the largest in-flight frame
+// and shrinks back to maxPooledBuffer once an oversized frame has been
+// consumed, mirroring the PutBuffer retention policy in codec.go.
+const frameReaderInitial = 4 << 10
+
+// FrameReader reads frames from a connection through a sliding receive
+// window, so the steady state costs zero allocations per frame and a single
+// Read call typically yields several frames.
+//
+// Ownership contract: the Payload of a returned Frame is a view into the
+// reader's internal buffer and is valid only until the next call to Next.
+// Callers that need the bytes longer must copy them (or, on the server
+// ingress path, materialize them through a MessageArena).
+type FrameReader struct {
+	r          io.Reader
+	buf        []byte
+	start, end int
+
+	// reads and bytesRead count Read calls and bytes consumed from the
+	// underlying connection — the observable t_rcv syscall cost that the
+	// telemetry plane exports and internal/fit consumes.
+	reads     uint64
+	bytesRead uint64
+}
+
+// NewFrameReader returns a FrameReader buffering reads from r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r, buf: make([]byte, frameReaderInitial)}
+}
+
+// Stats reports the cumulative Read-call and byte counts.
+func (fr *FrameReader) Stats() (reads, bytesRead uint64) {
+	return fr.reads, fr.bytesRead
+}
+
+func (fr *FrameReader) buffered() int { return fr.end - fr.start }
+
+// fill makes at least n contiguous bytes available at fr.start, compacting
+// or growing the window as needed. It reports io.EOF only on a clean close
+// with nothing buffered; a close mid-bytes is io.ErrUnexpectedEOF, matching
+// io.ReadFull semantics so FrameReader errors are interchangeable with
+// ReadFrame's.
+func (fr *FrameReader) fill(n int) error {
+	if fr.buffered() >= n {
+		return nil
+	}
+	if fr.start+n > len(fr.buf) {
+		if n > len(fr.buf) {
+			grown := len(fr.buf) * 2
+			if grown < n {
+				grown = n
+			}
+			nb := make([]byte, grown)
+			copy(nb, fr.buf[fr.start:fr.end])
+			fr.buf = nb
+		} else {
+			copy(fr.buf, fr.buf[fr.start:fr.end])
+		}
+		fr.end -= fr.start
+		fr.start = 0
+	}
+	var stalls int
+	for fr.buffered() < n {
+		m, err := fr.r.Read(fr.buf[fr.end:])
+		fr.end += m
+		fr.bytesRead += uint64(m)
+		fr.reads++
+		if err != nil {
+			if err == io.EOF && fr.buffered() > 0 {
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		if m == 0 {
+			if stalls++; stalls >= 100 {
+				return io.ErrNoProgress
+			}
+		} else {
+			stalls = 0
+		}
+	}
+	return nil
+}
+
+// Next returns the next frame. The returned Payload is valid only until the
+// following Next call; see the FrameReader ownership contract.
+func (fr *FrameReader) Next() (Frame, error) {
+	if len(fr.buf) > maxPooledBuffer && fr.buffered() <= maxPooledBuffer {
+		// An oversized frame grew the window; release it so a single huge
+		// frame doesn't pin memory for the connection's lifetime.
+		nb := make([]byte, maxPooledBuffer)
+		copy(nb, fr.buf[fr.start:fr.end])
+		fr.buf, fr.end, fr.start = nb, fr.buffered(), 0
+	}
+	if err := fr.fill(5); err != nil {
+		return Frame{}, err
+	}
+	hdr := fr.buf[fr.start : fr.start+5]
+	size := binary.BigEndian.Uint32(hdr[:4])
+	if size > MaxFrameSize {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
+	}
+	f := Frame{Type: FrameType(hdr[4])}
+	fr.start += 5
+	if size == 0 {
+		return f, nil
+	}
+	if err := fr.fill(int(size)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, fmt.Errorf("wire: read payload: %w", err)
+	}
+	f.Payload = fr.buf[fr.start : fr.start+int(size) : fr.start+int(size)]
+	fr.start += int(size)
+	return f, nil
+}

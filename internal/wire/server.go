@@ -39,7 +39,43 @@ type Server struct {
 	nextConnID atomic.Uint64
 	accepted   atomic.Uint64
 
+	// counters aggregate the wire path's frame/byte/syscall activity
+	// across connections (see egress.go); exported by WireStats.
+	counters wireCounters
+
 	wg sync.WaitGroup
+}
+
+// WireStats is a snapshot of the server's aggregate wire-path counters.
+// The syscall counts against the frame counts quantify the coalescing the
+// ingress window and egress queue achieve; WriteNanos over FramesOut is a
+// direct, per-frame measure of the transmit syscall cost that the paper's
+// t_tx constant had to absorb unobserved (see fit.FromWire).
+type WireStats struct {
+	// FramesIn / BytesIn / ReadCalls count inbound frames, payload+prologue
+	// bytes, and Read syscalls on connection sockets.
+	FramesIn  uint64
+	BytesIn   uint64
+	ReadCalls uint64
+	// FramesOut / BytesOut / WriteCalls / WriteNanos count outbound frames,
+	// bytes, vectored write syscalls, and the wall time spent inside them.
+	FramesOut  uint64
+	BytesOut   uint64
+	WriteCalls uint64
+	WriteNanos uint64
+}
+
+// WireStats returns a snapshot of the aggregate wire-path counters.
+func (s *Server) WireStats() WireStats {
+	return WireStats{
+		FramesIn:   s.counters.framesIn.Load(),
+		BytesIn:    s.counters.bytesIn.Load(),
+		ReadCalls:  s.counters.readCalls.Load(),
+		FramesOut:  s.counters.framesOut.Load(),
+		BytesOut:   s.counters.bytesOut.Load(),
+		WriteCalls: s.counters.writeCalls.Load(),
+		WriteNanos: s.counters.writeNanos.Load(),
+	}
 }
 
 // ServeOptions configure optional server behaviour.
@@ -142,7 +178,13 @@ type serverConn struct {
 	log    *slog.Logger
 	done   chan struct{}
 
-	writeMu sync.Mutex
+	// w is the connection's coalescing egress queue (egress.go); every
+	// outbound frame — control replies and deliveries from all pumps —
+	// goes through it.
+	w *connWriter
+	// arena materializes inbound publishes from payload views; owned by
+	// the read loop (arenas are not concurrency-safe).
+	arena *MessageArena
 
 	subMu sync.Mutex
 	subs  map[uint64]*connSub
@@ -209,6 +251,8 @@ func (s *Server) handleConn(conn net.Conn) {
 		id:     id,
 		log:    s.log.With("conn", id),
 		done:   make(chan struct{}),
+		w:      newConnWriter(conn, &s.counters),
+		arena:  NewMessageArena(),
 		subs:   make(map[uint64]*connSub),
 	}
 	sc.log.Debug("connection accepted", "remote", conn.RemoteAddr().String())
@@ -232,6 +276,8 @@ func (s *Server) handleConn(conn net.Conn) {
 	for _, cs := range subs {
 		_ = cs.finish()
 	}
+	// All producers (pumps, this read loop) are done; stop the writer.
+	sc.w.close()
 	sc.log.Debug("connection closed", "subscriptions", len(subs))
 
 	s.mu.Lock()
@@ -239,10 +285,16 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.mu.Unlock()
 }
 
+// write queues one frame on the connection's egress writer. The write
+// itself happens asynchronously, coalesced with whatever else is queued; a
+// write failure closes the connection, which this read loop observes as a
+// read error.
 func (sc *serverConn) write(f Frame) error {
-	sc.writeMu.Lock()
-	defer sc.writeMu.Unlock()
-	return WriteFrame(sc.conn, f)
+	bp, err := frameBuffer(f)
+	if err != nil {
+		return err
+	}
+	return sc.w.submit(bp)
 }
 
 func (sc *serverConn) writeErr(reqID uint64, err error) {
@@ -251,11 +303,21 @@ func (sc *serverConn) writeErr(reqID uint64, err error) {
 }
 
 func (sc *serverConn) readLoop() {
+	fr := NewFrameReader(sc.conn)
+	var lastReads, lastBytes uint64
+	c := &sc.server.counters
 	for {
-		f, err := ReadFrame(sc.conn)
+		f, err := fr.Next()
 		if err != nil {
 			return // io.EOF or closed connection
 		}
+		reads, bytes := fr.Stats()
+		c.framesIn.Add(1)
+		c.readCalls.Add(reads - lastReads)
+		c.bytesIn.Add(bytes - lastBytes)
+		lastReads, lastBytes = reads, bytes
+		// f.Payload views the reader's window and is only valid for this
+		// iteration; handleFrame materializes whatever outlives the frame.
 		if err := sc.handleFrame(f); err != nil {
 			return
 		}
@@ -286,7 +348,10 @@ func (sc *serverConn) handleFrame(f Frame) error {
 		return sc.write(Frame{Type: FrameConfigureTopicOK, Payload: EncodeU64(reqID)})
 
 	case FramePublish:
-		m, err := DecodeMessage(rest)
+		// Materialize through the connection arena: the payload is a view
+		// into the read window, so the message must own its bytes before
+		// the next frame is read.
+		m, err := sc.arena.DecodeMessageArena(rest)
 		if err != nil {
 			return err
 		}
@@ -313,21 +378,29 @@ func (sc *serverConn) handleFrame(f Frame) error {
 		return sc.write(Frame{Type: FramePubAck, Payload: EncodeU64(reqID)})
 
 	case FrameBatch:
-		msgs, err := DecodeBatch(rest)
+		// Decode into a pooled carrier through the arena: the carrier's
+		// message slice, the arena's slabs and the match-stage scratch
+		// travel the pipeline as one unit and the carrier recycles after
+		// the batch's last transmit.
+		c := broker.GetBatchCarrier()
+		c.Msgs, err = sc.arena.AppendBatchMessages(c.Msgs[:0], rest)
 		if err != nil {
+			c.Release()
 			return err
 		}
 		// Per-message dedupe: a redelivered batch (its shared ack was lost
 		// in a reconnect) may overlap already-claimed sequences. Duplicates
-		// are skipped, the fresh remainder is published as one unit, and
-		// the single PUB_ACK covers the whole batch either way.
+		// are compacted out in place, the fresh remainder is published as
+		// one unit, and the single PUB_ACK covers the whole batch either
+		// way.
 		type claim struct {
 			pub string
 			seq int64
 		}
-		var claims []claim
-		fresh := make([]*jms.Message, 0, len(msgs))
-		for _, m := range msgs {
+		var claimScratch [16]claim
+		claims := claimScratch[:0]
+		fresh := c.Msgs[:0]
+		for _, m := range c.Msgs {
 			pub, seq, stamped := pubIdentity(m)
 			if stamped {
 				if !sc.server.dedupe.record(pub, seq) {
@@ -338,12 +411,15 @@ func (sc *serverConn) handleFrame(f Frame) error {
 			}
 			fresh = append(fresh, m)
 		}
-		if err := sc.server.broker.PublishBatch(context.Background(), fresh); err != nil {
+		c.Msgs = fresh
+		if err := sc.server.broker.PublishBatchCarrier(context.Background(), c); err != nil {
 			// Claimed but never published; release every claim so a retry
-			// of the batch is not swallowed as duplicates.
+			// of the batch is not swallowed as duplicates, and reclaim the
+			// carrier (ownership stayed with us on error).
 			for _, cl := range claims {
 				sc.server.dedupe.unrecord(cl.pub, cl.seq)
 			}
+			c.Release()
 			sc.writeErr(reqID, err)
 			return nil
 		}
@@ -475,7 +551,6 @@ const deliveryCoalesce = 16
 func (sc *serverConn) deliveryPump(cs *connSub) {
 	defer close(cs.pumpDone)
 	batch := make([]*jms.Message, 0, deliveryCoalesce)
-	var vs vecScratch
 	for {
 		select {
 		case m, ok := <-cs.sub.Chan():
@@ -490,7 +565,7 @@ func (sc *serverConn) deliveryPump(cs *connSub) {
 					if !ok {
 						// Channel closed mid-drain: flush what we have,
 						// then exit.
-						_ = sc.writeDeliveries(cs, batch, &vs)
+						_ = sc.writeDeliveries(cs, batch)
 						return
 					}
 					batch = append(batch, m2)
@@ -498,7 +573,7 @@ func (sc *serverConn) deliveryPump(cs *connSub) {
 					break drain
 				}
 			}
-			if err := sc.writeDeliveries(cs, batch, &vs); err != nil {
+			if err := sc.writeDeliveries(cs, batch); err != nil {
 				return
 			}
 		case <-cs.stop:
@@ -509,26 +584,12 @@ func (sc *serverConn) deliveryPump(cs *connSub) {
 	}
 }
 
-// vecScratch is a delivery pump's reusable vectored-write state: the
-// net.Buffers passed to writev and the pooled buffers backing it.
-type vecScratch struct {
-	bufs net.Buffers
-	pool []*[]byte
-}
-
-// release returns every pooled buffer and resets the scratch.
-func (vs *vecScratch) release() {
-	for _, bp := range vs.pool {
-		PutBuffer(bp)
-	}
-	vs.pool = vs.pool[:0]
-	vs.bufs = vs.bufs[:0]
-}
-
-// writeDeliveries records and writes a burst of deliveries. Sequence
+// writeDeliveries records and queues a burst of deliveries. Sequence
 // numbers for an acked subscription are allocated under one lock for the
-// whole burst, and the frames go out in a single vectored write.
-func (sc *serverConn) writeDeliveries(cs *connSub, msgs []*jms.Message, vs *vecScratch) error {
+// whole burst; the frames are enqueued on the connection writer, which
+// gathers them — together with any other pump's frames — into vectored
+// writes.
+func (sc *serverConn) writeDeliveries(cs *connSub, msgs []*jms.Message) error {
 	if len(msgs) == 0 {
 		return nil
 	}
@@ -542,43 +603,21 @@ func (sc *serverConn) writeDeliveries(cs *connSub, msgs []*jms.Message, vs *vecS
 		cs.nextSeq += uint64(len(msgs))
 		cs.ackMu.Unlock()
 	}
-	seqFor := func(i int) uint64 {
-		if !cs.acked {
-			return 0
-		}
-		return seqBase + uint64(i) + 1
-	}
-	if len(msgs) == 1 {
-		return sc.writeDelivery(cs.id, seqFor(0), msgs[0])
-	}
-	vs.bufs = vs.bufs[:0]
 	for i, m := range msgs {
-		bp := GetBuffer()
-		vs.pool = append(vs.pool, bp)
-		buf := append((*bp)[:0], 0, 0, 0, 0, byte(FrameMessage))
-		buf = AppendDelivery(buf, cs.id, seqFor(i), m)
-		*bp = buf
-		if len(buf)-5 > MaxFrameSize {
-			vs.release()
-			return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(buf)-5)
+		var seq uint64
+		if cs.acked {
+			seq = seqBase + uint64(i) + 1
 		}
-		binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-5))
-		vs.bufs = append(vs.bufs, buf)
+		if err := sc.writeDelivery(cs.id, seq, m); err != nil {
+			return err
+		}
 	}
-	// WriteTo consumes the slice it is given; hand it a copy of the header
-	// so the scratch keeps its backing array for the next burst.
-	nb := vs.bufs
-	sc.writeMu.Lock()
-	_, err := nb.WriteTo(sc.conn)
-	sc.writeMu.Unlock()
-	vs.release()
-	return err
+	return nil
 }
 
-// writeDelivery encodes and writes one MESSAGE frame using a pooled
-// buffer: the 5-byte frame prologue and the payload are built in the same
-// buffer and written with a single conn.Write, so the delivery fast path
-// allocates nothing in steady state.
+// writeDelivery encodes one MESSAGE frame into a pooled buffer — prologue
+// and payload together, so the delivery fast path allocates nothing in
+// steady state — and hands it to the connection writer.
 func (sc *serverConn) writeDelivery(subID, seq uint64, m *jms.Message) error {
 	bp := GetBuffer()
 	buf := append((*bp)[:0], 0, 0, 0, 0, byte(FrameMessage))
@@ -589,11 +628,7 @@ func (sc *serverConn) writeDelivery(subID, seq uint64, m *jms.Message) error {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(buf)-5)
 	}
 	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-5))
-	sc.writeMu.Lock()
-	_, err := sc.conn.Write(buf)
-	sc.writeMu.Unlock()
-	PutBuffer(bp)
-	return err
+	return sc.w.submit(bp)
 }
 
 // buildFilter constructs the broker filter from a wire spec.

@@ -1,0 +1,408 @@
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/jms"
+)
+
+// This file is the lazy half of the codec: ParseMessageView validates a
+// message payload in place without materializing a *jms.Message, and
+// MessageArena materializes validated views in bulk so a whole batch costs
+// two allocations (one message slab, one body slab) instead of several per
+// message. The view parser accepts exactly the payloads DecodeMessage
+// accepts and rejects exactly the ones it rejects — FuzzDecodeMessageView
+// holds the two implementations byte-for-byte equivalent.
+
+// MessageView is a validated, zero-copy view over an encoded message
+// payload. The view and every accessor result alias the payload bytes: they
+// are valid only while the payload is (for frames from a FrameReader, until
+// the next call to Next).
+type MessageView struct {
+	payload []byte
+
+	msgID              uint64
+	topicOff, topicLen int
+	corrOff, corrLen   int
+	mode, prio         uint8
+	ts, exp            int64
+	traceID            uint64
+	nProps             int
+	propsOff           int
+	bodyOff, bodyLen   int
+}
+
+// strView consumes a length-prefixed string field, returning its offset and
+// length instead of materializing a string.
+func (d *decoder) strView() (off, n int, err error) {
+	ln, err := d.u32()
+	if err != nil {
+		return 0, 0, err
+	}
+	if d.remain() < int(ln) {
+		return 0, 0, ErrTruncated
+	}
+	off = d.off
+	d.off += int(ln)
+	return off, int(ln), nil
+}
+
+// validPropertyNameBytes is the byte-wise twin of jms's property-name rule
+// (a letter, '_' or '$' followed by letters, digits, '_' or '$'). Byte-wise
+// and rune-wise agree on every input: any byte >= 0x80 is neither an ASCII
+// letter nor digit here, and the rune it begins decodes outside both ranges
+// there.
+func validPropertyNameBytes(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		isLetter := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == '$'
+		isDigit := c >= '0' && c <= '9'
+		if i == 0 && !isLetter {
+			return false
+		}
+		if !isLetter && !isDigit {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseMessageView validates payload as one encoded message and returns a
+// zero-copy view of it. It performs the full validation DecodeMessage does
+// — truncation, correlation-ID length, property names and types, trailing
+// bytes — so a payload that parses here is guaranteed to materialize.
+func ParseMessageView(payload []byte) (MessageView, error) {
+	v := MessageView{payload: payload}
+	d := decoder{buf: payload}
+	var err error
+	if v.msgID, err = d.u64(); err != nil {
+		return v, err
+	}
+	if v.topicOff, v.topicLen, err = d.strView(); err != nil {
+		return v, err
+	}
+	if v.corrOff, v.corrLen, err = d.strView(); err != nil {
+		return v, err
+	}
+	if v.corrLen > jms.MaxCorrelationIDLen {
+		return v, fmt.Errorf("%w: %d bytes", jms.ErrCorrelationIDTooLong, v.corrLen)
+	}
+	if v.mode, err = d.u8(); err != nil {
+		return v, err
+	}
+	if v.prio, err = d.u8(); err != nil {
+		return v, err
+	}
+	if v.ts, err = d.i64(); err != nil {
+		return v, err
+	}
+	if v.exp, err = d.i64(); err != nil {
+		return v, err
+	}
+	if v.traceID, err = d.u64(); err != nil {
+		return v, err
+	}
+	nProps, err := d.u32()
+	if err != nil {
+		return v, err
+	}
+	v.nProps = int(nProps)
+	v.propsOff = d.off
+	for i := 0; i < v.nProps; i++ {
+		nameOff, nameLen, err := d.strView()
+		if err != nil {
+			return v, err
+		}
+		if !validPropertyNameBytes(payload[nameOff : nameOff+nameLen]) {
+			return v, fmt.Errorf("%w: %q", jms.ErrBadPropertyName, payload[nameOff:nameOff+nameLen])
+		}
+		typ, err := d.u8()
+		if err != nil {
+			return v, err
+		}
+		switch jms.PropertyType(typ) {
+		case jms.TypeBool:
+			_, err = d.u8()
+		case jms.TypeInt32, jms.TypeInt64:
+			_, err = d.i64()
+		case jms.TypeFloat64:
+			_, err = d.f64()
+		case jms.TypeString:
+			_, _, err = d.strView()
+		default:
+			return v, fmt.Errorf("wire: unknown property type %d", typ)
+		}
+		if err != nil {
+			return v, err
+		}
+	}
+	bodyLen, err := d.u32()
+	if err != nil {
+		return v, err
+	}
+	if d.remain() < int(bodyLen) {
+		return v, ErrTruncated
+	}
+	v.bodyOff = d.off
+	v.bodyLen = int(bodyLen)
+	d.off += int(bodyLen)
+	if d.remain() != 0 {
+		return v, fmt.Errorf("wire: %d trailing bytes in message payload", d.remain())
+	}
+	return v, nil
+}
+
+// Accessors. Byte-slice results alias the payload.
+
+// MessageID returns the header message ID.
+func (v *MessageView) MessageID() uint64 { return v.msgID }
+
+// TopicBytes returns the topic name bytes.
+func (v *MessageView) TopicBytes() []byte { return v.payload[v.topicOff : v.topicOff+v.topicLen] }
+
+// CorrelationIDBytes returns the correlation ID bytes.
+func (v *MessageView) CorrelationIDBytes() []byte {
+	return v.payload[v.corrOff : v.corrOff+v.corrLen]
+}
+
+// DeliveryMode returns the wire delivery mode (not validity-checked, like
+// DecodeMessage).
+func (v *MessageView) DeliveryMode() jms.DeliveryMode { return jms.DeliveryMode(v.mode) }
+
+// Priority returns the wire priority.
+func (v *MessageView) Priority() int { return int(v.prio) }
+
+// TimestampNanos returns the send timestamp in unix nanos (0 = unset).
+func (v *MessageView) TimestampNanos() int64 { return v.ts }
+
+// ExpirationNanos returns the expiry in unix nanos (0 = never).
+func (v *MessageView) ExpirationNanos() int64 { return v.exp }
+
+// TraceID returns the trace ID (0 = untraced).
+func (v *MessageView) TraceID() uint64 { return v.traceID }
+
+// NumProperties returns the wire property count. Duplicate names are
+// counted as encoded; materialization collapses them last-wins, exactly as
+// DecodeMessage does.
+func (v *MessageView) NumProperties() int { return v.nProps }
+
+// Body returns the body bytes (nil when empty).
+func (v *MessageView) Body() []byte {
+	if v.bodyLen == 0 {
+		return nil
+	}
+	return v.payload[v.bodyOff : v.bodyOff+v.bodyLen]
+}
+
+// PropertyView is one property yielded by EachProperty. Name and Str alias
+// the payload.
+type PropertyView struct {
+	Name []byte
+	Type jms.PropertyType
+	Bool bool
+	Int  int64
+	F    float64
+	Str  []byte
+}
+
+// EachProperty calls fn for each property in wire order until fn returns
+// false. The view was bounds-checked at parse time, so the walk cannot
+// fail.
+func (v *MessageView) EachProperty(fn func(PropertyView) bool) {
+	d := decoder{buf: v.payload, off: v.propsOff}
+	for i := 0; i < v.nProps; i++ {
+		nameOff, nameLen, _ := d.strView()
+		p := PropertyView{Name: d.buf[nameOff : nameOff+nameLen]}
+		typ, _ := d.u8()
+		p.Type = jms.PropertyType(typ)
+		switch p.Type {
+		case jms.TypeBool:
+			b, _ := d.u8()
+			p.Bool = b != 0
+		case jms.TypeInt32, jms.TypeInt64:
+			p.Int, _ = d.i64()
+		case jms.TypeFloat64:
+			p.F, _ = d.f64()
+		case jms.TypeString:
+			off, n, _ := d.strView()
+			p.Str = d.buf[off : off+n]
+		}
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// internCacheMax bounds the arena's string-intern cache. Topics and
+// property names repeat across the lifetime of a connection, so the cache
+// normally stays tiny; a hostile peer cycling names just degrades back to
+// one string allocation per unique name.
+const internCacheMax = 1024
+
+// MessageArena materializes MessageViews into *jms.Message values in bulk.
+// Each batch draws its Message structs from one slab allocation and its
+// body bytes from a second, and topic/property-name strings are interned
+// across batches, so the steady-state decode cost of an n-message batch is
+// two allocations instead of O(n).
+//
+// Ownership contract: the returned messages are ordinary GC-owned values —
+// subscribers retain them indefinitely, so slabs are never pooled or
+// recycled. The slab layout only means one batch's messages keep each
+// other's body bytes reachable; a batch payload is bounded by MaxFrameSize,
+// so that coupling is bounded too. An arena is not safe for concurrent use;
+// each connection (or pipeline stage) owns its own.
+type MessageArena struct {
+	cache map[string]string
+}
+
+// NewMessageArena returns an empty arena.
+func NewMessageArena() *MessageArena {
+	return &MessageArena{cache: make(map[string]string, 16)}
+}
+
+// intern returns the canonical string for b, allocating only the first time
+// a name is seen.
+func (a *MessageArena) intern(b []byte) string {
+	if s, ok := a.cache[string(b)]; ok {
+		return s
+	}
+	if len(a.cache) >= internCacheMax {
+		a.cache = make(map[string]string, 16)
+	}
+	s := string(b)
+	a.cache[s] = s
+	return s
+}
+
+// materialize fills m from v, appending body bytes to slab. It returns the
+// extended slab.
+func (a *MessageArena) materialize(m *jms.Message, v *MessageView, slab []byte) ([]byte, error) {
+	m.Header.MessageID = v.msgID
+	m.Header.Topic = a.intern(v.TopicBytes())
+	if v.corrLen > 0 {
+		if err := m.SetCorrelationID(string(v.CorrelationIDBytes())); err != nil {
+			return slab, err
+		}
+	}
+	m.Header.DeliveryMode = jms.DeliveryMode(v.mode)
+	m.Header.Priority = int(v.prio)
+	if v.ts != 0 {
+		m.Header.Timestamp = time.Unix(0, v.ts)
+	}
+	if v.exp != 0 {
+		m.Header.Expiration = time.Unix(0, v.exp)
+	}
+	m.Header.TraceID = v.traceID
+
+	d := decoder{buf: v.payload, off: v.propsOff}
+	for i := 0; i < v.nProps; i++ {
+		nameOff, nameLen, _ := d.strView()
+		name := a.intern(d.buf[nameOff : nameOff+nameLen])
+		typ, _ := d.u8()
+		var err error
+		switch jms.PropertyType(typ) {
+		case jms.TypeBool:
+			var b uint8
+			b, _ = d.u8()
+			err = m.SetBoolProperty(name, b != 0)
+		case jms.TypeInt32:
+			var iv int64
+			iv, _ = d.i64()
+			err = m.SetInt32Property(name, int32(iv))
+		case jms.TypeInt64:
+			var iv int64
+			iv, _ = d.i64()
+			err = m.SetInt64Property(name, iv)
+		case jms.TypeFloat64:
+			var fv float64
+			fv, _ = d.f64()
+			err = m.SetFloat64Property(name, fv)
+		case jms.TypeString:
+			off, n, _ := d.strView()
+			err = m.SetStringProperty(name, string(d.buf[off:off+n]))
+		}
+		if err != nil {
+			return slab, err
+		}
+	}
+	if v.bodyLen > 0 {
+		off := len(slab)
+		slab = append(slab, v.Body()...)
+		m.Body = slab[off:len(slab):len(slab)]
+	}
+	return slab, nil
+}
+
+// DecodeMessageArena materializes one message payload through the arena,
+// equivalent to DecodeMessage but with interned topic/property names.
+func (a *MessageArena) DecodeMessageArena(payload []byte) (*jms.Message, error) {
+	v, err := ParseMessageView(payload)
+	if err != nil {
+		return nil, err
+	}
+	m := new(jms.Message)
+	if _, err := a.materialize(m, &v, nil); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeDeliveryArena parses a MESSAGE payload like DecodeDelivery,
+// materializing the message through the arena.
+func (a *MessageArena) DecodeDeliveryArena(payload []byte) (subID, seq uint64, m *jms.Message, err error) {
+	d := decoder{buf: payload}
+	if subID, err = d.u64(); err != nil {
+		return 0, 0, nil, err
+	}
+	if seq, err = d.u64(); err != nil {
+		return 0, 0, nil, err
+	}
+	m, err = a.DecodeMessageArena(payload[d.off:])
+	return subID, seq, m, err
+}
+
+// AppendBatchMessages decodes a MSG_BATCH payload, materializing every
+// message through the arena, and appends the results to dst (which the
+// caller typically draws from a pooled carrier). It accepts and rejects
+// exactly the payloads DecodeBatch does.
+func (a *MessageArena) AppendBatchMessages(dst []*jms.Message, payload []byte) ([]*jms.Message, error) {
+	d := decoder{buf: payload}
+	n, err := d.u32()
+	if err != nil {
+		return dst, err
+	}
+	// Every message costs at least its 4-byte length prefix.
+	if int64(n)*4 > int64(d.remain()) {
+		return dst, fmt.Errorf("%w: batch count %d exceeds payload", ErrTruncated, n)
+	}
+	msgs := make([]jms.Message, n)
+	// Bodies in the payload can total at most the payload length, so the
+	// slab never regrows.
+	slab := make([]byte, 0, len(payload))
+	for i := range msgs {
+		sz, err := d.u32()
+		if err != nil {
+			return dst, err
+		}
+		if d.remain() < int(sz) {
+			return dst, ErrTruncated
+		}
+		v, err := ParseMessageView(d.buf[d.off : d.off+int(sz)])
+		if err != nil {
+			return dst, fmt.Errorf("wire: batch message %d: %w", i, err)
+		}
+		if slab, err = a.materialize(&msgs[i], &v, slab); err != nil {
+			return dst, fmt.Errorf("wire: batch message %d: %w", i, err)
+		}
+		d.off += int(sz)
+		dst = append(dst, &msgs[i])
+	}
+	if d.remain() != 0 {
+		return dst, fmt.Errorf("wire: %d trailing bytes in batch payload", d.remain())
+	}
+	return dst, nil
+}

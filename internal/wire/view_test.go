@@ -1,0 +1,368 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/jms"
+)
+
+// richMessage returns a message exercising every header field and property
+// type, the densest case the view parser handles.
+func richMessage(t testing.TB) *jms.Message {
+	t.Helper()
+	m := jms.NewMessage("orders")
+	m.Header.MessageID = 424242
+	m.Header.TraceID = 777
+	if err := m.SetCorrelationID("#42"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetBoolProperty("urgent", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetInt32Property("qty", -12); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetInt64Property("ts", 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetFloat64Property("price", 9.75); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetStringProperty("region", "emea"); err != nil {
+		t.Fatal(err)
+	}
+	m.SetBody([]byte("payload bytes"))
+	return m
+}
+
+func TestMessageViewAccessors(t *testing.T) {
+	m := richMessage(t)
+	payload := EncodeMessage(m)
+	v, err := ParseMessageView(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MessageID() != m.Header.MessageID {
+		t.Errorf("MessageID = %d, want %d", v.MessageID(), m.Header.MessageID)
+	}
+	if got := string(v.TopicBytes()); got != m.Header.Topic {
+		t.Errorf("Topic = %q, want %q", got, m.Header.Topic)
+	}
+	if got := string(v.CorrelationIDBytes()); got != m.Header.CorrelationID {
+		t.Errorf("CorrelationID = %q, want %q", got, m.Header.CorrelationID)
+	}
+	if v.DeliveryMode() != m.Header.DeliveryMode {
+		t.Errorf("DeliveryMode = %v, want %v", v.DeliveryMode(), m.Header.DeliveryMode)
+	}
+	if v.Priority() != m.Header.Priority {
+		t.Errorf("Priority = %d, want %d", v.Priority(), m.Header.Priority)
+	}
+	if v.TraceID() != m.Header.TraceID {
+		t.Errorf("TraceID = %d, want %d", v.TraceID(), m.Header.TraceID)
+	}
+	if v.TimestampNanos() != 0 || v.ExpirationNanos() != 0 {
+		t.Errorf("unset times = (%d, %d), want (0, 0)", v.TimestampNanos(), v.ExpirationNanos())
+	}
+	if v.NumProperties() != m.NumProperties() {
+		t.Errorf("NumProperties = %d, want %d", v.NumProperties(), m.NumProperties())
+	}
+	if !bytes.Equal(v.Body(), m.Body) {
+		t.Errorf("Body = %q, want %q", v.Body(), m.Body)
+	}
+
+	// Every property yielded by the walk must match the materialized map.
+	var walked int
+	v.EachProperty(func(p PropertyView) bool {
+		walked++
+		got, ok := m.Property(string(p.Name))
+		if !ok {
+			t.Errorf("EachProperty yielded unknown name %q", p.Name)
+			return true
+		}
+		if got.Type != p.Type {
+			t.Errorf("property %q type = %v, want %v", p.Name, p.Type, got.Type)
+		}
+		switch p.Type {
+		case jms.TypeBool:
+			if got.B != p.Bool {
+				t.Errorf("property %q = %v, want %v", p.Name, p.Bool, got.B)
+			}
+		case jms.TypeInt32, jms.TypeInt64:
+			if got.I != p.Int {
+				t.Errorf("property %q = %d, want %d", p.Name, p.Int, got.I)
+			}
+		case jms.TypeFloat64:
+			if got.F != p.F {
+				t.Errorf("property %q = %v, want %v", p.Name, p.F, got.F)
+			}
+		case jms.TypeString:
+			if got.S != string(p.Str) {
+				t.Errorf("property %q = %q, want %q", p.Name, p.Str, got.S)
+			}
+		}
+		return true
+	})
+	if walked != v.NumProperties() {
+		t.Errorf("EachProperty walked %d, want %d", walked, v.NumProperties())
+	}
+}
+
+// TestDecodeMessageArenaParity holds the arena decoder to DecodeMessage's
+// output: for a spread of messages, both paths must materialize messages
+// whose canonical encodings are byte-identical.
+func TestDecodeMessageArenaParity(t *testing.T) {
+	empty := jms.NewMessage("t")
+	bodied := jms.NewMessage("t")
+	bodied.SetBody(bytes.Repeat([]byte{0xab}, 300))
+	cases := []*jms.Message{richMessage(t), empty, bodied}
+	arena := NewMessageArena()
+	for i, m := range cases {
+		payload := EncodeMessage(m)
+		ref, err := DecodeMessage(payload)
+		if err != nil {
+			t.Fatalf("case %d: DecodeMessage: %v", i, err)
+		}
+		got, err := arena.DecodeMessageArena(payload)
+		if err != nil {
+			t.Fatalf("case %d: DecodeMessageArena: %v", i, err)
+		}
+		if !bytes.Equal(EncodeMessage(ref), EncodeMessage(got)) {
+			t.Errorf("case %d: arena decode diverges from DecodeMessage", i)
+		}
+	}
+}
+
+func TestAppendBatchMessagesParity(t *testing.T) {
+	small := jms.NewMessage("t")
+	batches := [][]*jms.Message{
+		nil,
+		{small},
+		{richMessage(t), small, richMessage(t)},
+	}
+	arena := NewMessageArena()
+	var dst []*jms.Message
+	for i, batch := range batches {
+		payload := EncodeBatch(batch)
+		ref, err := DecodeBatch(payload)
+		if err != nil {
+			t.Fatalf("batch %d: DecodeBatch: %v", i, err)
+		}
+		dst, err = arena.AppendBatchMessages(dst[:0], payload)
+		if err != nil {
+			t.Fatalf("batch %d: AppendBatchMessages: %v", i, err)
+		}
+		if len(dst) != len(ref) {
+			t.Fatalf("batch %d: got %d messages, want %d", i, len(dst), len(ref))
+		}
+		for j := range ref {
+			if !bytes.Equal(EncodeMessage(ref[j]), EncodeMessage(dst[j])) {
+				t.Errorf("batch %d message %d: arena decode diverges", i, j)
+			}
+		}
+	}
+}
+
+func TestDecodeDeliveryArenaParity(t *testing.T) {
+	m := richMessage(t)
+	payload := EncodeDelivery(3, 41, m)
+	arena := NewMessageArena()
+	subID, seq, got, err := arena.DecodeDeliveryArena(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subID != 3 || seq != 41 {
+		t.Errorf("ids = (%d, %d), want (3, 41)", subID, seq)
+	}
+	if !bytes.Equal(EncodeMessage(m), EncodeMessage(got)) {
+		t.Error("delivery message diverges from original")
+	}
+}
+
+// TestMessageViewRejects feeds malformed payloads to both decoders: the
+// view parser must reject exactly what DecodeMessage rejects.
+func TestMessageViewRejects(t *testing.T) {
+	valid := EncodeMessage(richMessage(t))
+
+	longCorr := jms.NewMessage("t")
+	longCorrPayload := func() []byte {
+		// Hand-encode a correlation ID one byte over the limit; the setter
+		// would refuse to build it.
+		var e encoder
+		e.u64(0)
+		e.str("t")
+		e.str(string(bytes.Repeat([]byte{'x'}, jms.MaxCorrelationIDLen+1)))
+		e.u8(uint8(longCorr.Header.DeliveryMode))
+		e.u8(4)
+		e.i64(0)
+		e.i64(0)
+		e.u64(0)
+		e.u32(0)
+		e.u32(0)
+		return e.buf
+	}()
+
+	badName := func() []byte {
+		var e encoder
+		e.u64(0)
+		e.str("t")
+		e.str("")
+		e.u8(1)
+		e.u8(4)
+		e.i64(0)
+		e.i64(0)
+		e.u64(0)
+		e.u32(1)
+		e.str("9bad") // property names cannot start with a digit
+		e.u8(uint8(jms.TypeBool))
+		e.u8(1)
+		e.u32(0)
+		return e.buf
+	}()
+
+	badType := func() []byte {
+		var e encoder
+		e.u64(0)
+		e.str("t")
+		e.str("")
+		e.u8(1)
+		e.u8(4)
+		e.i64(0)
+		e.i64(0)
+		e.u64(0)
+		e.u32(1)
+		e.str("ok")
+		e.u8(99) // no such property type
+		e.u8(1)
+		e.u32(0)
+		return e.buf
+	}()
+
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"truncated header", valid[:9]},
+		{"truncated mid-topic", valid[:10]},
+		{"truncated body", valid[:len(valid)-1]},
+		{"trailing byte", append(append([]byte{}, valid...), 0xff)},
+		{"correlation id too long", longCorrPayload},
+		{"bad property name", badName},
+		{"unknown property type", badType},
+	}
+	arena := NewMessageArena()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, refErr := DecodeMessage(tc.payload)
+			if refErr == nil {
+				t.Fatal("DecodeMessage accepted a malformed payload")
+			}
+			if _, err := ParseMessageView(tc.payload); err == nil {
+				t.Error("ParseMessageView accepted what DecodeMessage rejects")
+			}
+			if _, err := arena.DecodeMessageArena(tc.payload); err == nil {
+				t.Error("DecodeMessageArena accepted what DecodeMessage rejects")
+			}
+		})
+	}
+}
+
+// TestMessageViewDuplicateProperties: the wire format can carry duplicate
+// property names; both decoders collapse them last-wins.
+func TestMessageViewDuplicateProperties(t *testing.T) {
+	var e encoder
+	e.u64(0)
+	e.str("t")
+	e.str("")
+	e.u8(1)
+	e.u8(4)
+	e.i64(0)
+	e.i64(0)
+	e.u64(0)
+	e.u32(2)
+	e.str("qty")
+	e.u8(uint8(jms.TypeInt64))
+	e.i64(1)
+	e.str("qty")
+	e.u8(uint8(jms.TypeInt64))
+	e.i64(2)
+	e.u32(0)
+	payload := e.buf
+
+	ref, err := DecodeMessage(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ParseMessageView(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The view reports the wire count; materialization collapses.
+	if v.NumProperties() != 2 {
+		t.Errorf("view NumProperties = %d, want 2", v.NumProperties())
+	}
+	got, err := NewMessageArena().DecodeMessageArena(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumProperties() != 1 || ref.NumProperties() != 1 {
+		t.Fatalf("materialized counts = (%d, %d), want (1, 1)", got.NumProperties(), ref.NumProperties())
+	}
+	if p, _ := got.Property("qty"); p.I != 2 {
+		t.Errorf("duplicate property resolved to %d, want last-wins 2", p.I)
+	}
+	if !bytes.Equal(EncodeMessage(ref), EncodeMessage(got)) {
+		t.Error("arena decode diverges from DecodeMessage on duplicates")
+	}
+}
+
+// TestArenaInternCacheReset drives the intern cache past its bound: decoding
+// must stay correct when the cache resets, and interning must still dedupe
+// repeated topics to the same string backing.
+func TestArenaInternCacheReset(t *testing.T) {
+	arena := NewMessageArena()
+	for i := 0; i < internCacheMax+10; i++ {
+		m := jms.NewMessage(fmt.Sprintf("topic-%d", i))
+		got, err := arena.DecodeMessageArena(EncodeMessage(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Header.Topic != m.Header.Topic {
+			t.Fatalf("topic %d decoded as %q", i, got.Header.Topic)
+		}
+	}
+	if len(arena.cache) > internCacheMax {
+		t.Errorf("intern cache grew to %d, bound is %d", len(arena.cache), internCacheMax)
+	}
+}
+
+func TestAppendBatchMessagesRejects(t *testing.T) {
+	small := jms.NewMessage("t")
+	valid := EncodeBatch([]*jms.Message{small})
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"short count", []byte{0, 0, 1}},
+		{"count exceeds payload", []byte{0, 0, 0, 9, 0, 0}},
+		{"trailing garbage", append(append([]byte{}, valid...), 0xab)},
+		{"truncated member", valid[:len(valid)-1]},
+	}
+	arena := NewMessageArena()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, refErr := DecodeBatch(tc.payload); refErr == nil {
+				t.Fatal("DecodeBatch accepted a malformed payload")
+			}
+			if _, err := arena.AppendBatchMessages(nil, tc.payload); err == nil {
+				t.Error("AppendBatchMessages accepted what DecodeBatch rejects")
+			}
+		})
+	}
+	if _, err := arena.AppendBatchMessages(nil, valid[:len(valid)-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated member error = %v, want ErrTruncated", err)
+	}
+}
