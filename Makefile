@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-all fuzz verify
+.PHONY: all build test race bench bench-all fuzz stress stress-smoke verify
 
 all: build test
 
@@ -17,20 +17,23 @@ test:
 # self-healing cluster bridges, conformance harness), and the telemetry
 # plane scraped while the broker dispatches.
 race:
-	$(GO) test -race ./internal/jms/... ./internal/topic/... ./internal/broker/... ./internal/wire/... ./internal/client/... ./internal/faultnet/... ./internal/cluster/... ./internal/conformance/... ./internal/metrics/... ./internal/telemetry/... ./cmd/jmsd/...
+	$(GO) test -race ./internal/jms/... ./internal/topic/... ./internal/broker/... ./internal/wire/... ./internal/client/... ./internal/faultnet/... ./internal/cluster/... ./internal/conformance/... ./internal/metrics/... ./internal/telemetry/... ./internal/stress/... ./cmd/jmsd/...
 
 # bench runs the regression benchmark set (publish, dispatch, batch
-# codec, end-to-end wire loop), records a dated trajectory point under
-# bench/BENCH_<date>.json, and fails on a >20% regression against the
-# previous point. The two commands are separate so a go test failure is
-# not swallowed by a pipe. -maxallocs pins the zero-allocation wire-path
-# rows to their designed budgets (batch decode: message + body slab;
-# batch encode and delivery: pooled, allocation-free) as hard ceilings.
+# codec, end-to-end wire loop, subscription store), records a dated
+# trajectory point under bench/BENCH_<date>.json, and fails on a >20%
+# regression against the previous point. The two commands are separate so
+# a go test failure is not swallowed by a pipe. -maxallocs pins the
+# zero-allocation wire-path rows to their designed budgets (batch decode:
+# message + body slab; batch encode and delivery: pooled,
+# allocation-free); -maxmetric pins the subscription store's marginal
+# memory footprint at the 10^5 population. Both are hard ceilings.
 bench:
 	@mkdir -p bench
 	$(GO) test -run xxx -bench BenchmarkRegression -benchtime 1s -benchmem . | tee bench/latest.txt
 	$(GO) run ./cmd/benchjson -in bench/latest.txt -dir bench \
-		-maxallocs 'RegressionBatchDecode=2,RegressionBatchEncode=2,RegressionDeliver=0'
+		-maxallocs 'RegressionBatchDecode=2,RegressionBatchEncode=2,RegressionDeliver=0' \
+		-maxmetric 'RegressionSubscriptionStore:bytes/sub=1024'
 
 # bench-all runs every benchmark (figure regenerations + ablations) once.
 bench-all:
@@ -45,6 +48,18 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeBatch -fuzztime=10s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeMessageView -fuzztime=10s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/selector/
+	$(GO) test -run='^$$' -fuzz=FuzzInternMatch -fuzztime=10s ./internal/topic/
+
+# stress runs the full churn/soak wall: 10^5 churn storms plus the 10^6
+# subscription soak (JMS_STRESS=1), with memory and rebuild-latency
+# ceilings enforced. Needs ~1 GiB of heap; takes tens of seconds.
+stress:
+	JMS_STRESS=1 $(GO) test -v -timeout 20m ./internal/stress/
+
+# stress-smoke is the CI-budget slice of the wall: short populations, no
+# 10^6 soak, same ceilings.
+stress-smoke:
+	$(GO) test -short ./internal/stress/
 
 # verify is the tier-1 gate plus the race pass.
 verify: build test race

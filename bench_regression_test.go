@@ -9,6 +9,7 @@ package jmsperf_test
 
 import (
 	"context"
+	"math/rand"
 	"net"
 	"runtime"
 	"strconv"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/filter"
 	"repro/internal/jms"
+	"repro/internal/stress"
 	"repro/internal/wire"
 )
 
@@ -266,4 +268,38 @@ func BenchmarkRegressionBatchDecode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRegressionSubscriptionStore pins the subscription store's two
+// scale numbers at the 10^5 population: ns/op is the epoch-snapshot index
+// rebuild after a 64-op churn batch (lazy, batch-proportional — not
+// population-proportional), and the bytes/sub metric is the marginal
+// live-heap cost per subscription with interned filters. bytes/sub is
+// gated absolutely by cmd/benchjson -maxmetric so a footprint regression
+// cannot ratchet in across tolerant relative steps.
+func BenchmarkRegressionSubscriptionStore(b *testing.B) {
+	const population = 100_000
+	bytesPerSub, err := stress.BytesPerSub(population)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := stress.BuildPopulation(population, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	rng := rand.New(rand.NewSource(1))
+	p.Topic.Index() // settle the initial build
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if _, err := p.Churn(rng, 64); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		p.Topic.Index()
+	}
+	b.StopTimer()
+	b.ReportMetric(bytesPerSub, "bytes/sub")
 }

@@ -19,6 +19,12 @@
 // what the previous point recorded. The zero-allocation wire-path rows are
 // held at their designed budgets this way, so an alloc regression cannot
 // ratchet in across two >20%-tolerant steps.
+//
+// Custom b.ReportMetric columns (msgs/s/core, bytes/sub, ...) are parsed
+// into each result's metrics map and recorded in the trajectory point.
+// -maxmetric pins absolute ceilings on them: "name:unit=ceiling,..."
+// entries fail the run whenever the named metric exceeds the ceiling —
+// the memory-ceiling gate for the subscription-store row.
 package main
 
 import (
@@ -35,11 +41,13 @@ import (
 	"time"
 )
 
-// Result is one benchmark's recorded metrics.
+// Result is one benchmark's recorded metrics. Metrics holds any custom
+// b.ReportMetric columns keyed by unit.
 type Result struct {
-	NsOp     float64 `json:"ns_op"`
-	BOp      float64 `json:"b_op"`
-	AllocsOp float64 `json:"allocs_op"`
+	NsOp     float64            `json:"ns_op"`
+	BOp      float64            `json:"b_op"`
+	AllocsOp float64            `json:"allocs_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Record is one trajectory point: who measured and what.
@@ -59,15 +67,46 @@ func (r Record) fingerprint() string {
 	return fmt.Sprintf("%s/%s/%s/%d", r.GOOS, r.GOARCH, r.CPU, r.MaxProc)
 }
 
-// benchLine matches one `go test -bench` result row, e.g.
+// benchLine matches the name and iteration-count prefix of one
+// `go test -bench` result row, e.g.
 //
 //	BenchmarkRegressionPublish-8   183571   619.2 ns/op   193 B/op   1 allocs/op
 //
 // The -N GOMAXPROCS suffix is optional and stripped, so trajectories
 // survive core-count changes in the name (the fingerprint still gates the
-// time comparison).
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+// time comparison). The measurement columns after the prefix are parsed
+// pairwise as value/unit, so custom b.ReportMetric columns interleaved
+// between ns/op and the -benchmem pair are kept rather than dropped.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\S.*)$`)
+
+// parseResult parses the value/unit column pairs of one result row. The
+// well-known testing units land in the fixed fields; anything else goes
+// to the Metrics map. A row without an ns/op column is not a result row.
+func parseResult(columns string) (Result, bool) {
+	var r Result
+	sawNs := false
+	fields := strings.Fields(columns)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return r, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsOp, sawNs = v, true
+		case "B/op":
+			r.BOp = v
+		case "allocs/op":
+			r.AllocsOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, sawNs
+}
 
 func parseBench(path string) (map[string]Result, string, error) {
 	data, err := os.ReadFile(path)
@@ -85,13 +124,9 @@ func parseBench(path string) (map[string]Result, string, error) {
 		if m == nil {
 			continue
 		}
-		var r Result
-		r.NsOp, _ = strconv.ParseFloat(m[2], 64)
-		if m[3] != "" {
-			r.BOp, _ = strconv.ParseFloat(m[3], 64)
-		}
-		if m[4] != "" {
-			r.AllocsOp, _ = strconv.ParseFloat(m[4], 64)
+		r, ok := parseResult(m[2])
+		if !ok {
+			continue
 		}
 		results[strings.TrimPrefix(m[1], "Benchmark")] = r
 	}
@@ -181,6 +216,68 @@ func parseMaxAllocs(spec string) (map[string]float64, error) {
 	return ceilings, nil
 }
 
+// metricCeiling is one -maxmetric entry: an absolute upper bound on a
+// named custom metric of a named benchmark.
+type metricCeiling struct {
+	bench, unit string
+	ceiling     float64
+}
+
+// parseMaxMetric parses a "name:unit=ceiling,..." spec (benchmark names
+// without the Benchmark prefix) into absolute metric ceilings.
+func parseMaxMetric(spec string) ([]metricCeiling, error) {
+	var ceilings []metricCeiling
+	if spec == "" {
+		return ceilings, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -maxmetric entry %q: want name:unit=ceiling", entry)
+		}
+		bench, unit, ok := strings.Cut(key, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -maxmetric entry %q: want name:unit=ceiling", entry)
+		}
+		ceiling, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -maxmetric ceiling in %q: %w", entry, err)
+		}
+		ceilings = append(ceilings, metricCeiling{
+			bench:   strings.TrimPrefix(bench, "Benchmark"),
+			unit:    unit,
+			ceiling: ceiling,
+		})
+	}
+	return ceilings, nil
+}
+
+// checkMetricCeilings reports every -maxmetric violation, and flags
+// entries naming benchmarks or metrics absent from the run (a renamed
+// benchmark or dropped ReportMetric must not silently unpin its budget).
+func checkMetricCeilings(results map[string]Result, ceilings []metricCeiling) []string {
+	var violations []string
+	for _, c := range ceilings {
+		r, ok := results[c.bench]
+		if !ok {
+			violations = append(violations, fmt.Sprintf(
+				"%s: -maxmetric ceiling set but benchmark not in run", c.bench))
+			continue
+		}
+		v, ok := r.Metrics[c.unit]
+		if !ok {
+			violations = append(violations, fmt.Sprintf(
+				"%s: -maxmetric ceiling set but metric %s not reported", c.bench, c.unit))
+			continue
+		}
+		if v > c.ceiling {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %s %g exceeds ceiling %g", c.bench, c.unit, v, c.ceiling))
+		}
+	}
+	return violations
+}
+
 // checkCeilings reports every benchmark whose allocs/op exceeds its -maxallocs
 // ceiling, and flags ceilings naming benchmarks absent from the run (a
 // renamed benchmark must not silently unpin its budget).
@@ -211,9 +308,14 @@ func run() error {
 	dir := flag.String("dir", "bench", "directory holding BENCH_<date>.json trajectory points")
 	threshold := flag.Float64("threshold", 0.20, "relative regression that fails the check")
 	maxAllocs := flag.String("maxallocs", "", "absolute allocs/op ceilings as name=ceiling,... (hard failure)")
+	maxMetric := flag.String("maxmetric", "", "absolute custom-metric ceilings as name:unit=ceiling,... (hard failure)")
 	flag.Parse()
 
 	ceilings, err := parseMaxAllocs(*maxAllocs)
+	if err != nil {
+		return err
+	}
+	mCeilings, err := parseMaxMetric(*maxMetric)
 	if err != nil {
 		return err
 	}
@@ -224,11 +326,13 @@ func run() error {
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark lines found in %s", *in)
 	}
-	if violations := checkCeilings(results, ceilings); len(violations) > 0 {
+	violations := checkCeilings(results, ceilings)
+	violations = append(violations, checkMetricCeilings(results, mCeilings)...)
+	if len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintln(os.Stderr, "CEILING "+v)
 		}
-		return fmt.Errorf("%d allocs/op ceiling violation(s)", len(violations))
+		return fmt.Errorf("%d ceiling violation(s)", len(violations))
 	}
 	cur := Record{
 		Date:    time.Now().UTC().Format(time.RFC3339),

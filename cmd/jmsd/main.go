@@ -77,6 +77,7 @@ func run(args []string, stop <-chan struct{}, ready chan<- addrs) error {
 	inFlight := fs.Int("inflight", 64, "per-topic in-flight window (publisher push-back)")
 	subBuffer := fs.Int("subbuffer", 64, "per-subscriber delivery queue length")
 	engineName := fs.String("engine", "faithful", "dispatch engine: "+strings.Join(broker.EngineNames(), " or "))
+	slowName := fs.String("slow-consumer", "block", "slow-consumer policy: "+strings.Join(broker.SlowConsumerPolicyNames(), ", "))
 	shards := fs.Int("shards", 0, "fast engine: filter-matching workers per topic (0 = auto)")
 	stages := fs.Bool("stages", false, "record per-stage pipeline timings and log the Eq. 1 components at shutdown")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
@@ -87,6 +88,10 @@ func run(args []string, stop <-chan struct{}, ready chan<- addrs) error {
 	engine, err := broker.ParseEngine(*engineName)
 	if err != nil {
 		return fmt.Errorf("-engine: %w", err)
+	}
+	slowPolicy, err := broker.ParseSlowConsumerPolicy(*slowName)
+	if err != nil {
+		return fmt.Errorf("-slow-consumer: %w", err)
 	}
 	level, err := parseLogLevel(*logLevel)
 	if err != nil {
@@ -99,6 +104,7 @@ func run(args []string, stop <-chan struct{}, ready chan<- addrs) error {
 		SubscriberBuffer: *subBuffer,
 		Engine:           engine,
 		Shards:           *shards,
+		SlowConsumer:     slowPolicy,
 		StageTiming:      *stages,
 		// The telemetry plane needs the per-topic waiting-time tracing.
 		WaitTiming: *httpAddr != "",
@@ -183,7 +189,9 @@ func run(args []string, stop <-chan struct{}, ready chan<- addrs) error {
 		"dispatched", s.Dispatched,
 		"filter_evals", s.FilterEvals,
 		"dropped", s.Dropped,
-		"expired", s.Expired)
+		"expired", s.Expired,
+		"slow_dropped", s.SlowDropped,
+		"slow_disconnects", s.SlowDisconnects)
 	if st := b.StageStats(); st.Enabled {
 		logger.Info("stage means",
 			"receive", st.Receive.Mean().String(),

@@ -15,6 +15,13 @@
 // the end-to-end publish→deliver latency distribution of the sampled
 // messages over the measurement window.
 //
+// With -churn N the generator additionally runs N churner connections,
+// each cycling subscribe→unsubscribe with distinct correlation-ID filters
+// as fast as the broker confirms them, and reports the sustained
+// subscription churn rate. This drives the interned, incrementally-
+// maintained subscription store the way the internal/stress wall does,
+// but over the real wire protocol against a live jmsd.
+//
 // With -batch B the generator exercises the batched publish path: in
 // saturated mode each publisher sends explicit PublishBatch chunks of B
 // messages (one MSG_BATCH frame, one broker in-flight slot per chunk); in
@@ -68,6 +75,7 @@ func run(args []string, stdout io.Writer) error {
 	traceSample := fs.Int("tracesample", 0, "stamp every Nth published message with a trace ID and report publish-to-deliver latency (0 = off)")
 	batch := fs.Int("batch", 0, "batch size: saturated publishers send explicit PublishBatch chunks of this size, paced publishers auto-coalesce up to it (0 or 1 = per-message)")
 	linger := fs.Duration("linger", time.Millisecond, "paced mode: how long the first coalesced message waits for company before a short batch is flushed (needs -batch > 1)")
+	churn := fs.Int("churn", 0, "churner connections cycling subscribe/unsubscribe during the run (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,6 +94,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *traceSample < 0 {
 		return fmt.Errorf("jmsload: negative tracesample %d", *traceSample)
+	}
+	if *churn < 0 {
+		return fmt.Errorf("jmsload: negative churn %d", *churn)
 	}
 	if *traceSample > 0 && *matching == 0 {
 		return fmt.Errorf("jmsload: -tracesample needs at least one matching subscriber to observe deliveries")
@@ -302,15 +313,49 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	// Churners: each connection cycles subscribe -> unsubscribe with its
+	// own rotating set of exact correlation-ID filters, so the broker's
+	// subscription store sees a sustained storm of table mutations (and
+	// the interner sees rule churn) while the publish load runs.
+	var churnOps atomic.Uint64
+	var churnWG sync.WaitGroup
+	churnCtx, cancelChurn := context.WithCancel(context.Background())
+	defer cancelChurn()
+	for g := 0; g < *churn; g++ {
+		c, err := client.Dial(*addr)
+		if err != nil {
+			return err
+		}
+		churnWG.Add(1)
+		go func(g int, c *client.Client) {
+			defer churnWG.Done()
+			defer func() { _ = c.Close() }()
+			for i := 0; churnCtx.Err() == nil; i++ {
+				sp := wire.FilterSpec{Mode: wire.FilterCorrelationID,
+					Expr: "#churn-" + strconv.Itoa(g) + "-" + strconv.Itoa(i%64)}
+				sub, err := c.Subscribe(churnCtx, *topicName, sp, 1)
+				if err != nil {
+					return
+				}
+				if err := sub.Unsubscribe(churnCtx); err != nil {
+					return
+				}
+				churnOps.Add(1)
+			}
+		}(g, c)
+	}
+
 	time.Sleep(*warmup)
 	measuring.Store(true)
-	pub0, del0 := published.Load(), delivered.Load()
+	pub0, del0, ch0 := published.Load(), delivered.Load(), churnOps.Load()
 	start := time.Now()
 	time.Sleep(*measure)
-	pub1, del1 := published.Load(), delivered.Load()
+	pub1, del1, ch1 := published.Load(), delivered.Load(), churnOps.Load()
 	measuring.Store(false)
 	elapsed := time.Since(start).Seconds()
 
+	cancelChurn()
+	churnWG.Wait()
 	cancelPub()
 	pubWG.Wait()
 	for _, c := range subConns {
@@ -328,6 +373,10 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "received : %10.0f msgs/s\n", recvRate)
 	fmt.Fprintf(stdout, "dispatched:%10.0f msgs/s (R = %.2f)\n", dispRate, dispRate/recvRate)
 	fmt.Fprintf(stdout, "overall  : %10.0f msgs/s\n", recvRate+dispRate)
+	if *churn > 0 {
+		fmt.Fprintf(stdout, "churn    : %10.0f sub+unsub ops/s (%d churners)\n",
+			float64(ch1-ch0)/elapsed, *churn)
+	}
 	if *traceSample > 0 {
 		latMu.Lock()
 		n := lat.N()

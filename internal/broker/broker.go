@@ -70,6 +70,10 @@ type Options struct {
 	Shards int
 	// Observer, when non-nil, is invoked on the dispatch path.
 	Observer DispatchObserver
+	// SlowConsumer selects what a persistent-mode transmit does when a
+	// subscriber's delivery queue is full: block (default, the paper's
+	// push-back), drop-oldest, or disconnect. See SlowConsumerPolicy.
+	SlowConsumer SlowConsumerPolicy
 	// WaitObserver, when non-nil, receives each message's waiting time:
 	// the span from Publish acceptance to dispatch start. Messages are
 	// timestamped on acceptance when it is set. This instruments the W of
@@ -121,6 +125,13 @@ type Stats struct {
 	// Expired counts messages discarded at dispatch time because their
 	// JMS expiration had passed.
 	Expired uint64
+	// SlowDropped counts oldest-first evictions performed by the
+	// drop-oldest slow-consumer policy (persistent deliveries only; the
+	// evicted copies remain counted in Dispatched).
+	SlowDropped uint64
+	// SlowDisconnects counts subscribers force-unsubscribed by the
+	// disconnect slow-consumer policy.
+	SlowDisconnects uint64
 }
 
 // Broker is a single JMS server instance.
@@ -140,12 +151,14 @@ type Broker struct {
 	// statsMu makes Stats a consistent cut: counter increments take the
 	// read side (shared, so incrementers never exclude each other), Stats
 	// takes the write side and reads all counters with no add in flight.
-	statsMu     sync.RWMutex
-	received    atomic.Uint64
-	dispatched  atomic.Uint64
-	filterEvals atomic.Uint64
-	dropped     atomic.Uint64
-	expired     atomic.Uint64
+	statsMu         sync.RWMutex
+	received        atomic.Uint64
+	dispatched      atomic.Uint64
+	filterEvals     atomic.Uint64
+	dropped         atomic.Uint64
+	expired         atomic.Uint64
+	slowDropped     atomic.Uint64
+	slowDisconnects atomic.Uint64
 
 	// timers are the per-stage histograms; nil unless Options.StageTiming.
 	timers *stageTimers
@@ -383,12 +396,33 @@ type Subscriber struct {
 	sendMu sync.Mutex
 	dead   bool // guarded by sendMu
 
+	// slow marks a handle force-removed by the disconnect slow-consumer
+	// policy; Receive then reports ErrSlowConsumer instead of ErrClosed.
+	slow atomic.Bool
+	// removeOnce guards registry removal, shared between Unsubscribe and
+	// the broker-initiated slow-consumer kick so the loser is a no-op
+	// instead of an error.
+	removeOnce sync.Once
+
 	delivered atomic.Uint64
 }
 
 // Subscribe installs a filter on a topic and returns the subscription
 // handle. A nil filter receives every message of the topic.
 func (b *Broker) Subscribe(topicName string, f filter.Filter) (*Subscriber, error) {
+	return b.SubscribeBuffered(topicName, f, 0)
+}
+
+// SubscribeBuffered is Subscribe with an explicit delivery-queue capacity
+// for this subscription, overriding Options.SubscriberBuffer when buffer
+// is positive. The queue length is what the slow-consumer policy acts on,
+// and it dominates per-subscription memory — large populations (the 10^5+
+// regime the stress suite drives) want small buffers, while designated
+// fast consumers may need deeper ones.
+func (b *Broker) SubscribeBuffered(topicName string, f filter.Filter, buffer int) (*Subscriber, error) {
+	if buffer <= 0 {
+		buffer = b.opts.SubscriberBuffer
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -396,7 +430,7 @@ func (b *Broker) Subscribe(topicName string, f filter.Filter) (*Subscriber, erro
 	}
 	h := &Subscriber{
 		broker: b,
-		ch:     make(chan *jms.Message, b.opts.SubscriberBuffer),
+		ch:     make(chan *jms.Message, buffer),
 		gone:   make(chan struct{}),
 	}
 	sub, err := b.registry.Subscribe(topicName, f, h)
@@ -414,20 +448,37 @@ func (b *Broker) Subscribe(topicName string, f filter.Filter) (*Subscriber, erro
 func (s *Subscriber) Chan() <-chan *jms.Message { return s.ch }
 
 // Receive blocks for the next message. It returns ErrClosed after the
-// subscriber was unsubscribed or the broker shut down.
+// subscriber was unsubscribed or the broker shut down, and
+// ErrSlowConsumer (which wraps ErrClosed) after the broker force-removed
+// the subscription under the disconnect slow-consumer policy.
 func (s *Subscriber) Receive(ctx context.Context) (*jms.Message, error) {
 	select {
 	case m, ok := <-s.ch:
 		if !ok {
-			return nil, ErrClosed
+			return nil, s.closeErr()
 		}
 		return m, nil
 	case <-s.gone:
-		return nil, ErrClosed
+		return nil, s.closeErr()
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 }
+
+func (s *Subscriber) closeErr() error {
+	if s.slow.Load() {
+		return ErrSlowConsumer
+	}
+	return ErrClosed
+}
+
+// Gone returns a channel closed when the subscription ends for any reason:
+// Unsubscribe, broker shutdown, or a slow-consumer disconnect.
+func (s *Subscriber) Gone() <-chan struct{} { return s.gone }
+
+// SlowDisconnected reports whether the broker force-removed this
+// subscription under the disconnect slow-consumer policy.
+func (s *Subscriber) SlowDisconnected() bool { return s.slow.Load() }
 
 // Delivered returns the number of messages forwarded to this subscriber.
 func (s *Subscriber) Delivered() uint64 { return s.delivered.Load() }
@@ -495,7 +546,7 @@ func (s *Subscriber) unsubscribe(unacked []*jms.Message) error {
 		s.sendMu.Lock()
 		s.dead = true
 		s.sendMu.Unlock()
-		err = s.broker.removeSubscriber(s)
+		s.removeOnce.Do(func() { err = s.broker.removeSubscriber(s) })
 	})
 	return err
 }
@@ -521,12 +572,25 @@ func (b *Broker) Stats() Stats {
 	b.statsMu.Lock()
 	defer b.statsMu.Unlock()
 	return Stats{
-		Received:    b.received.Load(),
-		Dispatched:  b.dispatched.Load(),
-		FilterEvals: b.filterEvals.Load(),
-		Dropped:     b.dropped.Load(),
-		Expired:     b.expired.Load(),
+		Received:        b.received.Load(),
+		Dispatched:      b.dispatched.Load(),
+		FilterEvals:     b.filterEvals.Load(),
+		Dropped:         b.dropped.Load(),
+		Expired:         b.expired.Load(),
+		SlowDropped:     b.slowDropped.Load(),
+		SlowDisconnects: b.slowDisconnects.Load(),
 	}
+}
+
+// EffectiveServers returns the number of parallel dispatch workers the
+// engine runs per topic: 1 on EngineFaithful (the paper's single-server
+// pipeline), Options.Shards on EngineFast. This is the k fed to the M/G/k
+// drift model.
+func (b *Broker) EffectiveServers() int {
+	if b.opts.Engine == EngineFast {
+		return b.opts.Shards
+	}
+	return 1
 }
 
 // NumFilters returns the total number of installed filters — the paper's

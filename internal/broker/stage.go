@@ -139,6 +139,16 @@ func (tx queueTransmitter) Transmit(h *Subscriber, m *jms.Message, mode jms.Deli
 	default:
 	}
 	if mode == jms.Persistent {
+		// The queue is full: apply the slow-consumer policy. Block is the
+		// paper-faithful default (push-back propagates to publishers).
+		switch b.opts.SlowConsumer {
+		case SlowConsumerDropOldest:
+			b.sendDropOldest(h, m)
+			return
+		case SlowConsumerDisconnect:
+			b.kickSlow(h)
+			return
+		}
 		select {
 		case h.ch <- m:
 			h.delivered.Add(1)
@@ -194,6 +204,35 @@ func (tx queueTransmitter) TransmitBatch(h *Subscriber, msgs []*jms.Message, mod
 		if mode != jms.Persistent {
 			b.countAdd(&b.dropped, 1)
 			continue
+		}
+		switch b.opts.SlowConsumer {
+		case SlowConsumerDropOldest:
+			// Count the eviction-assisted send here; the shared counter
+			// update below only covers plain sends.
+			for {
+				select {
+				case h.ch <- m:
+				default:
+					select {
+					case <-h.ch:
+						b.countAdd(&b.slowDropped, 1)
+					default:
+					}
+					continue
+				}
+				break
+			}
+			sent++
+			continue
+		case SlowConsumerDisconnect:
+			// The handle is dead from here on; the rest of the batch is
+			// undeliverable to it.
+			if sent > 0 {
+				h.delivered.Add(uint64(sent))
+				b.countAdd(&b.dispatched, uint64(sent))
+			}
+			b.kickSlow(h)
+			return
 		}
 		select {
 		case h.ch <- m:

@@ -79,6 +79,12 @@ type Options struct {
 	// company before the batch is flushed anyway. Defaults to 1ms when
 	// BatchMax > 1.
 	BatchLinger time.Duration
+	// OnSubClosed, when non-nil, is called from the read loop whenever the
+	// broker ends a subscription server-side (a SUB_CLOSED notice, e.g.
+	// the disconnect slow-consumer policy). The callback must not block:
+	// it runs on the connection's inbound path. Receive on the closed
+	// subscription reports the same event as *SubClosedError.
+	OnSubClosed func(sub *Subscription, reason string)
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +97,7 @@ func (o Options) withDefaults() Options {
 // Client is one connection to a broker. It is safe for concurrent use.
 type Client struct {
 	conn net.Conn
+	opts Options
 
 	// batch is the auto-coalescing publish buffer; nil unless
 	// Options.BatchMax enables it.
@@ -157,6 +164,7 @@ func NewClientWith(conn net.Conn, opts Options) *Client {
 	opts = opts.withDefaults()
 	c := &Client{
 		conn:        conn,
+		opts:        opts,
 		pending:     make(map[uint64]chan result),
 		subs:        make(map[uint64]*Subscription),
 		pendingSubs: make(map[uint64]*Subscription),
@@ -364,6 +372,30 @@ func (c *Client) dispatch(f wire.Frame, arena *wire.MessageArena) {
 			}
 		}
 
+	case wire.FrameSubClosed:
+		subID, reason, err := wire.DecodeSubClosed(f.Payload)
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		sub := c.subs[subID]
+		if sub != nil {
+			delete(c.subs, subID)
+		}
+		c.mu.Unlock()
+		if sub == nil {
+			return
+		}
+		r := reason
+		sub.reason.Store(&r)
+		// The read loop is the sole sender and delivery frames precede the
+		// notice on the wire, so closing the channel here is safe; queued
+		// messages stay drainable.
+		sub.closeOnce()
+		if c.opts.OnSubClosed != nil {
+			c.opts.OnSubClosed(sub, reason)
+		}
+
 	case wire.FramePong:
 		// Liveness only.
 	}
@@ -502,9 +534,26 @@ func (c *Client) PublishBatch(ctx context.Context, msgs []*jms.Message) error {
 type Subscription struct {
 	client *Client
 	id     uint64
+	topic  string
 	ch     chan *jms.Message
 	gone   chan struct{}
 	once   sync.Once
+	// reason is set before gone closes when the broker ended the
+	// subscription server-side (SUB_CLOSED), so Receive can report why.
+	reason atomic.Pointer[string]
+}
+
+// SubClosedError is returned by Receive after the broker ended the
+// subscription server-side (a SUB_CLOSED notice), e.g. under the
+// disconnect slow-consumer policy.
+type SubClosedError struct {
+	Topic  string
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *SubClosedError) Error() string {
+	return "client: subscription on " + e.Topic + " closed by broker: " + e.Reason
 }
 
 // Subscribe installs a filter on a topic. Buffer is the local delivery
@@ -515,6 +564,7 @@ func (c *Client) Subscribe(ctx context.Context, topicName string, spec wire.Filt
 	}
 	sub := &Subscription{
 		client: c,
+		topic:  topicName,
 		ch:     make(chan *jms.Message, buffer),
 		gone:   make(chan struct{}),
 	}
@@ -552,24 +602,38 @@ func (c *Client) Subscribe(ctx context.Context, topicName string, spec wire.Filt
 // ID returns the server-assigned subscription ID.
 func (s *Subscription) ID() uint64 { return s.id }
 
+// Topic returns the topic this subscription was installed on.
+func (s *Subscription) Topic() string { return s.topic }
+
 // Chan returns the delivery channel. It is closed when the subscription is
 // torn down.
 func (s *Subscription) Chan() <-chan *jms.Message { return s.ch }
 
 // Receive blocks for the next message. It returns ErrClosed after the
-// subscription was removed or the connection failed.
+// subscription was removed or the connection failed, and *SubClosedError
+// after the broker ended the subscription server-side (e.g. under the
+// disconnect slow-consumer policy).
 func (s *Subscription) Receive(ctx context.Context) (*jms.Message, error) {
 	select {
 	case m, ok := <-s.ch:
 		if !ok {
-			return nil, ErrClosed
+			return nil, s.closeErr()
 		}
 		return m, nil
 	case <-s.gone:
-		return nil, ErrClosed
+		return nil, s.closeErr()
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// closeErr distinguishes a server-side SUB_CLOSED from a plain local
+// close: the former carries the broker's reason.
+func (s *Subscription) closeErr() error {
+	if r := s.reason.Load(); r != nil {
+		return &SubClosedError{Topic: s.topic, Reason: *r}
+	}
+	return ErrClosed
 }
 
 // closeOnce tears the subscription down from the read-loop side. It closes

@@ -126,6 +126,12 @@ type ReliableOptions struct {
 	// the error that caused it (nil for StateConnected). Called from the
 	// reliability goroutines; it must not block.
 	OnState func(State, error)
+	// OnSubClosed, when non-nil, is called when the broker closes one of
+	// this connection's subscriptions (a slow-consumer disconnect). The
+	// subscription is final — it is not resubscribed on redial; its
+	// Receive reports *SubClosedError. Called from the subscription's
+	// pump goroutine; it must not block.
+	OnSubClosed func(topic, reason string)
 	// Metrics receives the reliability counters. A private registry is
 	// created when nil.
 	Metrics *metrics.Registry

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/jms"
@@ -29,6 +30,11 @@ type ReliableSub struct {
 	gone     chan struct{}
 	goneOnce sync.Once
 	attachCh chan *Subscription
+
+	// reason, when set, records a broker-initiated closure (e.g. a
+	// slow-consumer kick). Such a closure is final: the broker decided
+	// this consumer must go, so the redial loop must not resurrect it.
+	reason atomic.Pointer[string]
 
 	mu  sync.Mutex
 	cur *Subscription // live incarnation, for Unsubscribe
@@ -162,14 +168,27 @@ func (rs *ReliableSub) pump() {
 	}
 }
 
-// drain forwards one incarnation's deliveries until its channel closes
-// (connection teardown). Returns false when the subscription ended.
+// drain forwards one incarnation's deliveries until its channel closes.
+// Returns false when the subscription ended. A channel closed by the
+// server's SUB_CLOSED notice (incarnation reason set) ends the
+// subscription rather than awaiting a reattach: the broker kicked this
+// consumer on a healthy connection, and transparently resubscribing a
+// consumer the broker just shed would only repeat the kick.
 func (rs *ReliableSub) drain(sub *Subscription) bool {
 	for {
 		select {
 		case m, ok := <-sub.ch:
 			if !ok {
-				return true // incarnation died; await the next
+				if r := sub.reason.Load(); r != nil {
+					rs.reason.Store(r)
+					rs.deregister()
+					rs.markGone()
+					if cb := rs.r.opts.OnSubClosed; cb != nil {
+						cb(rs.topic, *r)
+					}
+					return false
+				}
+				return true // connection teardown; await the reattach
 			}
 			if rs.dedupe.duplicate(m) {
 				rs.r.reg.Counter(MetricDuplicatesDropped).Inc()
@@ -190,13 +209,23 @@ func (rs *ReliableSub) drain(sub *Subscription) bool {
 // ends (Unsubscribe, Close, or redial budget exhausted).
 func (rs *ReliableSub) Chan() <-chan *jms.Message { return rs.ch }
 
-// Receive blocks for the next message. It returns ErrClosed after the
-// subscription ended.
+// closeErr is the error Receive reports after the stream ended:
+// *SubClosedError for a broker-initiated closure, ErrClosed otherwise.
+func (rs *ReliableSub) closeErr() error {
+	if r := rs.reason.Load(); r != nil {
+		return &SubClosedError{Topic: rs.topic, Reason: *r}
+	}
+	return ErrClosed
+}
+
+// Receive blocks for the next message. After the subscription ended it
+// returns ErrClosed, or *SubClosedError when the broker closed it (e.g.
+// a slow-consumer disconnect).
 func (rs *ReliableSub) Receive(ctx context.Context) (*jms.Message, error) {
 	select {
 	case m, ok := <-rs.ch:
 		if !ok {
-			return nil, ErrClosed
+			return nil, rs.closeErr()
 		}
 		return m, nil
 	case <-ctx.Done():

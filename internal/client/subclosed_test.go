@@ -1,0 +1,193 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/jms"
+	"repro/internal/wire"
+)
+
+// startSlowServer is startServer with a broker configured for the
+// disconnect slow-consumer policy and a tiny subscriber queue.
+func startSlowServer(t testing.TB) (addr string, b *broker.Broker) {
+	t.Helper()
+	b = broker.New(broker.Options{
+		SlowConsumer:     broker.SlowConsumerDisconnect,
+		SubscriberBuffer: 2,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.Serve(b, ln)
+	t.Cleanup(func() {
+		_ = srv.Close()
+		_ = b.Close()
+	})
+	return ln.Addr().String(), b
+}
+
+// TestSubClosedNoticeEndToEnd drives the full slow-consumer disconnect
+// path across the wire: a subscriber that never reads its server-side
+// queue is kicked by the broker, the server sends SUB_CLOSED, and the
+// client surfaces it as OnSubClosed + *SubClosedError with the
+// slow-consumer reason.
+func TestSubClosedNoticeEndToEnd(t *testing.T) {
+	addr, b := startSlowServer(t)
+	var notified atomic.Pointer[string]
+	closedCh := make(chan struct{})
+	c, err := DialWith(addr, Options{
+		OnSubClosed: func(sub *Subscription, reason string) {
+			if sub.Topic() != "t" {
+				t.Errorf("OnSubClosed topic = %q, want t", sub.Topic())
+			}
+			notified.Store(&reason)
+			close(closedCh)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	ctx := ctxT(t)
+	if err := c.ConfigureTopic(ctx, "t"); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := c.Subscribe(ctx, "t", wire.FilterSpec{Mode: wire.FilterNone}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client never reads and never acks; its TCP receive window is
+	// tiny relative to the flood, so the server-side subscriber queue
+	// (capacity 2) fills and the kick fires. Publish from a second
+	// connection to keep this one's inbound path untouched.
+	pubC := dialT(t, addr)
+	pubCtx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	kicked := false
+	for i := 0; i < 10000 && !kicked; i++ {
+		m := jms.NewMessage("t")
+		m.SetBody(make([]byte, 4096))
+		if err := pubC.Publish(pubCtx, m); err != nil {
+			t.Fatal(err)
+		}
+		kicked = b.Stats().SlowDisconnects > 0
+	}
+	if !kicked {
+		t.Fatal("broker never kicked the stalled subscriber")
+	}
+
+	// The client's read loop is backed up behind the full subscription
+	// buffer; draining unblocks it so the SUB_CLOSED notice gets
+	// processed, and the drain itself must end in *SubClosedError.
+	var subErr *SubClosedError
+	for {
+		_, err := sub.Receive(ctx)
+		if err == nil {
+			continue
+		}
+		if !errors.As(err, &subErr) {
+			t.Fatalf("Receive after kick: %v, want *SubClosedError", err)
+		}
+		break
+	}
+
+	select {
+	case <-closedCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("OnSubClosed never fired")
+	}
+	if r := notified.Load(); r == nil || *r != "slow-consumer" {
+		t.Fatalf("OnSubClosed reason = %v, want slow-consumer", r)
+	}
+	if subErr.Reason != "slow-consumer" || subErr.Topic != "t" {
+		t.Fatalf("SubClosedError = %+v", subErr)
+	}
+	if got := b.Stats().SlowDisconnects; got != 1 {
+		t.Errorf("SlowDisconnects = %d, want 1", got)
+	}
+	// The server dropped its connSub entry: a client Unsubscribe now
+	// reports unknown-subscription rather than hanging or panicking.
+	if err := sub.Unsubscribe(ctx); err == nil {
+		t.Error("Unsubscribe after server-side close: want error, got nil")
+	}
+}
+
+// TestReliableSubClosedByServer pins the reliability layer's handling of
+// a broker-initiated subscription closure: a ReliableSub kicked by the
+// slow-consumer disconnect policy ends with *SubClosedError and fires
+// ReliableOptions.OnSubClosed — it must NOT wait for a reattach that
+// will never come (the connection is healthy), and it must not be
+// resubscribed by a later redial.
+func TestReliableSubClosedByServer(t *testing.T) {
+	addr, b := startSlowServer(t)
+	closedCh := make(chan string, 1)
+	r, err := DialReliable(addr, ReliableOptions{
+		OnSubClosed: func(topic, reason string) {
+			if topic != "t" {
+				t.Errorf("OnSubClosed topic = %q, want t", topic)
+			}
+			closedCh <- reason
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = r.Close() })
+	ctx := ctxT(t)
+	if err := r.ConfigureTopic(ctx, "t"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := r.Subscribe(ctx, "t", wire.FilterSpec{Mode: wire.FilterNone}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pubC := dialT(t, addr)
+	pubCtx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	kicked := false
+	for i := 0; i < 10000 && !kicked; i++ {
+		m := jms.NewMessage("t")
+		m.SetBody(make([]byte, 4096))
+		if err := pubC.Publish(pubCtx, m); err != nil {
+			t.Fatal(err)
+		}
+		kicked = b.Stats().SlowDisconnects > 0
+	}
+	if !kicked {
+		t.Fatal("broker never kicked the stalled subscriber")
+	}
+
+	// Drain the buffered residue; the stream must end in *SubClosedError,
+	// not hang awaiting a reattach.
+	var subErr *SubClosedError
+	for {
+		_, err := sub.Receive(ctx)
+		if err == nil {
+			continue
+		}
+		if !errors.As(err, &subErr) {
+			t.Fatalf("Receive after kick: %v, want *SubClosedError", err)
+		}
+		break
+	}
+	if subErr.Reason != "slow-consumer" {
+		t.Fatalf("SubClosedError = %+v", subErr)
+	}
+	select {
+	case reason := <-closedCh:
+		if reason != "slow-consumer" {
+			t.Fatalf("OnSubClosed reason = %q", reason)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("OnSubClosed never fired")
+	}
+}

@@ -1,0 +1,127 @@
+package mg1
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file extends the paper's single-server analysis to k parallel
+// servers. The sharded EngineFast dispatch path behaves like k matching
+// workers fed by one Poisson stream, which the M/GI/1 model structurally
+// under-predicts: a message only waits when all shards are busy. The
+// standard engineering approximation (Lee–Longton 1959, revived by Whitt's
+// "Approximations for the GI/G/m queue") scales the M/M/k waiting time by
+// the service-time variability:
+//
+//	E[W_{M/G/k}] ≈ (1 + cv²) / 2 · E[W_{M/M/k}]
+//	E[W_{M/M/k}] = C(k, a) / (k/E[B] - λ),   a = λ·E[B]
+//
+// where C(k, a) is the Erlang-C delay probability. At k = 1 the formula
+// collapses exactly to the Pollaczek–Khinchine mean of Eq. 4 — see
+// TestMGkCollapsesToPK — so the k-server model is a strict generalization
+// of Queue and the drift monitor can switch on the effective server count
+// without a discontinuity.
+
+// ErlangB returns the Erlang-B blocking probability B(k, a) for offered
+// load a = λ·E[B] over k servers, via the standard stable recursion
+// B(j) = a·B(j-1) / (j + a·B(j-1)).
+func ErlangB(k int, a float64) (float64, error) {
+	if k < 1 || a < 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+		return 0, fmt.Errorf("%w: ErlangB(k=%d, a=%g)", ErrParams, k, a)
+	}
+	b := 1.0
+	for j := 1; j <= k; j++ {
+		b = a * b / (float64(j) + a*b)
+	}
+	return b, nil
+}
+
+// ErlangC returns the Erlang-C delay probability C(k, a): the probability
+// that an arrival finds all k servers busy (and waits) in M/M/k with
+// offered load a = λ·E[B]. Requires a < k for stability.
+func ErlangC(k int, a float64) (float64, error) {
+	if a >= float64(k) {
+		return 0, fmt.Errorf("%w: offered load %g >= %d servers", ErrUnstable, a, k)
+	}
+	b, err := ErlangB(k, a)
+	if err != nil {
+		return 0, err
+	}
+	kf := float64(k)
+	return kf * b / (kf - a*(1-b)), nil
+}
+
+// MGkQueue is the M/G/k approximation: Poisson arrivals at rate Lambda,
+// general service with moments B, K homogeneous servers.
+type MGkQueue struct {
+	Lambda float64
+	K      int
+	B      ServiceMoments
+}
+
+// NewMGkQueue validates the parameters and the stability condition
+// rho = λ·E[B]/k < 1.
+func NewMGkQueue(lambda float64, k int, b ServiceMoments) (MGkQueue, error) {
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return MGkQueue{}, fmt.Errorf("%w: lambda=%g", ErrParams, lambda)
+	}
+	if k < 1 {
+		return MGkQueue{}, fmt.Errorf("%w: k=%d servers", ErrParams, k)
+	}
+	if err := b.Valid(); err != nil {
+		return MGkQueue{}, err
+	}
+	q := MGkQueue{Lambda: lambda, K: k, B: b}
+	if q.Rho() >= 1 {
+		return MGkQueue{}, fmt.Errorf("%w: rho=%g (k=%d)", ErrUnstable, q.Rho(), k)
+	}
+	return q, nil
+}
+
+// OfferedLoad returns a = λ·E[B], the work arriving per unit time in
+// units of one server's capacity.
+func (q MGkQueue) OfferedLoad() float64 { return q.Lambda * q.B.M1 }
+
+// Rho returns the per-server utilization λ·E[B]/k.
+func (q MGkQueue) Rho() float64 { return q.OfferedLoad() / float64(q.K) }
+
+// DelayProbability returns P(W > 0) ≈ C(k, a), the Erlang-C probability
+// that an arrival finds every server busy. (Exact for M/M/k; for general
+// service this inherits the approximation's insensitivity assumption.)
+func (q MGkQueue) DelayProbability() float64 {
+	c, err := ErlangC(q.K, q.OfferedLoad())
+	if err != nil {
+		return 1 // unreachable after NewMGkQueue's stability check
+	}
+	return c
+}
+
+// MeanWait returns the Lee–Longton/Whitt approximation of E[W].
+func (q MGkQueue) MeanWait() float64 {
+	cv := q.B.CVar()
+	mmk := q.DelayProbability() / (float64(q.K)/q.B.M1 - q.Lambda)
+	return (1 + cv*cv) / 2 * mmk
+}
+
+// MeanResponse returns E[T] = E[W] + E[B].
+func (q MGkQueue) MeanResponse() float64 { return q.MeanWait() + q.B.M1 }
+
+// MeanQueueLength returns E[L] = λ·E[W] (Little).
+func (q MGkQueue) MeanQueueLength() float64 { return q.Lambda * q.MeanWait() }
+
+// DelayedWaitMoments returns approximate moments of W1 = W | W > 0. In
+// M/M/k the conditional wait is exponential with mean E[W]/C(k, a); the
+// M/G/k approximation keeps that shape (m2 = 2·m1²), consistent with
+// scaling the whole conditional distribution by (1+cv²)/2.
+func (q MGkQueue) DelayedWaitMoments() (m1, m2 float64) {
+	m1 = q.MeanWait() / q.DelayProbability()
+	return m1, 2 * m1 * m1
+}
+
+// GammaApprox fits Eq. 20's two-part waiting-time distribution with the
+// Erlang-C delay probability in place of rho and the exponential
+// conditional wait of the k-server approximation.
+func (q MGkQueue) GammaApprox() (WaitDist, error) {
+	m1, m2 := q.DelayedWaitMoments()
+	return fitWaitDist(q.DelayProbability(), m1, m2)
+}

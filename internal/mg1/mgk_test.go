@@ -1,0 +1,248 @@
+package mg1
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestErlangFormulas(t *testing.T) {
+	// B(1, a) = a/(1+a); C(1, a) = a.
+	for _, a := range []float64{0.1, 0.5, 0.9} {
+		b, err := ErlangB(1, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := a / (1 + a); math.Abs(b-want) > 1e-12 {
+			t.Errorf("ErlangB(1, %g) = %g, want %g", a, b, want)
+		}
+		c, err := ErlangC(1, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(c-a) > 1e-12 {
+			t.Errorf("ErlangC(1, %g) = %g, want %g", a, c, a)
+		}
+	}
+	// Hand-computed: B(2, 1) = 1/5, C(2, 1) = 1/3.
+	if b, _ := ErlangB(2, 1); math.Abs(b-0.2) > 1e-12 {
+		t.Errorf("ErlangB(2, 1) = %g, want 0.2", b)
+	}
+	if c, _ := ErlangC(2, 1); math.Abs(c-1.0/3) > 1e-12 {
+		t.Errorf("ErlangC(2, 1) = %g, want 1/3", c)
+	}
+	// More servers at the same offered load wait less.
+	prev := 1.0
+	for k := 1; k <= 8; k++ {
+		c, err := ErlangC(k, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c >= prev {
+			t.Errorf("ErlangC(%d, 0.8) = %g, not decreasing in k", k, c)
+		}
+		prev = c
+	}
+	if _, err := ErlangC(2, 2); !errors.Is(err, ErrUnstable) {
+		t.Errorf("ErlangC at a == k: err = %v, want ErrUnstable", err)
+	}
+	if _, err := ErlangB(0, 1); !errors.Is(err, ErrParams) {
+		t.Errorf("ErlangB(0, 1): err = %v, want ErrParams", err)
+	}
+}
+
+// TestMGkCollapsesToPK pins the design invariant: at k = 1 the Lee–Longton
+// approximation is not an approximation — it reproduces the
+// Pollaczek–Khinchine mean (Eq. 4) and delay probability rho exactly, for
+// any service distribution.
+func TestMGkCollapsesToPK(t *testing.T) {
+	cases := []struct {
+		name string
+		b    ServiceMoments
+	}{
+		{"deterministic", detMoments(0.4)},
+		{"exponential", expMoments(0.4)},
+		{"highvar", ServiceMoments{M1: 0.4, M2: 1.0, M3: 5.0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lambda := 2.0 // rho = 0.8
+			q1, err := NewQueue(lambda, tc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qk, err := NewMGkQueue(lambda, 1, tc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := qk.MeanWait(), q1.MeanWait(); math.Abs(got-want) > 1e-12*want {
+				t.Errorf("MeanWait k=1: %g, PK %g", got, want)
+			}
+			if got, want := qk.DelayProbability(), q1.Rho(); math.Abs(got-want) > 1e-12 {
+				t.Errorf("DelayProbability k=1: %g, rho %g", got, want)
+			}
+			if got, want := qk.MeanQueueLength(), q1.MeanQueueLength(); math.Abs(got-want) > 1e-9*want {
+				t.Errorf("MeanQueueLength k=1: %g, PK %g", got, want)
+			}
+		})
+	}
+}
+
+// TestMGkExponentialIsMMk pins that with cv = 1 the approximation reduces
+// to the exact M/M/k mean wait C(k, a)/(k·mu − λ).
+func TestMGkExponentialIsMMk(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		b := expMoments(1.0)
+		lambda := 0.85 * float64(k)
+		q, err := NewMGkQueue(lambda, k, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ErlangC(k, lambda*b.M1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := c / (float64(k)/b.M1 - lambda)
+		if got := q.MeanWait(); math.Abs(got-want) > 1e-12*want {
+			t.Errorf("k=%d: MeanWait = %g, M/M/k closed form %g", k, got, want)
+		}
+	}
+}
+
+func TestMGkValidation(t *testing.T) {
+	b := expMoments(1.0)
+	if _, err := NewMGkQueue(0, 2, b); !errors.Is(err, ErrParams) {
+		t.Errorf("lambda=0: err = %v, want ErrParams", err)
+	}
+	if _, err := NewMGkQueue(1, 0, b); !errors.Is(err, ErrParams) {
+		t.Errorf("k=0: err = %v, want ErrParams", err)
+	}
+	if _, err := NewMGkQueue(2.5, 2, b); !errors.Is(err, ErrUnstable) {
+		t.Errorf("rho>1: err = %v, want ErrUnstable", err)
+	}
+	q, err := NewMGkQueue(3.0, 4, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Rho(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Rho = %g, want 0.75", got)
+	}
+	if got := q.OfferedLoad(); math.Abs(got-3.0) > 1e-12 {
+		t.Errorf("OfferedLoad = %g, want 3", got)
+	}
+	if got, want := q.MeanResponse(), q.MeanWait()+1.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanResponse = %g, want %g", got, want)
+	}
+}
+
+// simMGk runs an event-driven FCFS M/G/k simulation: Poisson arrivals,
+// service times drawn by draw, k servers, earliest-available assignment.
+// Returns the average wait over n arrivals after a warmup prefix.
+func simMGk(lambda float64, k, n int, rng *stats.RNG, draw func(*stats.RNG) float64) float64 {
+	free := make([]float64, k) // next instant each server is idle
+	now := 0.0
+	var sum float64
+	warm := n / 10
+	counted := 0
+	for i := 0; i < n+warm; i++ {
+		now += rng.Exp(lambda)
+		// FCFS: the job enters service when the earliest server frees up.
+		minj := 0
+		for j := 1; j < k; j++ {
+			if free[j] < free[minj] {
+				minj = j
+			}
+		}
+		start := now
+		if free[minj] > start {
+			start = free[minj]
+		}
+		if i >= warm {
+			sum += start - now
+			counted++
+		}
+		free[minj] = start + draw(rng)
+	}
+	return sum / float64(counted)
+}
+
+// TestMGkAgainstSimulation checks the approximation against a k-server
+// FCFS simulation for exponential (exact regime) and deterministic
+// (approximate regime) service.
+func TestMGkAgainstSimulation(t *testing.T) {
+	n := 400000
+	if testing.Short() {
+		n = 80000
+	}
+	cases := []struct {
+		name string
+		b    ServiceMoments
+		draw func(*stats.RNG) float64
+		tol  float64
+	}{
+		{"exponential", expMoments(1.0), func(r *stats.RNG) float64 { return r.Exp(1) }, 0.05},
+		{"deterministic", detMoments(1.0), func(*stats.RNG) float64 { return 1.0 }, 0.10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const k = 4
+			lambda := 0.8 * k
+			q, err := NewMGkQueue(lambda, k, tc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := simMGk(lambda, k, n, stats.NewRNG(1234), tc.draw)
+			want := q.MeanWait()
+			if rel := math.Abs(got-want) / want; rel > tc.tol {
+				t.Errorf("simulated E[W] = %g, model %g (rel err %.1f%% > %.0f%%)",
+					got, want, 100*rel, 100*tc.tol)
+			}
+		})
+	}
+}
+
+func TestMGkGammaApprox(t *testing.T) {
+	q, err := NewMGkQueue(3.2, 4, expMoments(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := q.GammaApprox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.Rho(), q.DelayProbability(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("fitted delay probability = %g, want Erlang-C %g", got, want)
+	}
+	c0, err := d.CDF(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 - q.DelayProbability(); math.Abs(c0-want) > 1e-9 {
+		t.Errorf("CDF(0) = %g, want 1 - C = %g", c0, want)
+	}
+	prev := c0
+	for _, ts := range []float64{0.1, 0.5, 1, 2, 5, 20} {
+		p, err := d.CDF(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev-1e-12 {
+			t.Errorf("CDF not monotone at t=%g: %g < %g", ts, p, prev)
+		}
+		prev = p
+	}
+	if prev < 0.99 {
+		t.Errorf("CDF(20) = %g, want ≈ 1", prev)
+	}
+	// The exponential conditional-wait fit is a Gamma with alpha = 1.
+	alpha, beta := d.AlphaBeta()
+	if math.Abs(alpha-1) > 1e-9 {
+		t.Errorf("alpha = %g, want 1 (exponential conditional wait)", alpha)
+	}
+	m1, m2 := q.DelayedWaitMoments()
+	if math.Abs(beta-m1) > 1e-9 || math.Abs(m2-2*m1*m1) > 1e-9 {
+		t.Errorf("conditional moments: beta=%g m1=%g m2=%g", beta, m1, m2)
+	}
+}

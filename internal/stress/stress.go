@@ -1,0 +1,165 @@
+// Package stress is the churn/soak test wall for the subscription store
+// and the slow-consumer policies: the instrumentation that turns "the
+// broker holds 10^5–10^6 subscriptions" from a claim into a regression-
+// pinned measurement. It provides a population builder over the topic
+// registry, a churn driver, and memory/latency probes; the legs themselves
+// live in the package's tests (short-budget variants run in CI, the full
+// soak sits behind the JMS_STRESS environment variable and `make stress`).
+package stress
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/topic"
+)
+
+// Population is a built subscription population with the bookkeeping the
+// churn driver needs to mutate it.
+type Population struct {
+	Registry *topic.Registry
+	Topic    *topic.Topic
+	Subs     []*topic.Subscription
+
+	// DistinctRules bounds how many distinct filter rules the population
+	// cycles through; interning collapses them to this many canonical
+	// instances regardless of population size.
+	DistinctRules int
+}
+
+// filterFor deterministically picks the i-th subscription's filter: a mix
+// of match-all, exact correlation literals, correlation globs and property
+// selectors, cycling through DistinctRules distinct rule strings so the
+// interner is exercised at every population size.
+func filterFor(i, distinct int) (filter.Filter, error) {
+	r := i % distinct
+	switch i % 4 {
+	case 0:
+		return nil, nil // match-all
+	case 1:
+		return filter.NewCorrelationID("lit-" + strconv.Itoa(r))
+	case 2:
+		return filter.NewCorrelationID("dev-" + strconv.Itoa(r) + "-*")
+	default:
+		return filter.NewProperty("shard = " + strconv.Itoa(r))
+	}
+}
+
+// BuildPopulation subscribes n subscriptions on one topic. distinct bounds
+// the number of distinct rules per filter family (0 defaults to 1024).
+func BuildPopulation(n, distinct int) (*Population, error) {
+	if distinct <= 0 {
+		distinct = 1024
+	}
+	r := topic.NewRegistry()
+	tp, err := r.Configure("t")
+	if err != nil {
+		return nil, err
+	}
+	p := &Population{Registry: r, Topic: tp, DistinctRules: distinct,
+		Subs: make([]*topic.Subscription, 0, n)}
+	for i := 0; i < n; i++ {
+		f, err := filterFor(i, distinct)
+		if err != nil {
+			return nil, err
+		}
+		s, err := r.Subscribe("t", f, nil)
+		if err != nil {
+			return nil, err
+		}
+		p.Subs = append(p.Subs, s)
+	}
+	return p, nil
+}
+
+// Churn performs ops random subscribe/unsubscribe operations (keeping the
+// population size roughly constant) and returns the number performed.
+func (p *Population) Churn(rng *rand.Rand, ops int) (int, error) {
+	for i := 0; i < ops; i++ {
+		if len(p.Subs) == 0 || rng.Intn(2) == 0 {
+			f, err := filterFor(rng.Intn(1<<20), p.DistinctRules)
+			if err != nil {
+				return i, err
+			}
+			s, err := p.Registry.Subscribe("t", f, nil)
+			if err != nil {
+				return i, err
+			}
+			p.Subs = append(p.Subs, s)
+		} else {
+			k := rng.Intn(len(p.Subs))
+			s := p.Subs[k]
+			p.Subs[k] = p.Subs[len(p.Subs)-1]
+			p.Subs = p.Subs[:len(p.Subs)-1]
+			if err := p.Registry.Unsubscribe("t", s.ID); err != nil {
+				return i, err
+			}
+		}
+	}
+	return ops, nil
+}
+
+// Close unsubscribes the whole population.
+func (p *Population) Close() error {
+	for _, s := range p.Subs {
+		if err := p.Registry.Unsubscribe("t", s.ID); err != nil {
+			return err
+		}
+	}
+	p.Subs = nil
+	return nil
+}
+
+// HeapLive returns the live heap bytes after a full GC — the basis of the
+// bytes-per-subscription measurement.
+func HeapLive() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// BytesPerSub measures the marginal live-heap cost of a subscription by
+// building a population of n on top of a small baseline population and
+// dividing the heap growth by the added count. The baseline absorbs the
+// fixed cost of the registry, maps and interner so the quotient reflects
+// the per-subscription footprint.
+func BytesPerSub(n int) (float64, error) {
+	const baseline = 1024
+	base, err := BuildPopulation(baseline, 256)
+	if err != nil {
+		return 0, err
+	}
+	before := HeapLive()
+	grown, err := BuildPopulation(n, 256)
+	if err != nil {
+		return 0, err
+	}
+	after := HeapLive()
+	runtime.KeepAlive(base)
+	runtime.KeepAlive(grown)
+	if after <= before {
+		return 0, fmt.Errorf("stress: heap did not grow (%d -> %d)", before, after)
+	}
+	return float64(after-before) / float64(n), nil
+}
+
+// RebuildLatency churns batch ops on the population and times the
+// following Index() call — the epoch-snapshot rebuild the storm pins. It
+// returns the rebuild duration and the allocation count it incurred.
+func (p *Population) RebuildLatency(rng *rand.Rand, batch int) (time.Duration, uint64, error) {
+	if _, err := p.Churn(rng, batch); err != nil {
+		return 0, 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	p.Topic.Index()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, after.Mallocs - before.Mallocs, nil
+}

@@ -211,6 +211,8 @@ func WriteMetrics(w io.Writer, opts Options) {
 		WriteCounter(bw, "jms_broker_filter_evals_total", "Individual filter evaluations.", st.FilterEvals)
 		WriteCounter(bw, "jms_broker_dropped_total", "Non-persistent deliveries discarded on full queues.", st.Dropped)
 		WriteCounter(bw, "jms_broker_expired_total", "Messages discarded at dispatch because their expiration passed.", st.Expired)
+		WriteCounter(bw, "jms_slow_consumer_dropped_total", "Deliveries evicted by the drop-oldest slow-consumer policy.", st.SlowDropped)
+		WriteCounter(bw, "jms_slow_consumer_disconnects_total", "Subscriptions force-removed by the disconnect slow-consumer policy.", st.SlowDisconnects)
 		WriteGauge(bw, "jms_broker_filters", "Currently installed filters (the paper's n_fltr).", float64(b.NumFilters()))
 
 		tel := b.Telemetry()

@@ -6,52 +6,67 @@ import (
 )
 
 // FilterIndex is the fast dispatch engine's view of one subscription
-// snapshot. It replaces the paper-faithful O(n_fltr) linear scan with:
+// table version. It replaces the paper-faithful O(n_fltr) linear scan with:
 //
 //   - a hash table over exact correlation-ID filters (one map probe covers
 //     the whole exact-match population — the optimization the paper shows
 //     FioranoMQ lacks, §III-B),
 //   - a bucket of match-all subscriptions that skip evaluation entirely,
 //   - a grouped evaluator that deduplicates identical remaining filters
-//     (same kind, same rule text) so each distinct rule runs once per
-//     message no matter how many subscribers installed it,
+//     so each distinct rule runs once per message no matter how many
+//     subscribers installed it,
 //   - a linear fallback for everything else (glob/range correlation IDs,
 //     selectors, composites), evaluated one representative per group.
 //
-// A FilterIndex is immutable after BuildIndex and safe for concurrent use
-// by any number of dispatch workers.
+// A FilterIndex is safe for concurrent use by any number of dispatch
+// workers. Indexes obtained from Topic.Index share rule-set storage with
+// the live store: the maps and group list are frozen, while each rule
+// set's membership slice is an atomically published immutable copy. A
+// dispatcher holding an older index therefore sees current (not torn)
+// membership for the rules it knew about, and picks up new rules on its
+// next Index call — mirroring the staleness contract of Topic.Snapshot.
 type FilterIndex struct {
 	total int
-	// all are subscriptions that match every message (topic-only filters).
-	all []*Subscription
-	// exact buckets exact-match correlation-ID filters by their literal.
-	exact map[string][]*Subscription
+	epoch uint64
+	// all holds subscriptions that match every message (topic-only
+	// filters); nil when none were ever installed.
+	all *subSet
+	// exact and ov bucket exact-match correlation-ID filters by literal.
+	// ov is the small overlay for literals added since the last map merge;
+	// both maps are frozen once published.
+	exact map[string]*subSet
+	ov    map[string]*subSet
 	// groups are the remaining filters, one entry per distinct rule; all
 	// subscribers sharing the rule ride on a single evaluation.
-	groups []filterGroup
+	groups []indexGroup
 }
 
-type filterGroup struct {
-	f    filter.Filter
-	subs []*Subscription
+type indexGroup struct {
+	f   filter.Filter
+	set *subSet
 }
 
-// BuildIndex indexes a subscription snapshot. The slice must be immutable
-// (as returned by Topic.Snapshot).
+// BuildIndex indexes a static subscription snapshot (as returned by
+// Topic.Snapshot). The resulting index is fully frozen: it shares no
+// storage with any live topic.
 func BuildIndex(subs []*Subscription) *FilterIndex {
 	idx := &FilterIndex{total: len(subs)}
+	var all []*Subscription
+	exact := make(map[string][]*Subscription)
 	groupOf := make(map[string]int)
+	type protoGroup struct {
+		f    filter.Filter
+		subs []*Subscription
+	}
+	var groups []protoGroup
 	for _, s := range subs {
 		switch f := s.Filter.(type) {
 		case filter.All:
-			idx.all = append(idx.all, s)
+			all = append(all, s)
 			continue
 		case *filter.CorrelationID:
 			if lit, ok := f.Exact(); ok {
-				if idx.exact == nil {
-					idx.exact = make(map[string][]*Subscription)
-				}
-				idx.exact[lit] = append(idx.exact[lit], s)
+				exact[lit] = append(exact[lit], s)
 				continue
 			}
 		}
@@ -65,18 +80,39 @@ func BuildIndex(subs []*Subscription) *FilterIndex {
 		}
 		if key != "" {
 			if gi, ok := groupOf[key]; ok {
-				idx.groups[gi].subs = append(idx.groups[gi].subs, s)
+				groups[gi].subs = append(groups[gi].subs, s)
 				continue
 			}
-			groupOf[key] = len(idx.groups)
+			groupOf[key] = len(groups)
 		}
-		idx.groups = append(idx.groups, filterGroup{f: s.Filter, subs: []*Subscription{s}})
+		groups = append(groups, protoGroup{f: s.Filter, subs: []*Subscription{s}})
+	}
+	if len(all) > 0 {
+		idx.all = frozenSet(all)
+	}
+	if len(exact) > 0 {
+		idx.exact = make(map[string]*subSet, len(exact))
+		for lit, members := range exact {
+			idx.exact[lit] = frozenSet(members)
+		}
+	}
+	if len(groups) > 0 {
+		idx.groups = make([]indexGroup, len(groups))
+		for i, g := range groups {
+			idx.groups[i] = indexGroup{f: g.f, set: frozenSet(g.subs)}
+		}
 	}
 	return idx
 }
 
+func frozenSet(members []*Subscription) *subSet {
+	s := &subSet{}
+	s.pub.Store(&members)
+	return s
+}
+
 // NumSubscriptions returns the number of indexed subscriptions — the
-// paper's n_fltr for this topic.
+// paper's n_fltr for this topic — as of the index's build version.
 func (idx *FilterIndex) NumSubscriptions() int { return idx.total }
 
 // NumGroups returns the number of deduplicated filter groups that require
@@ -86,19 +122,26 @@ func (idx *FilterIndex) NumGroups() int { return len(idx.groups) }
 
 // Match appends the subscriptions matching m to dst and returns the
 // extended slice together with the number of filter evaluations performed
-// (a map probe counts as one evaluation). Passing a reused dst slice makes
-// steady-state matching allocation-free.
+// (the exact-literal hash probe counts as one evaluation). Passing a
+// reused dst slice makes steady-state matching allocation-free.
 func (idx *FilterIndex) Match(m *jms.Message, dst []*Subscription) ([]*Subscription, int) {
-	dst = append(dst, idx.all...)
+	if idx.all != nil {
+		dst = append(dst, idx.all.loadPub()...)
+	}
 	evals := 0
-	if idx.exact != nil {
+	if idx.exact != nil || idx.ov != nil {
 		evals++
-		dst = append(dst, idx.exact[m.Header.CorrelationID]...)
+		lit := m.Header.CorrelationID
+		if s, ok := idx.exact[lit]; ok {
+			dst = append(dst, s.loadPub()...)
+		} else if s, ok := idx.ov[lit]; ok {
+			dst = append(dst, s.loadPub()...)
+		}
 	}
 	for i := range idx.groups {
 		evals++
 		if idx.groups[i].f.Matches(m) {
-			dst = append(dst, idx.groups[i].subs...)
+			dst = append(dst, idx.groups[i].set.loadPub()...)
 		}
 	}
 	return dst, evals

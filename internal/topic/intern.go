@@ -1,0 +1,97 @@
+package topic
+
+import (
+	"sync"
+
+	"repro/internal/filter"
+)
+
+// Interner canonicalizes filters so that the store holds one Filter
+// instance (and one copy of its rule text) no matter how many subscribers
+// install the same rule. At 10^5-10^6 subscriptions the per-subscriber
+// filter objects dominate store memory unless they are shared; interning
+// also lets the dispatch index group identical rules by pointer identity
+// instead of re-rendering rule strings.
+//
+// Only filter kinds whose String() fully determines their behavior are
+// interned: *filter.CorrelationID and *filter.Property both compile
+// deterministically from their rule text. Composite (And/Or) and unknown
+// Filter implementations pass through untouched — their rendered text does
+// not unambiguously identify the rule tree.
+//
+// Entries are reference-counted: Release drops a reference and deletes the
+// entry when the last subscriber using the rule goes away, so a registry
+// that churns through distinct rules does not leak the table.
+type Interner struct {
+	mu      sync.Mutex
+	entries map[internKey]*internEntry
+}
+
+type internKey struct {
+	kind filter.Kind
+	rule string
+}
+
+type internEntry struct {
+	f    filter.Filter
+	refs int
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{entries: make(map[internKey]*internEntry)}
+}
+
+// internable reports whether f is a filter kind that is safe to
+// canonicalize by (kind, rule text).
+func internable(f filter.Filter) bool {
+	switch f.(type) {
+	case *filter.CorrelationID, *filter.Property:
+		return true
+	}
+	return false
+}
+
+// Intern returns the canonical instance for f, taking one reference. If f
+// is not an internable kind it is returned unchanged and no reference is
+// taken (Release on it is a no-op).
+func (in *Interner) Intern(f filter.Filter) filter.Filter {
+	if !internable(f) {
+		return f
+	}
+	key := internKey{kind: f.Kind(), rule: f.String()}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if e, ok := in.entries[key]; ok {
+		e.refs++
+		return e.f
+	}
+	in.entries[key] = &internEntry{f: f, refs: 1}
+	return f
+}
+
+// Release drops one reference to a filter previously returned by Intern.
+// Releasing a non-interned filter is a no-op.
+func (in *Interner) Release(f filter.Filter) {
+	if !internable(f) {
+		return
+	}
+	key := internKey{kind: f.Kind(), rule: f.String()}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	e, ok := in.entries[key]
+	if !ok {
+		return
+	}
+	e.refs--
+	if e.refs <= 0 {
+		delete(in.entries, key)
+	}
+}
+
+// Len returns the number of distinct interned rules currently referenced.
+func (in *Interner) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.entries)
+}

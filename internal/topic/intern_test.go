@@ -1,0 +1,176 @@
+package topic
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/jms"
+)
+
+func newCorrMessage(t *testing.T, lit string) *jms.Message {
+	t.Helper()
+	m := jms.NewMessage("t")
+	if err := m.SetCorrelationID(lit); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInternCanonicalizes(t *testing.T) {
+	in := NewInterner()
+	f1 := corrID(t, "dev-*")
+	f2 := corrID(t, "dev-*")
+	if f1 == f2 {
+		t.Fatal("test needs distinct instances")
+	}
+	c1 := in.Intern(f1)
+	c2 := in.Intern(f2)
+	if c1 != c2 {
+		t.Error("identical rules must intern to one instance")
+	}
+	if c1.String() != f1.String() || c1.Kind() != f1.Kind() {
+		t.Errorf("canonical instance changed the rule: %v/%v", c1.Kind(), c1)
+	}
+	if in.Len() != 1 {
+		t.Errorf("Len = %d, want 1", in.Len())
+	}
+
+	p1 := in.Intern(filter.MustProperty("prop = 1"))
+	p2 := in.Intern(filter.MustProperty("prop = 1"))
+	if p1 != p2 {
+		t.Error("identical selectors must intern to one instance")
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len = %d, want 2", in.Len())
+	}
+	// Same rule text under a different kind must not collide.
+	if c1 == p1 {
+		t.Error("kinds collided")
+	}
+}
+
+func TestInternRefcount(t *testing.T) {
+	in := NewInterner()
+	f := corrID(t, "id[3;9]")
+	c1 := in.Intern(f)
+	c2 := in.Intern(corrID(t, "id[3;9]"))
+	in.Release(c1)
+	if in.Len() != 1 {
+		t.Errorf("Len after partial release = %d, want 1", in.Len())
+	}
+	in.Release(c2)
+	if in.Len() != 0 {
+		t.Errorf("Len after full release = %d, want 0 (leak)", in.Len())
+	}
+	// A fresh intern after full release starts a new canonical entry.
+	c3 := in.Intern(corrID(t, "id[3;9]"))
+	if in.Len() != 1 || c3 == nil {
+		t.Errorf("re-intern after release failed: Len = %d", in.Len())
+	}
+}
+
+func TestInternPassesThroughComposites(t *testing.T) {
+	in := NewInterner()
+	a, err := filter.NewAnd(corrID(t, "#0"), filter.MustProperty("prop = 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Intern(a); got != a {
+		t.Error("composite filters must pass through uninterned")
+	}
+	if in.Len() != 0 {
+		t.Errorf("Len = %d, want 0", in.Len())
+	}
+	in.Release(a) // must be a no-op
+}
+
+func TestRegistryInternsAcrossSubscribers(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Configure("t"); err != nil {
+		t.Fatal(err)
+	}
+	var subs []*Subscription
+	for i := 0; i < 100; i++ {
+		s, err := r.Subscribe("t", filter.MustProperty("load > 5"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, s)
+	}
+	if r.InternedRules() != 1 {
+		t.Errorf("InternedRules = %d, want 1 (one shared rule)", r.InternedRules())
+	}
+	for _, s := range subs[1:] {
+		if s.Filter != subs[0].Filter {
+			t.Fatal("subscribers with identical rules must share one Filter instance")
+		}
+	}
+	for _, s := range subs {
+		if err := r.Unsubscribe("t", s.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.InternedRules() != 0 {
+		t.Errorf("InternedRules after unsubscribe-all = %d, want 0", r.InternedRules())
+	}
+}
+
+// TestExactLiteralChurnCrossesMapThresholds drives enough distinct exact
+// correlation-ID literals through the store to force the overflow merge and
+// the tombstone compaction, checking match correctness on both sides of
+// each threshold.
+func TestExactLiteralChurnCrossesMapThresholds(t *testing.T) {
+	r := NewRegistry()
+	tp, err := r.Configure("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := exactOverflowMax + 1000
+	ids := make([]SubscriptionID, n)
+	for i := 0; i < n; i++ {
+		s, err := r.Subscribe("t", corrID(t, "lit-"+strconv.Itoa(i)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = s.ID
+		if i%512 == 0 {
+			tp.Index() // interleave rebuilds so pending spills into overflow
+		}
+	}
+	idx, _ := tp.Index()
+	if idx.NumSubscriptions() != n {
+		t.Fatalf("NumSubscriptions = %d, want %d", idx.NumSubscriptions(), n)
+	}
+	probe := func(lit string, want int) {
+		t.Helper()
+		m := newCorrMessage(t, lit)
+		subs, evals := idx.Match(m, nil)
+		if len(subs) != want {
+			t.Fatalf("Match(%q) = %d subs, want %d", lit, len(subs), want)
+		}
+		if evals != 1 {
+			t.Fatalf("Match(%q) evals = %d, want 1", lit, evals)
+		}
+	}
+	probe("lit-0", 1)
+	probe("lit-"+strconv.Itoa(n-1), 1)
+	probe("lit-missing", 0)
+
+	// Tombstone the bulk of the population, then revive one literal.
+	for i := 0; i < n-100; i++ {
+		if err := r.Unsubscribe("t", ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Subscribe("t", corrID(t, "lit-0"), nil); err != nil {
+		t.Fatal(err)
+	}
+	idx, _ = tp.Index()
+	probe("lit-0", 1)                  // revived
+	probe("lit-1", 0)                  // tombstoned
+	probe("lit-"+strconv.Itoa(n-1), 1) // survivor
+	if got := tp.NumSubscriptions(); got != 101 {
+		t.Fatalf("NumSubscriptions = %d, want 101", got)
+	}
+}

@@ -479,6 +479,25 @@ func DecodeError(payload []byte) (reqID uint64, msg string, err error) {
 	return reqID, msg, err
 }
 
+// EncodeSubClosed builds a SUB_CLOSED payload: subscription id u64,
+// reason str.
+func EncodeSubClosed(subID uint64, reason string) []byte {
+	var e encoder
+	e.u64(subID)
+	e.str(reason)
+	return e.buf
+}
+
+// DecodeSubClosed parses a SUB_CLOSED payload.
+func DecodeSubClosed(payload []byte) (subID uint64, reason string, err error) {
+	d := decoder{buf: payload}
+	if subID, err = d.u64(); err != nil {
+		return 0, "", err
+	}
+	reason, err = d.str()
+	return subID, reason, err
+}
+
 // EncodeString builds a single-string payload (topic configuration).
 func EncodeString(s string) []byte {
 	var e encoder

@@ -63,6 +63,11 @@ const (
 	// batch.go). The broker answers the whole batch with a single PUB_ACK,
 	// so one push-back round trip amortizes over every message in it.
 	FrameBatch
+	// FrameSubClosed notifies a subscriber that the broker ended its
+	// subscription server-side (payload: subscription id u64, reason str).
+	// Unsolicited — it carries no request ID and has no reply. Sent today
+	// when a slow-consumer disconnect policy kicks the subscription.
+	FrameSubClosed
 )
 
 // String names the frame type.
@@ -100,6 +105,8 @@ func (t FrameType) String() string {
 		return "MSG_ACK"
 	case FrameBatch:
 		return "MSG_BATCH"
+	case FrameSubClosed:
+		return "SUB_CLOSED"
 	default:
 		return "FrameType(" + strconv.Itoa(int(t)) + ")"
 	}

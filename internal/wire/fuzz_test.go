@@ -33,6 +33,7 @@ func fuzzSeedFrames() []Frame {
 		{Type: FramePubAck, Payload: EncodeU64(99)},
 		{Type: FrameMsgAck, Payload: EncodeAck(3, 41)},
 		{Type: FrameError, Payload: EncodeError(7, "no such topic")},
+		{Type: FrameSubClosed, Payload: EncodeSubClosed(5, "slow-consumer")},
 		{Type: FrameConfigureTopic, Payload: EncodeString("orders")},
 		{Type: FramePing},
 	}
@@ -125,6 +126,15 @@ func FuzzDecodeFrame(f *testing.F) {
 			reqID2, msg2, err := DecodeError(EncodeError(reqID, msg))
 			if err != nil || reqID2 != reqID || msg2 != msg {
 				t.Fatalf("error frame changed: (%d,%q,%v)", reqID2, msg2, err)
+			}
+		case FrameSubClosed:
+			subID, reason, err := DecodeSubClosed(fr.Payload)
+			if err != nil {
+				return
+			}
+			subID2, reason2, err := DecodeSubClosed(EncodeSubClosed(subID, reason))
+			if err != nil || subID2 != subID || reason2 != reason {
+				t.Fatalf("sub-closed changed: (%d,%q,%v)", subID2, reason2, err)
 			}
 		case FrameMsgAck:
 			subID, seq, err := DecodeAck(fr.Payload)

@@ -576,6 +576,39 @@ func (sc *serverConn) deliveryPump(cs *connSub) {
 			if err := sc.writeDeliveries(cs, batch); err != nil {
 				return
 			}
+		case <-cs.sub.Gone():
+			// The broker ended the subscription server-side (today: the
+			// disconnect slow-consumer policy). Flush what is still queued,
+			// notify the client, and drop the entry so a later client
+			// UNSUBSCRIBE reports unknown-subscription instead of finishing
+			// a pump that already exited. finish() must NOT run here — the
+			// subscription is already gone and cs.stop stays open for it.
+			for {
+				select {
+				case m, ok := <-cs.sub.Chan():
+					if !ok {
+						break
+					}
+					if err := sc.writeDeliveries(cs, []*jms.Message{m}); err != nil {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			reason := "unsubscribed"
+			if cs.sub.SlowDisconnected() {
+				reason = "slow-consumer"
+			}
+			_ = sc.write(Frame{Type: FrameSubClosed, Payload: EncodeSubClosed(cs.id, reason)})
+			sc.subMu.Lock()
+			if sc.subs != nil {
+				delete(sc.subs, cs.id)
+			}
+			sc.subMu.Unlock()
+			sc.log.Debug("subscription closed by broker", "sub", cs.id, "reason", reason)
+			return
 		case <-cs.stop:
 			return
 		case <-sc.done:
