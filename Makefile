@@ -17,7 +17,7 @@ test:
 # self-healing cluster bridges, conformance harness), and the telemetry
 # plane scraped while the broker dispatches.
 race:
-	$(GO) test -race ./internal/jms/... ./internal/topic/... ./internal/broker/... ./internal/wire/... ./internal/client/... ./internal/faultnet/... ./internal/cluster/... ./internal/conformance/... ./internal/metrics/... ./internal/telemetry/... ./internal/stress/... ./cmd/jmsd/...
+	$(GO) test -race ./internal/jms/... ./internal/topic/... ./internal/broker/... ./internal/wire/... ./internal/client/... ./internal/faultnet/... ./internal/cluster/... ./internal/conformance/... ./internal/metrics/... ./internal/telemetry/... ./internal/trace/... ./internal/stress/... ./cmd/jmsd/...
 
 # bench runs the regression benchmark set (publish, dispatch, batch
 # codec, end-to-end wire loop, subscription store), records a dated
@@ -27,13 +27,15 @@ race:
 # zero-allocation wire-path rows to their designed budgets (batch decode:
 # message + body slab; batch encode and delivery: pooled,
 # allocation-free); -maxmetric pins the subscription store's marginal
-# memory footprint at the 10^5 population. Both are hard ceilings.
+# memory footprint at the 10^5 population and the flight recorder's
+# end-to-end throughput cost at its 5% acceptance ceiling. All are hard
+# ceilings.
 bench:
 	@mkdir -p bench
 	$(GO) test -run xxx -bench BenchmarkRegression -benchtime 1s -benchmem . | tee bench/latest.txt
 	$(GO) run ./cmd/benchjson -in bench/latest.txt -dir bench \
 		-maxallocs 'RegressionBatchDecode=2,RegressionBatchEncode=2,RegressionDeliver=0' \
-		-maxmetric 'RegressionSubscriptionStore:bytes/sub=1024'
+		-maxmetric 'RegressionSubscriptionStore:bytes/sub=1024,RegressionEndToEndTraced:overhead_pct=5'
 
 # bench-all runs every benchmark (figure regenerations + ablations) once.
 bench-all:

@@ -15,12 +15,14 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/broker"
 	"repro/internal/client"
 	"repro/internal/filter"
 	"repro/internal/jms"
 	"repro/internal/stress"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -241,6 +243,163 @@ func BenchmarkRegressionEndToEnd(b *testing.B) {
 	if s := elapsed.Seconds(); s > 0 {
 		b.ReportMetric(float64(total)/s/float64(runtime.GOMAXPROCS(0)), "msgs/s/core")
 	}
+}
+
+// e2eStack is one full wire loop — broker, TCP server, one draining
+// subscriber and a set of batching publishers — optionally with a flight
+// recorder attached to both the broker and wire layers. It is the
+// fixture for the tracing-overhead guard, which needs two such loops
+// side by side.
+type e2eStack struct {
+	pubs []*client.Client
+	sub  *client.Subscription
+}
+
+func newE2EStack(b *testing.B, publishers int, rec *trace.Recorder) *e2eStack {
+	b.Helper()
+	br := broker.New(broker.Options{
+		InFlight: 1024, SubscriberBuffer: 1 << 15,
+		Engine: broker.EngineFast, Shards: 4,
+		Tracer: rec,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := wire.ServeWith(br, ln, wire.ServeOptions{Tracer: rec})
+	b.Cleanup(func() {
+		_ = srv.Close()
+		_ = br.Close()
+	})
+	ctx := context.Background()
+
+	subCl, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = subCl.Close() })
+	if err := subCl.ConfigureTopic(ctx, "t"); err != nil {
+		b.Fatal(err)
+	}
+	sub, err := subCl.Subscribe(ctx, "t", wire.FilterSpec{Mode: wire.FilterNone}, 1<<15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pubs := make([]*client.Client, publishers)
+	for i := range pubs {
+		if pubs[i], err = client.Dial(ln.Addr().String()); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func(c *client.Client) func() {
+			return func() { _ = c.Close() }
+		}(pubs[i]))
+	}
+	return &e2eStack{pubs: pubs, sub: sub}
+}
+
+// pump pushes perPub messages through each publisher in batches, waits
+// for the subscriber to drain all of them, and returns the wall time.
+func (s *e2eStack) pump(b *testing.B, perPub, batch int) time.Duration {
+	ctx := context.Background()
+	total := perPub * len(s.pubs)
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for n := 0; n < total; {
+			if _, ok := <-s.sub.Chan(); !ok {
+				return
+			}
+			n++
+		}
+	}()
+	var wg sync.WaitGroup
+	for _, p := range s.pubs {
+		wg.Add(1)
+		go func(c *client.Client) {
+			defer wg.Done()
+			msgs := make([]*jms.Message, batch)
+			for sent := 0; sent < perPub; sent += batch {
+				for j := range msgs {
+					m := jms.NewMessage("t")
+					m.SetBody(make([]byte, 128))
+					msgs[j] = m
+				}
+				if err := c.PublishBatch(ctx, msgs); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	<-done
+	return time.Since(start)
+}
+
+// BenchmarkRegressionEndToEndTraced is the tracing-overhead guard: the
+// same wire loop as BenchmarkRegressionEndToEnd run twice over — once
+// bare and once with a flight recorder at the jmsd default sampling rate
+// (1 in 64) — in interleaved chunks whose order alternates every round,
+// so host drift and the cold-phase penalty land on both loops equally.
+// overhead_pct compares the two loops' best (minimum) per-round times —
+// the standard noise-robust estimator, since scheduler and GC noise on a
+// shared host only ever adds time — clamped at zero, and is pinned at ≤5
+// by cmd/benchjson -maxmetric in `make bench`: the acceptance ceiling
+// for what tracing may cost.
+func BenchmarkRegressionEndToEndTraced(b *testing.B) {
+	const batch = 16
+	const publishers = 4
+	const rounds = 6
+
+	bare := newE2EStack(b, publishers, nil)
+	rec := trace.New(trace.Config{SampleEvery: 64})
+	b.Cleanup(rec.Close)
+	traced := newE2EStack(b, publishers, rec)
+
+	// Round b.N up to whole batches per publisher, split across rounds.
+	perPub := (b.N + publishers*batch - 1) / (publishers * batch) * batch
+	perRound := (perPub/rounds + batch - 1) / batch * batch
+
+	// Untimed warmup: connections, pools, arenas and the runtime settle on
+	// both stacks before anything is compared, so the later-built stack
+	// does not pay its cold-start inside the measurement.
+	bare.pump(b, perRound, batch)
+	traced.pump(b, perRound, batch)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	best := func(cur, d time.Duration) time.Duration {
+		if cur == 0 || d < cur {
+			return d
+		}
+		return cur
+	}
+	var bareBest, tracedBest, tracedTotal time.Duration
+	for r := 0; r < rounds; r++ {
+		if r%2 == 0 {
+			bareBest = best(bareBest, bare.pump(b, perRound, batch))
+			d := traced.pump(b, perRound, batch)
+			tracedBest, tracedTotal = best(tracedBest, d), tracedTotal+d
+		} else {
+			d := traced.pump(b, perRound, batch)
+			tracedBest, tracedTotal = best(tracedBest, d), tracedTotal+d
+			bareBest = best(bareBest, bare.pump(b, perRound, batch))
+		}
+	}
+	b.StopTimer()
+	if b.Failed() || bareBest <= 0 || tracedBest <= 0 {
+		return
+	}
+	// Equal message counts per round, so best-time ratio is the
+	// best-throughput ratio.
+	overhead := (1 - bareBest.Seconds()/tracedBest.Seconds()) * 100
+	if overhead < 0 {
+		overhead = 0
+	}
+	total := perRound * rounds * publishers
+	b.ReportMetric(overhead, "overhead_pct")
+	b.ReportMetric(float64(total)/tracedTotal.Seconds()/float64(runtime.GOMAXPROCS(0)), "msgs/s/core")
 }
 
 // BenchmarkRegressionBatchDecode measures the decode side as the server

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -82,6 +83,8 @@ func run(args []string, stop <-chan struct{}, ready chan<- addrs) error {
 	stages := fs.Bool("stages", false, "record per-stage pipeline timings and log the Eq. 1 components at shutdown")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
 	driftEvery := fs.Duration("drift-interval", 5*time.Second, "model-drift monitor evaluation interval (with -http)")
+	traceSample := fs.Int("trace-sample", 64, "flight recorder: record full spans for 1-in-N traced messages (with -http; 0 disables /trace)")
+	traceTail := fs.Int("trace-tail", 16, "flight recorder: always keep the slowest N traces per window")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +102,14 @@ func run(args []string, stop <-chan struct{}, ready chan<- addrs) error {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	// The flight recorder only pays off when the telemetry plane can
+	// serve /trace, so it rides the -http flag like the drift monitor.
+	var recorder *trace.Recorder
+	if *httpAddr != "" && *traceSample > 0 {
+		recorder = trace.New(trace.Config{SampleEvery: *traceSample, TailKeep: *traceTail})
+		defer recorder.Close()
+	}
+
 	b := broker.New(broker.Options{
 		InFlight:         *inFlight,
 		SubscriberBuffer: *subBuffer,
@@ -108,6 +119,7 @@ func run(args []string, stop <-chan struct{}, ready chan<- addrs) error {
 		StageTiming:      *stages,
 		// The telemetry plane needs the per-topic waiting-time tracing.
 		WaitTiming: *httpAddr != "",
+		Tracer:     recorder,
 	})
 	for _, name := range strings.Split(*topics, ",") {
 		name = strings.TrimSpace(name)
@@ -123,7 +135,7 @@ func run(args []string, stop <-chan struct{}, ready chan<- addrs) error {
 	if err != nil {
 		return err
 	}
-	srv := wire.ServeWith(b, ln, wire.ServeOptions{Logger: logger})
+	srv := wire.ServeWith(b, ln, wire.ServeOptions{Logger: logger, Tracer: recorder})
 	logger.Info("listening",
 		"addr", ln.Addr().String(),
 		"engine", engine.String(),
@@ -146,11 +158,13 @@ func run(args []string, stop <-chan struct{}, ready chan<- addrs) error {
 			return fmt.Errorf("-http: %w", err)
 		}
 		drift = telemetry.NewMonitor(b, *driftEvery)
+		drift.AttachTracer(recorder)
 		drift.Start()
 		httpSrv = &http.Server{Handler: telemetry.NewHandler(telemetry.Options{
 			Broker: b,
 			Wire:   srv,
 			Drift:  drift,
+			Trace:  recorder,
 		})}
 		httpDone = make(chan struct{})
 		go func() {

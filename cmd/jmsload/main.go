@@ -10,10 +10,16 @@
 // M/GI/1 arrival model of the analysis — which is the mode to use when
 // comparing against the broker's online drift monitor (jmsd -http).
 //
-// With -tracesample N every Nth published message carries a trace ID (its
-// send time) through the wire protocol, and the subscriber side reports
-// the end-to-end publish→deliver latency distribution of the sampled
-// messages over the measurement window.
+// With -tracesample N every Nth published message carries a generator-
+// stamped trace ID through the wire protocol; the generator remembers the
+// send time per ID and the subscriber side reports the end-to-end
+// publish→deliver latency distribution of the sampled messages over the
+// measurement window. With -tracehttp pointing at the broker's telemetry
+// plane (jmsd -http), the run additionally fetches the sampled IDs from
+// /trace/{id} after the load stops and prints the server-side per-stage
+// breakdown — ingress→decode→enqueue-wait→match→replicate→transmit→
+// encode→egress — next to the end-to-end latency, so the flight
+// recorder's decomposition can be read against what the client measured.
 //
 // With -churn N the generator additionally runs N churner connections,
 // each cycling subscribe→unsubscribe with distinct correlation-ID filters
@@ -38,12 +44,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +60,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/jms"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -73,6 +83,7 @@ func run(args []string, stdout io.Writer) error {
 	rate := fs.Float64("rate", 0, "aggregate Poisson arrival rate in msgs/s (0 = saturated publishers)")
 	seed := fs.Int64("seed", 1, "RNG seed for the Poisson arrival schedule")
 	traceSample := fs.Int("tracesample", 0, "stamp every Nth published message with a trace ID and report publish-to-deliver latency (0 = off)")
+	traceHTTP := fs.String("tracehttp", "", "jmsd telemetry address (host:port); fetch sampled IDs from /trace/{id} after the run and print the server-side stage breakdown (needs -tracesample)")
 	batch := fs.Int("batch", 0, "batch size: saturated publishers send explicit PublishBatch chunks of this size, paced publishers auto-coalesce up to it (0 or 1 = per-message)")
 	linger := fs.Duration("linger", time.Millisecond, "paced mode: how long the first coalesced message waits for company before a short batch is flushed (needs -batch > 1)")
 	churn := fs.Int("churn", 0, "churner connections cycling subscribe/unsubscribe during the run (0 = off)")
@@ -100,6 +111,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *traceSample > 0 && *matching == 0 {
 		return fmt.Errorf("jmsload: -tracesample needs at least one matching subscriber to observe deliveries")
+	}
+	if *traceHTTP != "" && *traceSample == 0 {
+		return fmt.Errorf("jmsload: -tracehttp needs -tracesample to stamp fetchable IDs")
 	}
 
 	admin, err := client.Dial(*addr)
@@ -135,6 +149,9 @@ func run(args []string, stdout io.Writer) error {
 		measuring atomic.Bool
 		latMu     sync.Mutex
 		lat       = stats.NewSummary()
+		// traceSent maps a generator-stamped TraceID to its send time.
+		traceMu   sync.Mutex
+		traceSent = make(map[uint64]time.Time)
 	)
 	var subWG sync.WaitGroup
 	subConns := make([]*client.Client, 0, *matching+*nonMatching)
@@ -158,18 +175,28 @@ func run(args []string, stdout io.Writer) error {
 			defer subWG.Done()
 			for m := range sub.Chan() {
 				delivered.Add(1)
+				// Every delivery carries a TraceID (the client library
+				// auto-stamps unset ones), so sampled messages are the
+				// ones with a remembered send time, not the nonzero ones.
 				if t := m.Header.TraceID; t != 0 && measuring.Load() {
-					d := time.Since(time.Unix(0, int64(t))).Seconds()
-					latMu.Lock()
-					lat.Add(d)
-					latMu.Unlock()
+					traceMu.Lock()
+					sent, ok := traceSent[t]
+					traceMu.Unlock()
+					if ok {
+						d := time.Since(sent).Seconds()
+						latMu.Lock()
+						lat.Add(d)
+						latMu.Unlock()
+					}
 				}
 			}
 		}()
 	}
 
 	// Publishers: pre-created message template. stamp gives every Nth
-	// clone a trace ID carrying its send time.
+	// clone a generator-owned trace ID and remembers its send time, so
+	// the subscriber side can compute publish→deliver spans and the
+	// post-run -tracehttp pass knows which IDs to ask the broker for.
 	template := jms.NewMessage(*topicName)
 	if *useSelectors {
 		if err := template.SetInt32Property("prop", 0); err != nil {
@@ -181,10 +208,14 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	var published, stamped atomic.Uint64
+	traceBase := trace.NewID(uint64(time.Now().UnixNano()), uint64(*seed))
 	stamp := func(m *jms.Message) {
 		if *traceSample > 0 && published.Add(1)%uint64(*traceSample) == 0 {
-			m.Header.TraceID = uint64(time.Now().UnixNano())
-			stamped.Add(1)
+			id := trace.NewID(traceBase, stamped.Add(1))
+			m.Header.TraceID = id
+			traceMu.Lock()
+			traceSent[id] = time.Now()
+			traceMu.Unlock()
 			return
 		}
 		if *traceSample == 0 {
@@ -393,6 +424,89 @@ func run(args []string, stdout io.Writer) error {
 				time.Duration(mean*float64(time.Second)),
 				time.Duration(p99*float64(time.Second)), n, *traceSample)
 		}
+		if *traceHTTP != "" {
+			traceMu.Lock()
+			ids := make([]uint64, 0, len(traceSent))
+			for id := range traceSent {
+				ids = append(ids, id)
+			}
+			traceMu.Unlock()
+			printStageBreakdown(stdout, *traceHTTP, ids, mean)
+		}
 	}
 	return nil
+}
+
+// printStageBreakdown fetches the broker-side traces for the sampled IDs
+// and prints the mean per-message residency of each pipeline stage next
+// to the client-measured end-to-end latency. The broker's flight
+// recorder head-samples (jmsd -trace-sample N keeps full spans for 1 in
+// N IDs) and commits a trace only after it goes quiet, so the fetch
+// waits briefly, tolerates 404s, and reports how many IDs resolved.
+func printStageBreakdown(stdout io.Writer, addr string, ids []uint64, e2eMean float64) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	// Let the recorder's quiescence sweep (250ms by default) commit the
+	// tail of the run before asking for span trees.
+	time.Sleep(600 * time.Millisecond)
+	cl := &http.Client{Timeout: 2 * time.Second}
+	const maxFetch = 256
+	type agg struct {
+		sumNs int64
+		n     int64
+	}
+	byStage := make(map[string]*agg)
+	var fetched, sojournNs int64
+	for i := len(ids) - 1; i >= 0 && fetched < maxFetch; i-- {
+		resp, err := cl.Get(base + "/trace/" + trace.FormatID(ids[i]))
+		if err != nil {
+			fmt.Fprintf(stdout, "stages   : fetch failed: %v\n", err)
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			continue
+		}
+		var tj trace.TraceJSON
+		err = json.NewDecoder(resp.Body).Decode(&tj)
+		_ = resp.Body.Close()
+		if err != nil || tj.Skeleton || tj.SpanCount == 0 {
+			continue
+		}
+		fetched++
+		sojournNs += tj.TotalNs
+		for _, sp := range tj.Spans {
+			a := byStage[sp.Stage]
+			if a == nil {
+				a = &agg{}
+				byStage[sp.Stage] = a
+			}
+			a.sumNs += sp.DurNs
+			a.n++
+		}
+	}
+	if fetched == 0 {
+		fmt.Fprintf(stdout, "stages   : no sampled IDs resolved at %s/trace (is jmsd running with -trace-sample?)\n", base)
+		return
+	}
+	fmt.Fprintf(stdout, "stages   : %d of %d sampled IDs resolved at %s/trace\n", fetched, len(ids), base)
+	for _, st := range trace.Stages() {
+		a := byStage[st.String()]
+		if a == nil || a.n == 0 {
+			continue
+		}
+		perMsg := time.Duration(a.sumNs / fetched)
+		note := st.Layer()
+		if st == trace.StageIngress {
+			note += ", includes socket idle wait"
+		}
+		fmt.Fprintf(stdout, "  %-12s %12v/msg  (%d spans, %s)\n", st.String(), perMsg, a.n, note)
+	}
+	fmt.Fprintf(stdout, "  %-12s %12v/msg  (broker enqueue→last transmit)\n",
+		"sojourn", time.Duration(sojournNs/fetched))
+	fmt.Fprintf(stdout, "  %-12s %12v/msg  (client publish→deliver)\n",
+		"end-to-end", time.Duration(e2eMean*float64(time.Second)))
 }

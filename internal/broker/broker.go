@@ -32,6 +32,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/jms"
 	"repro/internal/topic"
+	"repro/internal/trace"
 )
 
 // Errors returned by the broker.
@@ -91,6 +92,13 @@ type Options struct {
 	// Telemetry. This is the measured side of the live model-drift
 	// monitor; off by default for the same hot-path reason as StageTiming.
 	WaitTiming bool
+	// Tracer, when non-nil, is the per-message flight recorder: sampled
+	// messages (by TraceID hash) get queue/match/replicate/transmit spans
+	// recorded through the dispatch pipeline, and — when WaitTiming is
+	// also on — unsampled slow messages are offered to its tail keeper as
+	// skeleton traces. Messages are stamped at enqueue whenever it is
+	// set, so the enqueue-wait span exists even without WaitTiming.
+	Tracer *trace.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -214,7 +222,7 @@ func (b *Broker) ConfigureTopic(name string) error {
 		d.tt = &topicTimers{}
 	}
 	b.dispatchers[name] = d
-	p := &pipeline{b: b, d: d, st: b.stages(b.opts.Engine), timers: b.timers}
+	p := &pipeline{b: b, d: d, st: b.stages(b.opts.Engine), timers: b.timers, tracer: b.opts.Tracer}
 	p.tx = queueTransmitter{b: b, d: d}
 	p.start()
 	return nil
@@ -234,7 +242,7 @@ func (b *Broker) Publish(ctx context.Context, m *jms.Message) error {
 	if b.opts.WaitObserver != nil && m.Header.Timestamp.IsZero() {
 		m.Header.Timestamp = b.now()
 	}
-	if d.tt != nil {
+	if d.tt != nil || b.opts.Tracer != nil {
 		m.EnqueuedAt = b.now()
 	}
 	select {
@@ -311,13 +319,13 @@ func (b *Broker) PublishBatch(ctx context.Context, msgs []*jms.Message) error {
 
 // sendUnit stamps and enqueues one same-topic run as a single pubUnit.
 func (b *Broker) sendUnit(ctx context.Context, d *dispatcher, msgs []*jms.Message) error {
-	if b.opts.WaitObserver != nil || d.tt != nil {
+	if b.opts.WaitObserver != nil || d.tt != nil || b.opts.Tracer != nil {
 		now := b.now()
 		for _, m := range msgs {
 			if b.opts.WaitObserver != nil && m.Header.Timestamp.IsZero() {
 				m.Header.Timestamp = now
 			}
-			if d.tt != nil {
+			if d.tt != nil || b.opts.Tracer != nil {
 				m.EnqueuedAt = now
 			}
 		}
@@ -344,7 +352,7 @@ func (b *Broker) TryPublish(m *jms.Message) error {
 	if err != nil {
 		return err
 	}
-	if d.tt != nil {
+	if d.tt != nil || b.opts.Tracer != nil {
 		m.EnqueuedAt = b.now()
 	}
 	select {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/jms"
 	"repro/internal/topic"
+	"repro/internal/trace"
 )
 
 // This file implements the staged dispatch pipeline shared by every engine.
@@ -69,7 +70,8 @@ type pipeline struct {
 	d      *dispatcher
 	st     stageSet
 	tx     Transmitter
-	timers *stageTimers // nil when Options.StageTiming is off
+	timers *stageTimers    // nil when Options.StageTiming is off
+	tracer *trace.Recorder // nil when Options.Tracer is unset
 	// runScratch backs commitBatchRuns' transmit runs. Only the pipeline's
 	// single committing goroutine (serial loop or sharded committer) touches
 	// it, and no callee retains it past the call.
@@ -101,13 +103,20 @@ type seqResult struct {
 	// fold all members in one update).
 	evals   int
 	expired bool
+	// traced marks a head-sampled flight-recorder message: the pipeline
+	// records per-stage spans for it. Decided once in frontStages so the
+	// commit side never re-hashes the TraceID. It packs next to expired:
+	// seqResult must not exceed the runtime's 128-byte map-element inline
+	// threshold, or every insert into the committer's reorder buffer
+	// allocates (pinned by TestSeqResultStaysInline).
+	traced bool
 	// matchDur is the wall time already attributed to the match stage,
 	// subtracted from the loop total when the receive stage is computed as
 	// the residual. Zero unless stage timing is on.
 	matchDur time.Duration
 	// start is the dispatch-start instant, the end of the message's
 	// waiting time W and the origin of its service time B. Zero unless
-	// waiting-time tracing is on.
+	// waiting-time tracing or the flight recorder is on.
 	start time.Time
 	// batch carries the member results of a batched unit, in order; the
 	// unit's seq is the first member's and it spans len(batch) sequence
@@ -438,16 +447,32 @@ func (p *pipeline) commitBatchRuns(members []seqResult, btx batchTransmitter) {
 		mode := r.m.Header.DeliveryMode
 		run = run[:0]
 		j := i
+		anyTraced := false
 		for j < len(members) {
 			rj := &members[j]
 			if rj.expired || len(rj.matches) != 1 || rj.matches[0] != h ||
 				rj.m.Header.DeliveryMode != mode {
 				break
 			}
+			anyTraced = anyTraced || rj.traced
 			run = append(run, rj.m)
 			j++
 		}
+		var t0 time.Time
+		if anyTraced {
+			t0 = time.Now()
+		}
 		btx.TransmitBatch(h, run, mode)
+		if anyTraced {
+			// The run transmits as one unit; each traced member gets an
+			// equal share of its wall time as the transmit span.
+			share := time.Since(t0) / time.Duration(len(run))
+			for k := i; k < j; k++ {
+				if members[k].traced {
+					p.tracer.RecordSpan(members[k].m.Header.TraceID, trace.StageTransmit, t0, share)
+				}
+			}
+		}
 		obs := p.b.opts.Observer
 		for k := i; k < j; k++ {
 			if obs != nil {
@@ -473,12 +498,19 @@ func (p *pipeline) frontStages(mt Matcher, m *jms.Message, dst []*Subscriber) (s
 	if obs := b.opts.WaitObserver; obs != nil && !m.Header.Timestamp.IsZero() {
 		obs(b.now().Sub(m.Header.Timestamp))
 	}
+	traced := p.tracer.Sampled(m.Header.TraceID)
 	var start time.Time
-	if tt := p.d.tt; tt != nil && !m.EnqueuedAt.IsZero() {
+	if tt := p.d.tt; (tt != nil || traced) && !m.EnqueuedAt.IsZero() {
 		start = b.now()
 		w := start.Sub(m.EnqueuedAt)
-		tt.wait.Observe(w)
-		tt.waitM.Observe(w)
+		if tt != nil {
+			tt.wait.Observe(w)
+			tt.waitM.Observe(w)
+		}
+		if traced {
+			// The per-message sample of the model's E[W].
+			p.tracer.RecordSpan(m.Header.TraceID, trace.StageQueue, m.EnqueuedAt, w)
+		}
 	}
 	if !m.Header.Expiration.IsZero() && m.Expired(b.now()) {
 		b.countAdd(&b.expired, 1)
@@ -487,28 +519,48 @@ func (p *pipeline) frontStages(mt Matcher, m *jms.Message, dst []*Subscriber) (s
 
 	// Match stage: n_fltr·t_fltr.
 	var t0 time.Time
-	if p.timers != nil {
+	if p.timers != nil || traced {
 		t0 = time.Now()
 	}
 	matches, nFilters, evals := mt.Match(p.d.topic, m, dst)
 	var matchDur time.Duration
-	if p.timers != nil {
+	if p.timers != nil || traced {
 		matchDur = time.Since(t0)
-		p.timers.match.Observe(matchDur)
+		if p.timers != nil {
+			p.timers.match.Observe(matchDur)
+		}
+		if traced {
+			p.tracer.RecordSpan(m.Header.TraceID, trace.StageMatch, t0, matchDur)
+		}
 	}
-	return seqResult{m: m, matches: matches, nFilters: nFilters, evals: evals, matchDur: matchDur, start: start}, true
+	return seqResult{m: m, matches: matches, nFilters: nFilters, evals: evals, matchDur: matchDur, start: start, traced: traced}, true
 }
 
 // traceCommit records the service and sojourn times of one committed
-// message — the end of the spans opened at enqueue and dispatch start.
+// message — the end of the spans opened at enqueue and dispatch start —
+// and closes out its flight record: head-sampled messages get their
+// covariates (n_fltr, R) and sojourn attached, unsampled ones are offered
+// to the recorder's tail keeper as skeleton traces when slow enough.
 func (p *pipeline) traceCommit(res *seqResult) {
-	tt := p.d.tt
-	if tt == nil || res.start.IsZero() {
+	if res.start.IsZero() {
 		return
 	}
 	end := p.b.now()
-	tt.serviceM.Observe(end.Sub(res.start))
-	tt.sojourn.Observe(end.Sub(res.m.EnqueuedAt))
+	if tt := p.d.tt; tt != nil {
+		tt.serviceM.Observe(end.Sub(res.start))
+		tt.sojourn.Observe(end.Sub(res.m.EnqueuedAt))
+	}
+	if p.tracer == nil {
+		return
+	}
+	id := res.m.Header.TraceID
+	sojourn := end.Sub(res.m.EnqueuedAt)
+	if res.traced {
+		p.tracer.FinishMessage(id, p.d.topic.Name(), res.nFilters, len(res.matches), sojourn)
+	} else if id != 0 {
+		p.tracer.OfferTail(id, p.d.topic.Name(), res.nFilters, len(res.matches),
+			res.m.EnqueuedAt, res.start.Sub(res.m.EnqueuedAt), sojourn)
+	}
 }
 
 // commitOrdered is the committer's per-result step: expired results were
@@ -530,7 +582,7 @@ func (p *pipeline) commitOrdered(res *seqResult) {
 // t_rcv.
 func (p *pipeline) commitStages(res *seqResult) time.Duration {
 	m := res.m
-	if p.timers == nil {
+	if p.timers == nil && !res.traced {
 		for _, h := range res.matches {
 			copyMsg := m
 			if len(res.matches) > 1 {
@@ -546,18 +598,37 @@ func (p *pipeline) commitStages(res *seqResult) time.Duration {
 	}
 	start := time.Now()
 	prev := start
+	var replDur, txDur time.Duration
 	for _, h := range res.matches {
 		copyMsg := m
 		if len(res.matches) > 1 {
 			copyMsg = p.st.replicator.Replicate(m)
 			now := time.Now()
-			p.timers.replicate.Observe(now.Sub(prev))
+			d := now.Sub(prev)
+			replDur += d
+			if p.timers != nil {
+				p.timers.replicate.Observe(d)
+			}
 			prev = now
 		}
 		p.tx.Transmit(h, copyMsg, m.Header.DeliveryMode)
 		now := time.Now()
-		p.timers.transmit.Observe(now.Sub(prev))
+		d := now.Sub(prev)
+		txDur += d
+		if p.timers != nil {
+			p.timers.transmit.Observe(d)
+		}
 		prev = now
+	}
+	if res.traced {
+		// Aggregated per-stage spans: exact summed durations; the
+		// replicate/transmit interleaving is flattened so the two spans
+		// tile the commit window.
+		id := m.Header.TraceID
+		if replDur > 0 {
+			p.tracer.RecordSpan(id, trace.StageReplicate, start, replDur)
+		}
+		p.tracer.RecordSpan(id, trace.StageTransmit, start.Add(replDur), txDur)
 	}
 	if obs := p.b.opts.Observer; obs != nil {
 		obs.ObserveDispatch(p.d.topic.Name(), res.nFilters, len(res.matches))

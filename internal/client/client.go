@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/jms"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -107,6 +108,11 @@ type Client struct {
 
 	reqID atomic.Uint64
 
+	// traceBase seeds this client's auto-stamped TraceIDs (see stampTrace);
+	// traceSeq is the per-publish counter mixed into it.
+	traceBase uint64
+	traceSeq  atomic.Uint64
+
 	mu      sync.Mutex
 	pending map[uint64]chan result
 	subs    map[uint64]*Subscription
@@ -165,6 +171,7 @@ func NewClientWith(conn net.Conn, opts Options) *Client {
 	c := &Client{
 		conn:        conn,
 		opts:        opts,
+		traceBase:   newTraceBase(),
 		pending:     make(map[uint64]chan result),
 		subs:        make(map[uint64]*Subscription),
 		pendingSubs: make(map[uint64]*Subscription),
@@ -494,8 +501,27 @@ func (c *Client) Publish(ctx context.Context, m *jms.Message) error {
 	return c.publishOne(ctx, m)
 }
 
+// clientSeq distinguishes clients created within one clock tick, so two
+// publishers never share a TraceID stream.
+var clientSeq atomic.Uint64
+
+// newTraceBase derives a per-client TraceID seed.
+func newTraceBase() uint64 {
+	return trace.NewID(uint64(time.Now().UnixNano()), clientSeq.Add(1)<<32)
+}
+
+// stampTrace auto-stamps a nonzero TraceID on a message that has none, so
+// every published message carries an end-to-end identity the flight
+// recorder can sample. Caller-set IDs are preserved untouched.
+func (c *Client) stampTrace(m *jms.Message) {
+	if m.Header.TraceID == 0 {
+		m.Header.TraceID = trace.NewID(c.traceBase, c.traceSeq.Add(1))
+	}
+}
+
 // publishOne sends one message as a plain PUBLISH frame.
 func (c *Client) publishOne(ctx context.Context, m *jms.Message) error {
+	c.stampTrace(m)
 	reqID := c.reqID.Add(1)
 	bp := wire.GetBuffer()
 	buf := append((*bp)[:0], 0, 0, 0, 0, 0, 0, 0, 0)
@@ -518,6 +544,9 @@ func (c *Client) PublishBatch(ctx context.Context, msgs []*jms.Message) error {
 		return nil
 	case 1:
 		return c.publishOne(ctx, msgs[0])
+	}
+	for _, m := range msgs {
+		c.stampTrace(m)
 	}
 	reqID := c.reqID.Add(1)
 	bp := wire.GetBuffer()

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/filter"
+	"repro/internal/jms"
+)
+
+// TestBridgeForwardsTraceID pins that a forwarded copy keeps the
+// original message's TraceID, so a flight record spans the whole mesh —
+// the member brokers' recorders merge spans under one ID.
+func TestBridgeForwardsTraceID(t *testing.T) {
+	src := broker.New(broker.Options{})
+	dst := broker.New(broker.Options{})
+	defer func() { _ = src.Close(); _ = dst.Close() }()
+	for _, b := range []*broker.Broker{src, dst} {
+		if err := b.ConfigureTopic("t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br, err := NewBridge(src, dst, "t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = br.Close() }()
+
+	sub, err := dst.Subscribe("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	const id = 0xFEEDF00D1234
+	m := jms.NewMessage("t")
+	m.Header.TraceID = id
+	if err := src.Publish(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sub.Receive(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.TraceID != id {
+		t.Errorf("forwarded TraceID = %#x, want %#x", got.Header.TraceID, id)
+	}
+}
+
+// TestMeshPreservesTraceID publishes into a 3-member mesh and checks the
+// copy every member delivers carries the publisher's TraceID.
+func TestMeshPreservesTraceID(t *testing.T) {
+	const k = 3
+	c := newMesh(t, k)
+	subs := make([]*broker.Subscriber, k)
+	for i := range subs {
+		s, err := c.Subscribe(i, filter.All{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = s
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	const id = 0xA5A5A5A5
+	m := jms.NewMessage("t")
+	m.Header.TraceID = id
+	if err := c.Publish(ctx, 1, m); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range subs {
+		got, err := s.Receive(ctx)
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if got.Header.TraceID != id {
+			t.Errorf("member %d TraceID = %#x, want %#x", i, got.Header.TraceID, id)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package fit
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// This file converts the flight recorder's per-message traces into fit
+// observations: where FromThroughput infers E[B] from an aggregate run
+// and FromStages/FromWire assemble it from stage means, a trace carries
+// one message's measured covariates (n_fltr, R) and its measured service
+// time directly — the ground truth the Eq. 1 regression approximates.
+
+// FromTrace builds one per-message observation from a completed trace.
+// The service time is the message's broker sojourn minus its enqueue
+// wait: everything the dispatch resource spent on the message (match,
+// replicate, transmit and the fixed per-message costs t_rcv absorbs),
+// excluding the queueing the model predicts separately. The trace must
+// have its broker completion recorded (SojournNs > 0) and a queue span.
+func FromTrace(t *trace.Trace) (Observation, error) {
+	if t == nil || t.SojournNs <= 0 {
+		return Observation{}, fmt.Errorf("%w: trace without broker sojourn", ErrBadObservation)
+	}
+	wait := t.StageNs(trace.StageQueue)
+	service := t.SojournNs - wait
+	if service <= 0 {
+		return Observation{}, fmt.Errorf("%w: non-positive service time", ErrBadObservation)
+	}
+	return Observation{NFltr: t.NFilters, R: float64(t.R), ServiceTime: float64(service) / 1e9}, nil
+}
+
+// FitTraces fits the Eq. 1 constants over per-message trace samples,
+// skipping traces without a usable service time (skeletons keep enough —
+// queue span plus sojourn — to qualify). It needs covariate variation
+// across the traces (different n_fltr or R) like any Fit call; traces
+// from a single homogeneous run leave the system underdetermined.
+func FitTraces(ts []*trace.Trace) (Result, error) {
+	obs := make([]Observation, 0, len(ts))
+	for _, t := range ts {
+		o, err := FromTrace(t)
+		if err != nil {
+			continue
+		}
+		obs = append(obs, o)
+	}
+	return Fit(obs)
+}

@@ -1,0 +1,103 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// mkTrace builds a completed trace with the given queue wait and sojourn.
+func mkTrace(id uint64, nFltr, r int, wait, sojourn time.Duration) *trace.Trace {
+	return &trace.Trace{
+		ID: id, Topic: "t", NFilters: nFltr, R: r,
+		Complete: true, SojournNs: int64(sojourn),
+		Spans: []trace.Span{{Stage: trace.StageQueue, StartNs: 1, DurNs: int64(wait)}},
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	o, err := FromTrace(mkTrace(1, 10, 3, 40*time.Microsecond, 100*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.NFltr != 10 || o.R != 3 {
+		t.Errorf("covariates: %+v", o)
+	}
+	// Service time = sojourn - queue wait = 60µs.
+	if math.Abs(o.ServiceTime-60e-6) > 1e-12 {
+		t.Errorf("ServiceTime = %v, want 60µs", o.ServiceTime)
+	}
+
+	// Skeleton traces carry enough (queue span + sojourn) to qualify.
+	sk := mkTrace(2, 5, 1, 20*time.Microsecond, 50*time.Microsecond)
+	sk.Skeleton = true
+	if _, err := FromTrace(sk); err != nil {
+		t.Errorf("skeleton rejected: %v", err)
+	}
+
+	for name, tr := range map[string]*trace.Trace{
+		"nil":          nil,
+		"no sojourn":   {ID: 3, Complete: true},
+		"wait>sojourn": mkTrace(4, 1, 1, 200*time.Microsecond, 100*time.Microsecond),
+	} {
+		if _, err := FromTrace(tr); !errors.Is(err, ErrBadObservation) {
+			t.Errorf("%s: err = %v, want ErrBadObservation", name, err)
+		}
+	}
+}
+
+// TestFitTraces recovers known Eq. 1 constants from synthetic per-message
+// traces: service = t_rcv + n_fltr·t_fltr + R·t_tx with enough covariate
+// variation for the regression to be determined.
+func TestFitTraces(t *testing.T) {
+	const (
+		tRcv  = 5e-6
+		tFltr = 1e-6
+		tTx   = 2e-6
+	)
+	var ts []*trace.Trace
+	id := uint64(1)
+	for _, nf := range []int{1, 5, 20, 50} {
+		for _, r := range []int{1, 2, 4, 8} {
+			service := tRcv + float64(nf)*tFltr + float64(r)*tTx
+			wait := 30 * time.Microsecond
+			sojourn := wait + time.Duration(service*float64(time.Second))
+			ts = append(ts, mkTrace(id, nf, r, wait, sojourn))
+			id++
+		}
+	}
+	// Unusable traces are skipped, not fatal.
+	ts = append(ts, nil, &trace.Trace{ID: 99, Complete: true})
+
+	res, err := FitTraces(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]struct{ got, want float64 }{
+		"t_rcv":  {res.Model.TRcv, tRcv},
+		"t_fltr": {res.Model.TFltr, tFltr},
+		"t_tx":   {res.Model.TTx, tTx},
+	} {
+		if math.Abs(got.got-got.want)/got.want > 0.01 {
+			t.Errorf("%s = %v, want %v", name, got.got, got.want)
+		}
+	}
+	if res.R2 < 0.999 {
+		t.Errorf("R2 = %v", res.R2)
+	}
+}
+
+func TestFitTracesUnderdetermined(t *testing.T) {
+	// A homogeneous run (single covariate point) cannot determine three
+	// constants.
+	var ts []*trace.Trace
+	for i := uint64(1); i <= 10; i++ {
+		ts = append(ts, mkTrace(i, 5, 2, 10*time.Microsecond, 40*time.Microsecond))
+	}
+	if _, err := FitTraces(ts); err == nil {
+		t.Error("homogeneous traces fitted without error")
+	}
+}

@@ -188,6 +188,9 @@ type Monitor struct {
 	prev   map[string]broker.TopicTelemetry
 	prevAt time.Time
 	est    map[string]Estimate
+	// tg is the flight recorder's windowed stage-decomposition state;
+	// nil unless AttachTracer was called (see tracegauges.go).
+	tg *traceGauges
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -229,13 +232,16 @@ func NewMonitor(b *broker.Broker, interval time.Duration) *Monitor {
 	}
 }
 
-// GaugeVecs returns the monitor's gauge families for exposition.
+// GaugeVecs returns the monitor's gauge families for exposition,
+// including the flight recorder's stage-decomposition families when a
+// tracer is attached.
 func (m *Monitor) GaugeVecs() []*metrics.GaugeVec {
-	return []*metrics.GaugeVec{
+	out := []*metrics.GaugeVec{
 		m.gLambda, m.gRho, m.gServiceMean,
 		m.gPredEW, m.gPredQ, m.gObsEW, m.gObsQ,
 		m.gDrift, m.gWindowMsgs, m.gServers,
 	}
+	return append(out, m.traceGaugeVecs()...)
 }
 
 // Start establishes the baseline window and launches the evaluation loop;
@@ -279,6 +285,7 @@ func (m *Monitor) Tick(now time.Time) {
 	cur := m.b.Telemetry()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.tickTrace()
 	if m.prev == nil || m.prevAt.IsZero() {
 		m.prev, m.prevAt = cur, now
 		return

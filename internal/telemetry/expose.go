@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -191,6 +192,10 @@ type Options struct {
 	Wire *wire.Server
 	// Drift supplies the model-drift gauges and JSON estimates.
 	Drift *Monitor
+	// Trace supplies the per-message flight recorder: the jms_trace_*
+	// stage-decomposition series on /metrics and the /trace + /trace/{id}
+	// JSON endpoints.
+	Trace *trace.Recorder
 	// Registry counters are rendered under the jms_registry_ prefix.
 	Registry *metrics.Registry
 	// Gauges and Counters are additional labeled families to expose.
@@ -281,6 +286,30 @@ func WriteMetrics(w io.Writer, opts Options) {
 			WriteGaugeVec(bw, v)
 		}
 	}
+	if tr := opts.Trace; tr != nil {
+		// Cumulative per-stage residency counters: the raw substrate of
+		// the W_obs ≈ W_queue + Σ stage residencies decomposition (the
+		// windowed means live on the drift monitor's jms_trace_stage_*
+		// gauges). Sampled population only.
+		ts := tr.Stats()
+		writeHeader(bw, "jms_trace_stage_seconds_total", "Cumulative stage residency over head-sampled messages.", "counter")
+		for _, st := range trace.Stages() {
+			acc := ts.Stage(st)
+			writeSample(bw, "jms_trace_stage_seconds_total", []Label{{"stage", st.String()}}, float64(acc.SumNs)/1e9)
+		}
+		writeHeader(bw, "jms_trace_stage_count_total", "Cumulative stage span count over head-sampled messages.", "counter")
+		for _, st := range trace.Stages() {
+			acc := ts.Stage(st)
+			writeSample(bw, "jms_trace_stage_count_total", []Label{{"stage", st.String()}}, float64(acc.Count))
+		}
+		writeHeader(bw, "jms_trace_sojourn_seconds_total", "Cumulative broker sojourn over head-sampled messages.", "counter")
+		writeSample(bw, "jms_trace_sojourn_seconds_total", nil, float64(ts.Sojourn.SumNs)/1e9)
+		WriteCounter(bw, "jms_trace_finished_total", "Head-sampled messages finished by the broker.", ts.Sojourn.Count)
+		WriteCounter(bw, "jms_trace_started_total", "Flight records opened (head-sampled messages seen).", ts.Started)
+		WriteCounter(bw, "jms_trace_committed_total", "Flight records committed to the ring buffers.", ts.Committed)
+		WriteCounter(bw, "jms_trace_tail_kept_total", "Traces retained by the slowest-N tail keeper.", ts.TailKept)
+		WriteCounter(bw, "jms_trace_spans_dropped_total", "Spans dropped on full per-trace span arrays.", ts.SpanDropped)
+	}
 	for _, v := range opts.Gauges {
 		WriteGaugeVec(bw, v)
 	}
@@ -343,13 +372,46 @@ func CollectStats(opts Options) Stats {
 }
 
 // NewHandler returns the telemetry HTTP handler serving /metrics, /stats,
-// /healthz and /debug/pprof/.
+// /healthz, /debug/pprof/ and — with Options.Trace — the flight
+// recorder's /trace (JSON list, slowest first, plus histogram-bucket
+// exemplar links) and /trace/{id} (full span tree; id in the 16-hex form
+// the list uses, or decimal).
 func NewHandler(opts Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteMetrics(w, opts)
 	})
+	if tr := opts.Trace; tr != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			limit := 64
+			if s := r.URL.Query().Get("limit"); s != "" {
+				if n, err := strconv.Atoi(s); err == nil && n > 0 {
+					limit = n
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(tr.ListResponse(limit))
+		})
+		mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+			id, err := trace.ParseID(strings.TrimPrefix(r.URL.Path, "/trace/"))
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			t, ok := tr.Get(id)
+			if !ok {
+				http.Error(w, "trace not found", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(t.JSON(true))
+		})
+	}
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

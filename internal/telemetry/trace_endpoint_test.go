@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/trace"
+)
+
+// fixedRecorder builds a recorder with deterministic contents: two
+// committed full traces and one tail skeleton, all on a fixed wall clock,
+// so the /trace JSON is byte-stable for the golden comparison.
+func fixedRecorder(t *testing.T) *trace.Recorder {
+	t.Helper()
+	base := time.Unix(1700000000, 0)
+	rec := trace.New(trace.Config{SampleEvery: 1, FinalizeAfter: time.Hour,
+		Clock: func() time.Time { return base }})
+	t.Cleanup(rec.Close)
+
+	// Trace 1: full pipeline, R=2.
+	rec.RecordSpan(1, trace.StageIngress, base, 3*time.Microsecond)
+	rec.RecordSpan(1, trace.StageDecode, base.Add(3*time.Microsecond), time.Microsecond)
+	rec.RecordSpan(1, trace.StageQueue, base.Add(4*time.Microsecond), 40*time.Microsecond)
+	rec.RecordSpan(1, trace.StageMatch, base.Add(44*time.Microsecond), 5*time.Microsecond)
+	rec.RecordSpan(1, trace.StageReplicate, base.Add(49*time.Microsecond), 2*time.Microsecond)
+	rec.RecordSpan(1, trace.StageTransmit, base.Add(51*time.Microsecond), 4*time.Microsecond)
+	rec.RecordSpan(1, trace.StageEncode, base.Add(55*time.Microsecond), 2*time.Microsecond)
+	rec.RecordSpan(1, trace.StageEgressQueue, base.Add(57*time.Microsecond), 6*time.Microsecond)
+	rec.RecordSpan(1, trace.StageEgressWrite, base.Add(63*time.Microsecond), time.Microsecond)
+	rec.FinishMessage(1, "orders", 12, 2, 55*time.Microsecond)
+
+	// Trace 2: slower, minimal spans.
+	rec.RecordSpan(2, trace.StageQueue, base.Add(time.Millisecond), 300*time.Microsecond)
+	rec.RecordSpan(2, trace.StageMatch, base.Add(1300*time.Microsecond), 10*time.Microsecond)
+	rec.FinishMessage(2, "orders", 12, 1, 320*time.Microsecond)
+	rec.Flush()
+
+	// Skeleton via the tail keeper (unsampled path is exercised at the
+	// broker layer; here the recorder API is driven directly).
+	rec.OfferTail(7, "orders", 12, 1, base.Add(2*time.Millisecond),
+		450*time.Microsecond, 500*time.Microsecond)
+	return rec
+}
+
+// TestTraceEndpointGolden pins the /trace and /trace/{id} JSON shape
+// byte-for-byte against testdata. The fixed clock makes every field
+// deterministic; a diff here means the public trace schema changed.
+func TestTraceEndpointGolden(t *testing.T) {
+	rec := fixedRecorder(t)
+	b := broker.New(broker.Options{})
+	t.Cleanup(func() { _ = b.Close() })
+	srv := httptest.NewServer(NewHandler(Options{Broker: b, Trace: rec}))
+	defer srv.Close()
+
+	check := func(path, golden string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d: %s", path, resp.StatusCode, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s content type %q", path, ct)
+		}
+		if *update {
+			if err := os.WriteFile(golden, body, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden %s (run with -update): %v", golden, err)
+		}
+		if string(body) != string(want) {
+			t.Errorf("%s diverges from %s:\ngot:\n%s\nwant:\n%s", path, golden, body, want)
+		}
+	}
+
+	check("/trace", "testdata/trace_list.golden")
+	check("/trace/"+trace.FormatID(1), "testdata/trace_full.golden")
+}
+
+func TestTraceEndpointErrors(t *testing.T) {
+	rec := fixedRecorder(t)
+	b := broker.New(broker.Options{})
+	t.Cleanup(func() { _ = b.Close() })
+	srv := httptest.NewServer(NewHandler(Options{Broker: b, Trace: rec}))
+	defer srv.Close()
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return resp.StatusCode
+	}
+	if s := status("/trace/zz-not-an-id"); s != http.StatusBadRequest {
+		t.Errorf("bad id status %d", s)
+	}
+	if s := status("/trace/00000000deadbeef"); s != http.StatusNotFound {
+		t.Errorf("unknown id status %d", s)
+	}
+
+	// limit=1 returns only the slowest trace.
+	resp, err := http.Get(srv.URL + "/trace?limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list trace.ListJSON
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if len(list.Traces) != 1 {
+		t.Fatalf("limit=1 returned %d traces", len(list.Traces))
+	}
+	if list.Traces[0].ID != trace.FormatID(7) {
+		t.Errorf("slowest trace is %s, want the 500µs skeleton", list.Traces[0].ID)
+	}
+
+	// Without Options.Trace the endpoints don't exist.
+	bare := httptest.NewServer(NewHandler(Options{Broker: b}))
+	defer bare.Close()
+	resp, err = http.Get(bare.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/trace without recorder: status %d", resp.StatusCode)
+	}
+}
+
+// TestTraceMetricsFamilies checks the cumulative jms_trace_* counters on
+// /metrics and that the exposition stays grammatical with tracing on.
+func TestTraceMetricsFamilies(t *testing.T) {
+	rec := fixedRecorder(t)
+	b := broker.New(broker.Options{})
+	t.Cleanup(func() { _ = b.Close() })
+	var buf strings.Builder
+	WriteMetrics(&buf, Options{Broker: b, Trace: rec})
+	body := buf.String()
+	checkExposition(t, body)
+	for _, want := range []string{
+		`jms_trace_stage_seconds_total{stage="queue"} 0.00034`,
+		`jms_trace_stage_count_total{stage="queue"} 2`,
+		`jms_trace_stage_count_total{stage="egress_write"} 1`,
+		"jms_trace_sojourn_seconds_total 0.000375",
+		"jms_trace_finished_total 2",
+		"jms_trace_started_total 2",
+		"jms_trace_committed_total 2",
+		"jms_trace_tail_kept_total",
+		"jms_trace_spans_dropped_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	// The histogram-bucket exemplars live on /trace JSON, not /metrics:
+	// the 0.0.4 text format has no exemplar syntax.
+	if strings.Contains(body, "exemplar") {
+		t.Error("exemplars leaked into the text exposition")
+	}
+}
+
+// TestMonitorTraceGauges drives AttachTracer through two ticks and checks
+// the windowed decomposition gauges are published and finite.
+func TestMonitorTraceGauges(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	rec := trace.New(trace.Config{SampleEvery: 1, FinalizeAfter: time.Hour,
+		Clock: func() time.Time { return base }})
+	t.Cleanup(rec.Close)
+	b := broker.New(broker.Options{WaitTiming: true})
+	t.Cleanup(func() { _ = b.Close() })
+	if err := b.ConfigureTopic("a"); err != nil {
+		t.Fatal(err)
+	}
+	mon := NewMonitor(b, time.Second)
+	mon.AttachTracer(rec)
+
+	mon.Tick(base) // baseline
+	// One window of activity: 60µs queue + 30µs match in a 100µs sojourn.
+	rec.RecordSpan(5, trace.StageQueue, base, 60*time.Microsecond)
+	rec.RecordSpan(5, trace.StageMatch, base.Add(60*time.Microsecond), 30*time.Microsecond)
+	rec.FinishMessage(5, "a", 3, 1, 100*time.Microsecond)
+	mon.Tick(base.Add(time.Second))
+
+	var buf strings.Builder
+	WriteMetrics(&buf, Options{Broker: b, Drift: mon, Trace: rec})
+	body := buf.String()
+	checkExposition(t, body)
+	for _, want := range []string{
+		`jms_trace_stage_mean_seconds{stage="queue"} 6e-05`,
+		`jms_trace_stage_mean_seconds{stage="match"} 3e-05`,
+		`jms_trace_stage_share{stage="queue"} 0.6`,
+		`jms_trace_stage_share{stage="match"} 0.3`,
+		"jms_trace_sojourn_mean_seconds 0.0001",
+		"jms_trace_coverage_ratio 0.9",
+		"jms_trace_window_messages 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	// An idle window keeps the previous gauges instead of zeroing them.
+	mon.Tick(base.Add(2 * time.Second))
+	var buf2 strings.Builder
+	WriteMetrics(&buf2, Options{Broker: b, Drift: mon, Trace: rec})
+	if !strings.Contains(buf2.String(), "jms_trace_window_messages 1") {
+		t.Error("idle window zeroed the decomposition gauges")
+	}
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// This file extends the drift monitor with the flight recorder's windowed
+// stage decomposition: each Tick also subtracts the recorder's cumulative
+// per-stage accumulators over the same rolling window and publishes
+//
+//	W_obs ≈ W_queue + Σ stage residencies
+//
+// as jms_trace_stage_* gauges. Where the jms_model_* gauges compare the
+// paper's predicted E[W] against the measured one, these attribute the
+// measured sojourn to named pipeline stages — including the egress-side
+// ones (encode, egress_queue, egress_write) that name the components of
+// the socket-vs-dispatch t_tx gap (ROADMAP item 3).
+
+// traceGauges is the monitor's trace-decomposition state; nil unless
+// AttachTracer was called.
+type traceGauges struct {
+	tracer *trace.Recorder
+
+	// gMean is the windowed mean residency per stage occurrence; gShare
+	// is the stage's per-message share of the mean sojourn (occurrences
+	// per finished message folded in, so Σ share over the broker stages
+	// approaches jms_trace_coverage_ratio).
+	gMean  *metrics.GaugeVec
+	gShare *metrics.GaugeVec
+	// gSojourn is the windowed mean sojourn of the sampled population;
+	// gCoverage the fraction of it the queue+match+replicate+transmit
+	// spans explain; gMessages the sampled messages finished in the
+	// window.
+	gSojourn  *metrics.GaugeVec
+	gCoverage *metrics.GaugeVec
+	gMessages *metrics.GaugeVec
+
+	prev    trace.StageStats
+	hasPrev bool
+}
+
+// AttachTracer connects a flight recorder to the monitor: every Tick
+// publishes the windowed per-stage decomposition gauges next to the model
+// gauges. Call before Start.
+func (m *Monitor) AttachTracer(r *trace.Recorder) {
+	if r == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tg = &traceGauges{
+		tracer: r,
+		gMean: metrics.NewGaugeVec("jms_trace_stage_mean_seconds",
+			"Windowed mean residency per stage occurrence (head-sampled messages).", "stage"),
+		gShare: metrics.NewGaugeVec("jms_trace_stage_share",
+			"Windowed per-message stage residency as a fraction of the mean sojourn.", "stage"),
+		gSojourn: metrics.NewGaugeVec("jms_trace_sojourn_mean_seconds",
+			"Windowed mean broker sojourn of the head-sampled population."),
+		gCoverage: metrics.NewGaugeVec("jms_trace_coverage_ratio",
+			"Fraction of the mean sojourn explained by the queue/match/replicate/transmit spans."),
+		gMessages: metrics.NewGaugeVec("jms_trace_window_messages",
+			"Head-sampled messages finished in the evaluation window."),
+	}
+}
+
+// tickTrace publishes one window of the stage decomposition. Called from
+// Tick with m.mu held.
+func (m *Monitor) tickTrace() {
+	tg := m.tg
+	if tg == nil {
+		return
+	}
+	cur := tg.tracer.Stats()
+	if !tg.hasPrev {
+		tg.prev, tg.hasPrev = cur, true
+		return
+	}
+	delta := cur.Sub(tg.prev)
+	tg.prev = cur
+	if delta.Sojourn.Count == 0 {
+		return // idle window: keep the previous gauges
+	}
+	soj := delta.SojournMean()
+	tg.gSojourn.With().Set(soj)
+	tg.gMessages.With().Set(float64(delta.Sojourn.Count))
+	tg.gCoverage.With().Set(delta.Coverage())
+	for _, st := range trace.Stages() {
+		acc := delta.Stage(st)
+		if acc.Count == 0 {
+			continue
+		}
+		tg.gMean.With(st.String()).Set(acc.Mean())
+		if soj > 0 {
+			// Per-message residency: occurrences per finished message ×
+			// mean per occurrence.
+			perMsg := acc.Mean() * float64(acc.Count) / float64(delta.Sojourn.Count)
+			tg.gShare.With(st.String()).Set(perMsg / soj)
+		}
+	}
+}
+
+// traceGaugeVecs lists the decomposition families for exposition.
+func (m *Monitor) traceGaugeVecs() []*metrics.GaugeVec {
+	m.mu.Lock()
+	tg := m.tg
+	m.mu.Unlock()
+	if tg == nil {
+		return nil
+	}
+	return []*metrics.GaugeVec{tg.gMean, tg.gShare, tg.gSojourn, tg.gCoverage, tg.gMessages}
+}

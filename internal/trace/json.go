@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// SpanJSON is one span in the /trace/{id} span tree.
+type SpanJSON struct {
+	Stage string `json:"stage"`
+	Layer string `json:"layer"`
+	// StartUnixNs anchors the span on the wall clock; OffsetNs is its
+	// position relative to the trace start, for rendering.
+	StartUnixNs int64 `json:"start_unix_ns"`
+	OffsetNs    int64 `json:"offset_ns"`
+	DurNs       int64 `json:"dur_ns"`
+}
+
+// TraceJSON is the wire shape of one trace: the trace itself is the span
+// tree's root (its TotalNs spans the whole flight), the Spans are its
+// children in start order.
+type TraceJSON struct {
+	ID          string     `json:"id"`
+	Topic       string     `json:"topic"`
+	NFilters    int        `json:"n_filters"`
+	Replication int        `json:"replication"`
+	Skeleton    bool       `json:"skeleton"`
+	Complete    bool       `json:"complete"`
+	StartUnixNs int64      `json:"start_unix_ns"`
+	TotalNs     int64      `json:"total_ns"`
+	SpanCount   int        `json:"span_count"`
+	Spans       []SpanJSON `json:"spans,omitempty"`
+}
+
+// ExemplarJSON links a histogram bucket upper bound to a trace ID.
+type ExemplarJSON struct {
+	LESeconds float64 `json:"le_seconds"`
+	TraceID   string  `json:"trace_id"`
+}
+
+// ListJSON is the /trace response: committed traces (slowest first) plus
+// the per-bucket exemplar links.
+type ListJSON struct {
+	Traces    []TraceJSON    `json:"traces"`
+	Exemplars []ExemplarJSON `json:"exemplars"`
+}
+
+// FormatID renders a TraceID the way the endpoints address it.
+func FormatID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseID accepts the hex form FormatID produces, or plain decimal.
+func ParseID(s string) (uint64, error) {
+	if id, err := strconv.ParseUint(s, 16, 64); err == nil {
+		return id, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+// JSON converts a trace to its wire shape. withSpans=false produces the
+// list summary (span count only).
+func (t *Trace) JSON(withSpans bool) TraceJSON {
+	out := TraceJSON{
+		ID:          FormatID(t.ID),
+		Topic:       t.Topic,
+		NFilters:    t.NFilters,
+		Replication: t.R,
+		Skeleton:    t.Skeleton,
+		Complete:    t.Complete,
+		StartUnixNs: t.StartNs(),
+		TotalNs:     t.TotalNs(),
+		SpanCount:   len(t.Spans),
+	}
+	if withSpans {
+		out.Spans = make([]SpanJSON, len(t.Spans))
+		for i, sp := range t.Spans {
+			out.Spans[i] = SpanJSON{
+				Stage:       sp.Stage.String(),
+				Layer:       sp.Stage.Layer(),
+				StartUnixNs: sp.StartNs,
+				OffsetNs:    sp.StartNs - out.StartUnixNs,
+				DurNs:       sp.DurNs,
+			}
+		}
+	}
+	return out
+}
+
+// ListResponse builds the /trace payload: up to limit traces plus the
+// exemplar table.
+func (r *Recorder) ListResponse(limit int) ListJSON {
+	traces := r.List(limit)
+	out := ListJSON{Traces: make([]TraceJSON, len(traces))}
+	for i, t := range traces {
+		out.Traces[i] = t.JSON(false)
+	}
+	for _, e := range r.Exemplars() {
+		out.Exemplars = append(out.Exemplars, ExemplarJSON{LESeconds: e.LESeconds, TraceID: FormatID(e.TraceID)})
+	}
+	return out
+}
+
+// NewID derives a well-mixed nonzero TraceID from a per-source seed and a
+// sequence number — what the client uses to auto-stamp publishes. The
+// SplitMix64 mix keeps head sampling (a hash-mod over the ID) unbiased
+// even though seq is sequential.
+func NewID(seed, seq uint64) uint64 {
+	id := hash64(seed + seq)
+	if id == 0 {
+		return 1
+	}
+	return id
+}

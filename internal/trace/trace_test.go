@@ -1,0 +1,467 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// newTest builds a recorder whose sweeper effectively never fires, so
+// tests drive commits deterministically via Flush.
+func newTest(cfg Config) *Recorder {
+	if cfg.FinalizeAfter == 0 {
+		cfg.FinalizeAfter = time.Hour
+	}
+	return New(cfg)
+}
+
+func TestSampledDeterministic(t *testing.T) {
+	r := newTest(Config{SampleEvery: 4})
+	defer r.Close()
+	if r.Sampled(0) {
+		t.Error("zero ID sampled")
+	}
+	hits := 0
+	for id := uint64(1); id <= 4000; id++ {
+		a, b := r.Sampled(id), r.Sampled(id)
+		if a != b {
+			t.Fatalf("Sampled(%d) not deterministic", id)
+		}
+		if a {
+			hits++
+		}
+	}
+	// The hash gate should admit ~1/4 of IDs.
+	if hits < 800 || hits > 1200 {
+		t.Errorf("SampleEvery=4 admitted %d of 4000", hits)
+	}
+
+	all := newTest(Config{SampleEvery: 1})
+	defer all.Close()
+	for id := uint64(1); id <= 100; id++ {
+		if !all.Sampled(id) {
+			t.Fatalf("SampleEvery=1 rejected id %d", id)
+		}
+	}
+
+	// Nil receiver: everything is a no-op.
+	var nilRec *Recorder
+	if nilRec.Sampled(1) || nilRec.Enabled() {
+		t.Error("nil recorder sampled")
+	}
+	nilRec.RecordSpan(1, StageMatch, time.Now(), time.Millisecond)
+	nilRec.FinishMessage(1, "t", 1, 1, time.Millisecond)
+	nilRec.OfferTail(1, "t", 1, 1, time.Now(), 0, time.Millisecond)
+	nilRec.Flush()
+	nilRec.Close()
+	if got := nilRec.List(10); got != nil {
+		t.Errorf("nil List = %v", got)
+	}
+}
+
+func TestRecordFlushGet(t *testing.T) {
+	r := newTest(Config{SampleEvery: 1})
+	defer r.Close()
+	const id = 42
+	base := time.Now()
+	r.RecordSpan(id, StageQueue, base, 100*time.Microsecond)
+	r.RecordSpan(id, StageMatch, base.Add(100*time.Microsecond), 50*time.Microsecond)
+	r.RecordSpan(id, StageTransmit, base.Add(150*time.Microsecond), 25*time.Microsecond)
+	r.FinishMessage(id, "orders", 7, 3, 200*time.Microsecond)
+
+	// Before commit, Get serves an active-entry snapshot.
+	tr, ok := r.Get(id)
+	if !ok {
+		t.Fatal("active trace not found")
+	}
+	if tr.Complete {
+		t.Error("active snapshot marked complete")
+	}
+
+	r.Flush()
+	tr, ok = r.Get(id)
+	if !ok {
+		t.Fatal("committed trace not found")
+	}
+	if !tr.Complete || tr.Skeleton {
+		t.Errorf("want committed full trace, got complete=%v skeleton=%v", tr.Complete, tr.Skeleton)
+	}
+	if tr.Topic != "orders" || tr.NFilters != 7 || tr.R != 3 {
+		t.Errorf("covariates: topic=%q nfltr=%d r=%d", tr.Topic, tr.NFilters, tr.R)
+	}
+	if got := tr.StageNs(StageQueue); got != int64(100*time.Microsecond) {
+		t.Errorf("queue span = %d ns", got)
+	}
+	if got := tr.TotalNs(); got != int64(200*time.Microsecond) {
+		t.Errorf("TotalNs = %d, want sojourn", got)
+	}
+	for i := 1; i < len(tr.Spans); i++ {
+		if tr.Spans[i].StartNs < tr.Spans[i-1].StartNs {
+			t.Error("spans not sorted by start")
+		}
+	}
+
+	// Unknown and zero IDs miss.
+	if _, ok := r.Get(id + 1); ok {
+		t.Error("unknown ID found")
+	}
+	if _, ok := r.Get(0); ok {
+		t.Error("zero ID found")
+	}
+}
+
+func TestUnsampledIsNoop(t *testing.T) {
+	r := newTest(Config{SampleEvery: 1 << 20})
+	defer r.Close()
+	var id uint64
+	for id = 1; r.Sampled(id); id++ {
+	}
+	r.RecordSpan(id, StageMatch, time.Now(), time.Millisecond)
+	r.FinishMessage(id, "t", 1, 1, time.Millisecond)
+	r.Flush()
+	if s := r.Stats(); s.Started != 0 || s.Committed != 0 {
+		t.Errorf("unsampled ID created state: %+v", s)
+	}
+}
+
+func TestListSlowestFirst(t *testing.T) {
+	r := newTest(Config{SampleEvery: 1})
+	defer r.Close()
+	base := time.Now()
+	for i := 1; i <= 8; i++ {
+		id := uint64(i)
+		d := time.Duration(i) * time.Millisecond
+		r.RecordSpan(id, StageQueue, base, d/2)
+		r.FinishMessage(id, "t", 1, 1, d)
+	}
+	r.Flush()
+	all := r.List(0)
+	if len(all) != 8 {
+		t.Fatalf("List(0) = %d traces, want 8", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].TotalNs() > all[i-1].TotalNs() {
+			t.Error("List not slowest-first")
+		}
+	}
+	if all[0].ID != 8 {
+		t.Errorf("slowest ID = %d, want 8", all[0].ID)
+	}
+	if lim := r.List(3); len(lim) != 3 {
+		t.Errorf("List(3) = %d traces", len(lim))
+	}
+}
+
+func TestTailRetention(t *testing.T) {
+	r := newTest(Config{SampleEvery: 1 << 20, TailKeep: 4})
+	defer r.Close()
+	var ids []uint64
+	for id := uint64(1); len(ids) < 32; id++ {
+		if !r.Sampled(id) {
+			ids = append(ids, id)
+		}
+	}
+	base := time.Now()
+	for i, id := range ids {
+		d := time.Duration(i+1) * time.Millisecond
+		r.OfferTail(id, "t", 1, 1, base, d/2, d)
+	}
+	kept := r.List(0)
+	if len(kept) != 4 {
+		t.Fatalf("tail kept %d traces, want 4", len(kept))
+	}
+	// The slowest four offers are the last four IDs.
+	want := map[uint64]bool{ids[28]: true, ids[29]: true, ids[30]: true, ids[31]: true}
+	for _, tr := range kept {
+		if !want[tr.ID] {
+			t.Errorf("unexpected tail ID %d", tr.ID)
+		}
+		if !tr.Skeleton || !tr.Complete {
+			t.Errorf("tail trace skeleton=%v complete=%v", tr.Skeleton, tr.Complete)
+		}
+		if tr.StageNs(StageQueue) != tr.SojournNs/2 {
+			t.Errorf("skeleton wait span %d vs sojourn %d", tr.StageNs(StageQueue), tr.SojournNs)
+		}
+	}
+	// The threshold precheck rejects a fast message without locking.
+	if r.tail.worthy(int64(time.Microsecond)) {
+		t.Error("1µs worthy of a tail full of ms-scale traces")
+	}
+	if got, ok := r.Get(ids[31]); !ok || got.ID != ids[31] {
+		t.Error("tail trace not reachable via Get")
+	}
+}
+
+func TestTailWindowRotation(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	r := newTest(Config{SampleEvery: 1 << 62, TailKeep: 2, Window: 10 * time.Second, Clock: clock})
+	defer r.Close()
+	var ids []uint64
+	for id := uint64(1); len(ids) < 6; id++ {
+		if !r.Sampled(id) {
+			ids = append(ids, id)
+		}
+	}
+	r.OfferTail(ids[0], "t", 1, 1, now, time.Millisecond, 2*time.Millisecond)
+	r.OfferTail(ids[1], "t", 1, 1, now, time.Millisecond, 3*time.Millisecond)
+	// Rotate: the old window moves to prev and stays visible.
+	now = now.Add(11 * time.Second)
+	r.OfferTail(ids[2], "t", 1, 1, now, time.Millisecond, 5*time.Millisecond)
+	got := r.List(0)
+	if len(got) != 3 {
+		t.Fatalf("after rotation List = %d traces, want 3 (cur+prev)", len(got))
+	}
+	// Another rotation drops the first window.
+	now = now.Add(11 * time.Second)
+	r.OfferTail(ids[3], "t", 1, 1, now, time.Millisecond, 4*time.Millisecond)
+	got = r.List(0)
+	if len(got) != 2 {
+		t.Fatalf("after second rotation List = %d traces, want 2", len(got))
+	}
+}
+
+func TestStageStatsWindowing(t *testing.T) {
+	r := newTest(Config{SampleEvery: 1})
+	defer r.Close()
+	base := time.Now()
+	r.RecordSpan(1, StageQueue, base, 100*time.Microsecond)
+	r.RecordSpan(1, StageMatch, base, 60*time.Microsecond)
+	r.RecordSpan(1, StageTransmit, base, 40*time.Microsecond)
+	r.FinishMessage(1, "t", 1, 1, 250*time.Microsecond)
+	snap1 := r.Stats()
+	if snap1.Stage(StageQueue).Count != 1 {
+		t.Fatalf("queue count = %d", snap1.Stage(StageQueue).Count)
+	}
+	// Coverage: (100+60+40)/250 = 0.8.
+	if c := snap1.Coverage(); c < 0.79 || c > 0.81 {
+		t.Errorf("coverage = %v, want 0.8", c)
+	}
+	if m := snap1.SojournMean(); m < 249e-6 || m > 251e-6 {
+		t.Errorf("sojourn mean = %v", m)
+	}
+
+	r.RecordSpan(2, StageQueue, base, 300*time.Microsecond)
+	r.FinishMessage(2, "t", 1, 1, 300*time.Microsecond)
+	window := r.Stats().Sub(snap1)
+	if window.Sojourn.Count != 1 {
+		t.Fatalf("window sojourn count = %d", window.Sojourn.Count)
+	}
+	if got := window.Stage(StageQueue).SumNs; got != uint64(300*time.Microsecond) {
+		t.Errorf("window queue sum = %d", got)
+	}
+	if got := window.Stage(StageMatch).Count; got != 0 {
+		t.Errorf("window match count = %d", got)
+	}
+	// Replicate fires R-1 times per message; ratio folds occurrences.
+	if ratio(6, 3) != 2 {
+		t.Error("ratio(6,3) != 2")
+	}
+}
+
+func TestExemplars(t *testing.T) {
+	r := newTest(Config{SampleEvery: 1})
+	defer r.Close()
+	r.RecordSpan(9, StageQueue, time.Now(), time.Millisecond)
+	r.FinishMessage(9, "t", 1, 1, time.Millisecond)
+	r.Flush()
+	ex := r.Exemplars()
+	if len(ex) != 1 {
+		t.Fatalf("exemplars = %d, want 1", len(ex))
+	}
+	if ex[0].TraceID != 9 {
+		t.Errorf("exemplar ID = %d", ex[0].TraceID)
+	}
+	if ex[0].LESeconds < 1e-3 {
+		t.Errorf("bucket bound %v below the 1ms total", ex[0].LESeconds)
+	}
+	if bucketOf(1<<62) != metrics.HistogramBuckets-1 {
+		t.Error("huge duration not clamped to last bucket")
+	}
+}
+
+func TestSpanOverflow(t *testing.T) {
+	r := newTest(Config{SampleEvery: 1})
+	defer r.Close()
+	base := time.Now()
+	for i := 0; i < maxSpans+5; i++ {
+		r.RecordSpan(3, StageTransmit, base, time.Microsecond)
+	}
+	if s := r.Stats(); s.SpanDropped != 5 {
+		t.Errorf("SpanDropped = %d, want 5", s.SpanDropped)
+	}
+	r.Flush()
+	tr, _ := r.Get(3)
+	if len(tr.Spans) != maxSpans {
+		t.Errorf("kept %d spans, want %d", len(tr.Spans), maxSpans)
+	}
+	// The dropped spans still count in the stage accumulators.
+	if c := r.Stats().Stage(StageTransmit).Count; c != maxSpans+5 {
+		t.Errorf("transmit count = %d", c)
+	}
+}
+
+func TestSweeperCommitsIdleTraces(t *testing.T) {
+	r := New(Config{SampleEvery: 1, FinalizeAfter: 20 * time.Millisecond})
+	defer r.Close()
+	r.RecordSpan(5, StageQueue, time.Now(), time.Microsecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if tr, ok := r.Get(5); ok && tr.Complete {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweeper never committed the idle trace")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestIDHelpers(t *testing.T) {
+	if NewID(0, 0) == 0 {
+		t.Error("NewID returned zero")
+	}
+	a, b := NewID(1, 1), NewID(1, 2)
+	if a == b {
+		t.Error("sequential NewIDs collide")
+	}
+	s := FormatID(a)
+	if len(s) != 16 {
+		t.Errorf("FormatID length %d", len(s))
+	}
+	got, err := ParseID(s)
+	if err != nil || got != a {
+		t.Errorf("ParseID(%q) = %d, %v", s, got, err)
+	}
+	if got, err := ParseID("123"); err != nil || got != 0x123 {
+		t.Errorf("bare hex ParseID = %d, %v", got, err)
+	}
+	if _, err := ParseID("zzz"); err == nil {
+		t.Error("garbage ID parsed")
+	}
+}
+
+func TestTraceJSONShape(t *testing.T) {
+	r := newTest(Config{SampleEvery: 1})
+	defer r.Close()
+	base := time.Now()
+	r.RecordSpan(11, StageQueue, base, 10*time.Microsecond)
+	r.RecordSpan(11, StageEgressWrite, base.Add(10*time.Microsecond), 2*time.Microsecond)
+	r.FinishMessage(11, "t", 2, 1, 15*time.Microsecond)
+	r.Flush()
+	tr, _ := r.Get(11)
+	j := tr.JSON(true)
+	if j.ID != FormatID(11) || !j.Complete || j.SpanCount != 2 || len(j.Spans) != 2 {
+		t.Errorf("JSON: %+v", j)
+	}
+	if j.Spans[0].Stage != "queue" || j.Spans[0].Layer != "broker" {
+		t.Errorf("first span: %+v", j.Spans[0])
+	}
+	if j.Spans[1].Stage != "egress_write" || j.Spans[1].Layer != "wire" {
+		t.Errorf("second span: %+v", j.Spans[1])
+	}
+	if j.Spans[1].OffsetNs != int64(10*time.Microsecond) {
+		t.Errorf("offset = %d", j.Spans[1].OffsetNs)
+	}
+	if noSpans := tr.JSON(false); len(noSpans.Spans) != 0 || noSpans.SpanCount != 2 {
+		t.Errorf("span-less JSON: %+v", noSpans)
+	}
+	resp := r.ListResponse(10)
+	if len(resp.Traces) != 1 || len(resp.Exemplars) != 1 {
+		t.Errorf("ListResponse: %d traces, %d exemplars", len(resp.Traces), len(resp.Exemplars))
+	}
+}
+
+func TestStageNamesAndLayers(t *testing.T) {
+	seen := map[string]bool{}
+	for _, st := range Stages() {
+		name := st.String()
+		if name == "unknown" || seen[name] {
+			t.Errorf("stage %d name %q", st, name)
+		}
+		seen[name] = true
+		if l := st.Layer(); l != "broker" && l != "wire" {
+			t.Errorf("stage %s layer %q", name, l)
+		}
+		if strings.ToLower(name) != name {
+			t.Errorf("stage name %q not lowercase", name)
+		}
+	}
+	if Stage(200).String() != "unknown" {
+		t.Error("out-of-range stage has a name")
+	}
+}
+
+// TestConcurrentChurn hammers the recorder from every public entry point
+// at once; run with -race this is the ring/active-table safety wall.
+func TestConcurrentChurn(t *testing.T) {
+	r := New(Config{SampleEvery: 2, RingSize: 64, TailKeep: 8, FinalizeAfter: 5 * time.Millisecond})
+	defer r.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	base := time.Now()
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := NewID(uint64(w), uint64(i))
+				for _, st := range Stages() {
+					r.RecordSpan(id, st, base, time.Duration(i%100)*time.Microsecond)
+				}
+				r.FinishMessage(id, "t", 3, 2, time.Duration(i%200)*time.Microsecond)
+				r.OfferTail(id+1, "t", 1, 1, base, time.Microsecond, time.Duration(i%300)*time.Microsecond)
+			}
+		}(w)
+	}
+	for rd := 0; rd < 3; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, tr := range r.List(16) {
+					_ = tr.TotalNs()
+					_, _ = r.Get(tr.ID)
+				}
+				_ = r.Stats()
+				_ = r.Exemplars()
+				_ = r.ListResponse(8)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Flush()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	r.Flush()
+	if s := r.Stats(); s.Committed == 0 {
+		t.Error("no traces committed under churn")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // This file is the egress half of the zero-allocation wire path: a
@@ -55,20 +57,34 @@ type wireCounters struct {
 // subsequent submissions without writing, so producers never block on a
 // dead peer.
 type connWriter struct {
-	conn  net.Conn
-	stats *wireCounters // nil disables counting
-	ch    chan *[]byte
-	stop  chan struct{}
-	done  chan struct{}
+	conn   net.Conn
+	stats  *wireCounters   // nil disables counting
+	tracer *trace.Recorder // nil disables egress span recording
+	ch     chan egressFrame
+	stop   chan struct{}
+	done   chan struct{}
 }
 
-func newConnWriter(conn net.Conn, stats *wireCounters) *connWriter {
+// egressFrame is one queued frame plus its optional flight-recorder
+// identity: a head-sampled delivery carries its TraceID and enqueue
+// instant through the queue so the writer can attribute the writer-queue
+// wait and this frame's share of the writev syscall — the components of
+// the socket-vs-dispatch t_tx gap (ROADMAP item 3). Plain frames carry a
+// zero ID and cost nothing extra.
+type egressFrame struct {
+	bp      *[]byte
+	traceID uint64
+	enqNs   int64
+}
+
+func newConnWriter(conn net.Conn, stats *wireCounters, tracer *trace.Recorder) *connWriter {
 	w := &connWriter{
-		conn:  conn,
-		stats: stats,
-		ch:    make(chan *[]byte, writerQueueDepth),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		conn:   conn,
+		stats:  stats,
+		tracer: tracer,
+		ch:     make(chan egressFrame, writerQueueDepth),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
 	go w.run()
 	return w
@@ -78,11 +94,27 @@ func newConnWriter(conn net.Conn, stats *wireCounters) *connWriter {
 // its ownership to the writer. It blocks while the queue is full
 // (push-back) and fails only after the writer has shut down.
 func (w *connWriter) submit(bp *[]byte) error {
+	return w.submitFrame(egressFrame{bp: bp})
+}
+
+// submitTraced is submit for a delivery frame carrying a TraceID: when
+// the message is head-sampled the frame is stamped with its enqueue
+// instant so the writer records the egress_queue and egress_write spans.
+func (w *connWriter) submitTraced(bp *[]byte, traceID uint64) error {
+	ef := egressFrame{bp: bp}
+	if w.tracer.Sampled(traceID) {
+		ef.traceID = traceID
+		ef.enqNs = time.Now().UnixNano()
+	}
+	return w.submitFrame(ef)
+}
+
+func (w *connWriter) submitFrame(ef egressFrame) error {
 	select {
-	case w.ch <- bp:
+	case w.ch <- ef:
 		return nil
 	case <-w.done:
-		PutBuffer(bp)
+		PutBuffer(ef.bp)
 		return errWriterClosed
 	}
 }
@@ -97,17 +129,17 @@ func (w *connWriter) close() {
 func (w *connWriter) run() {
 	defer close(w.done)
 	bufs := make(net.Buffers, 0, writeCoalesce)
-	pool := make([]*[]byte, 0, writeCoalesce)
+	frames := make([]egressFrame, 0, writeCoalesce)
 	dead := false
 	for {
-		var bp *[]byte
+		var ef egressFrame
 		select {
-		case bp = <-w.ch:
+		case ef = <-w.ch:
 		case <-w.stop:
 			for {
 				select {
-				case bp := <-w.ch:
-					PutBuffer(bp)
+				case ef := <-w.ch:
+					PutBuffer(ef.bp)
 				default:
 					return
 				}
@@ -115,11 +147,13 @@ func (w *connWriter) run() {
 		}
 		// Greedy gather: everything already queued, up to the coalesce
 		// bound, goes out in one vectored write.
-		bufs, pool = append(bufs[:0], *bp), append(pool[:0], bp)
+		bufs, frames = append(bufs[:0], *ef.bp), append(frames[:0], ef)
+		anyTraced := ef.traceID != 0
 		for len(bufs) < writeCoalesce {
 			select {
-			case bp2 := <-w.ch:
-				bufs, pool = append(bufs, *bp2), append(pool, bp2)
+			case ef2 := <-w.ch:
+				bufs, frames = append(bufs, *ef2.bp), append(frames, ef2)
+				anyTraced = anyTraced || ef2.traceID != 0
 			default:
 				goto gathered
 			}
@@ -140,11 +174,25 @@ func (w *connWriter) run() {
 				nb := bufs
 				_, err = nb.WriteTo(w.conn)
 			}
+			elapsed := time.Since(start)
 			if w.stats != nil {
 				w.stats.writeCalls.Add(1)
-				w.stats.writeNanos.Add(uint64(time.Since(start)))
+				w.stats.writeNanos.Add(uint64(elapsed))
 				w.stats.framesOut.Add(uint64(len(bufs)))
 				w.stats.bytesOut.Add(uint64(total))
+			}
+			if anyTraced {
+				// egress_queue is the frame's wait in this queue; its
+				// egress_write span is an equal share of the syscall, the
+				// same per-frame quantity WriteNanos/FramesOut averages.
+				startNs := start.UnixNano()
+				share := int64(elapsed) / int64(len(bufs))
+				for _, f := range frames {
+					if f.traceID != 0 {
+						w.tracer.RecordSpanNs(f.traceID, trace.StageEgressQueue, f.enqNs, startNs-f.enqNs)
+						w.tracer.RecordSpanNs(f.traceID, trace.StageEgressWrite, startNs, share)
+					}
+				}
 			}
 			if err != nil {
 				// Surface the failure: closing the connection wakes the read
@@ -154,8 +202,8 @@ func (w *connWriter) run() {
 				_ = w.conn.Close()
 			}
 		}
-		for _, p := range pool {
-			PutBuffer(p)
+		for _, f := range frames {
+			PutBuffer(f.bp)
 		}
 	}
 }

@@ -11,10 +11,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/broker"
 	"repro/internal/filter"
 	"repro/internal/jms"
+	"repro/internal/trace"
 )
 
 // Server exposes a broker over TCP. Every request frame carries a client
@@ -26,6 +28,7 @@ type Server struct {
 	broker *broker.Broker
 	ln     net.Listener
 	log    *slog.Logger
+	tracer *trace.Recorder // nil disables flight recording
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -83,6 +86,12 @@ type ServeOptions struct {
 	// Logger receives structured connection-lifecycle and error events
 	// (connection IDs, topics, reasons). Nil disables logging.
 	Logger *slog.Logger
+	// Tracer, when non-nil, is the per-message flight recorder: the wire
+	// layer records frame-ingress, arena-decode, delivery-encode and
+	// egress spans for head-sampled messages (by TraceID hash). Use the
+	// same recorder in broker.Options.Tracer so one trace spans both
+	// layers.
+	Tracer *trace.Recorder
 }
 
 // Serve starts accepting connections on ln and serving b. It returns
@@ -101,6 +110,7 @@ func ServeWith(b *broker.Broker, ln net.Listener, opts ServeOptions) *Server {
 		broker: b,
 		ln:     ln,
 		log:    logger,
+		tracer: opts.Tracer,
 		conns:  make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
@@ -185,6 +195,12 @@ type serverConn struct {
 	// arena materializes inbound publishes from payload views; owned by
 	// the read loop (arenas are not concurrency-safe).
 	arena *MessageArena
+	// frameStartNs/frameReadNs bracket the current frame's FrameReader
+	// read (entering fr.Next → frame buffered); set per iteration by the
+	// read loop when flight recording is on, read by handleFrame to
+	// record the ingress span of sampled publishes.
+	frameStartNs int64
+	frameReadNs  int64
 
 	subMu sync.Mutex
 	subs  map[uint64]*connSub
@@ -251,7 +267,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		id:     id,
 		log:    s.log.With("conn", id),
 		done:   make(chan struct{}),
-		w:      newConnWriter(conn, &s.counters),
+		w:      newConnWriter(conn, &s.counters, s.tracer),
 		arena:  NewMessageArena(),
 		subs:   make(map[uint64]*connSub),
 	}
@@ -306,10 +322,17 @@ func (sc *serverConn) readLoop() {
 	fr := NewFrameReader(sc.conn)
 	var lastReads, lastBytes uint64
 	c := &sc.server.counters
+	tr := sc.server.tracer
 	for {
+		if tr != nil {
+			sc.frameStartNs = time.Now().UnixNano()
+		}
 		f, err := fr.Next()
 		if err != nil {
 			return // io.EOF or closed connection
+		}
+		if tr != nil {
+			sc.frameReadNs = time.Now().UnixNano()
 		}
 		reads, bytes := fr.Stats()
 		c.framesIn.Add(1)
@@ -355,6 +378,15 @@ func (sc *serverConn) handleFrame(f Frame) error {
 		if err != nil {
 			return err
 		}
+		if tr := sc.server.tracer; tr != nil && tr.Sampled(m.Header.TraceID) {
+			// ingress is the FrameReader read (it includes the socket wait
+			// for the publisher's bytes — arrival-side, reported but not
+			// part of the sojourn decomposition); decode is the arena
+			// materialization just performed.
+			decEnd := time.Now().UnixNano()
+			tr.RecordSpanNs(m.Header.TraceID, trace.StageIngress, sc.frameStartNs, sc.frameReadNs-sc.frameStartNs)
+			tr.RecordSpanNs(m.Header.TraceID, trace.StageDecode, sc.frameReadNs, decEnd-sc.frameReadNs)
+		}
 		// A publish stamped with a dedupe identity claims its (pub, seq)
 		// before it reaches the broker; a redelivery (the publisher resent
 		// because the ack was lost in a reconnect) is acknowledged without
@@ -387,6 +419,18 @@ func (sc *serverConn) handleFrame(f Frame) error {
 		if err != nil {
 			c.Release()
 			return err
+		}
+		if tr := sc.server.tracer; tr != nil {
+			// Sampled batch members share the frame's ingress/decode cost:
+			// each records the full frame read and batch materialization
+			// window (one frame carried them all).
+			decEnd := time.Now().UnixNano()
+			for _, m := range c.Msgs {
+				if tr.Sampled(m.Header.TraceID) {
+					tr.RecordSpanNs(m.Header.TraceID, trace.StageIngress, sc.frameStartNs, sc.frameReadNs-sc.frameStartNs)
+					tr.RecordSpanNs(m.Header.TraceID, trace.StageDecode, sc.frameReadNs, decEnd-sc.frameReadNs)
+				}
+			}
 		}
 		// Per-message dedupe: a redelivered batch (its shared ack was lost
 		// in a reconnect) may overlap already-claimed sequences. Duplicates
@@ -652,6 +696,12 @@ func (sc *serverConn) writeDeliveries(cs *connSub, msgs []*jms.Message) error {
 // and payload together, so the delivery fast path allocates nothing in
 // steady state — and hands it to the connection writer.
 func (sc *serverConn) writeDelivery(subID, seq uint64, m *jms.Message) error {
+	tr := sc.server.tracer
+	traced := tr.Sampled(m.Header.TraceID)
+	var t0 int64
+	if traced {
+		t0 = time.Now().UnixNano()
+	}
 	bp := GetBuffer()
 	buf := append((*bp)[:0], 0, 0, 0, 0, byte(FrameMessage))
 	buf = AppendDelivery(buf, subID, seq, m)
@@ -661,6 +711,10 @@ func (sc *serverConn) writeDelivery(subID, seq uint64, m *jms.Message) error {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(buf)-5)
 	}
 	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-5))
+	if traced {
+		tr.RecordSpanNs(m.Header.TraceID, trace.StageEncode, t0, time.Now().UnixNano()-t0)
+		return sc.w.submitTraced(bp, m.Header.TraceID)
+	}
 	return sc.w.submit(bp)
 }
 
