@@ -43,12 +43,13 @@ bench-all:
 
 # fuzz smokes the parsing surfaces fed by the network: the frame codec,
 # the batch frame splitter, the lazy message-view decoder (held
-# differentially to DecodeMessage), and the JMS selector grammar. Seed
-# corpora live under testdata/fuzz.
+# differentially to DecodeMessage), the mesh FORWARD frame decoder, and
+# the JMS selector grammar. Seed corpora live under testdata/fuzz.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeBatch -fuzztime=10s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeMessageView -fuzztime=10s ./internal/wire/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeForward -fuzztime=10s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/selector/
 	$(GO) test -run='^$$' -fuzz=FuzzInternMatch -fuzztime=10s ./internal/topic/
 

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/filter"
 	"repro/internal/jms"
 	"repro/internal/stress"
@@ -400,6 +401,86 @@ func BenchmarkRegressionEndToEndTraced(b *testing.B) {
 	total := perRound * rounds * publishers
 	b.ReportMetric(overhead, "overhead_pct")
 	b.ReportMetric(float64(total)/tracedTotal.Seconds()/float64(runtime.GOMAXPROCS(0)), "msgs/s/core")
+}
+
+// BenchmarkRegressionMesh is the replication-mesh hot path: a publish
+// entering a 3-member SSR wire mesh is re-encoded as FORWARD frames,
+// flooded to both peers over TCP loopback, and dispatched to one
+// subscriber per member. ns/op is the per-publish cost including the
+// forwarding fan-out and all three deliveries — the distributed
+// counterpart of BenchmarkRegressionEndToEnd.
+func BenchmarkRegressionMesh(b *testing.B) {
+	const members = 3
+	lns := make([]net.Listener, members)
+	addrs := make([]string, members)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	subs := make([]*client.Subscription, members)
+	ctx := context.Background()
+	for i := range lns {
+		br := broker.New(broker.Options{InFlight: 1024, SubscriberBuffer: 1 << 15})
+		if err := br.ConfigureTopic("t"); err != nil {
+			b.Fatal(err)
+		}
+		mesh, err := cluster.NewWireMesh(cluster.WireMeshConfig{
+			Kind:  cluster.TopologySSR,
+			Self:  i,
+			Addrs: addrs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := wire.ServeWith(br, lns[i], wire.ServeOptions{Forwarder: mesh})
+		b.Cleanup(func() {
+			_ = mesh.Close()
+			_ = srv.Close()
+			_ = br.Close()
+		})
+		c, err := client.Dial(addrs[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = c.Close() })
+		if subs[i], err = c.Subscribe(ctx, "t", wire.FilterSpec{Mode: wire.FilterNone}, 1<<15); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pub, err := client.Dial(addrs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = pub.Close() })
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, sub := range subs {
+			for n := 0; n < b.N; {
+				if _, ok := <-sub.Chan(); !ok {
+					return
+				}
+				n++
+			}
+		}
+	}()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Publish(ctx, jms.NewMessage("t")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s/float64(runtime.GOMAXPROCS(0)), "msgs/s/core")
+	}
 }
 
 // BenchmarkRegressionBatchDecode measures the decode side as the server

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/cluster"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -82,6 +83,9 @@ func run(args []string, stop <-chan struct{}, ready chan<- addrs) error {
 	shards := fs.Int("shards", 0, "fast engine: filter-matching workers per topic (0 = auto)")
 	stages := fs.Bool("stages", false, "record per-stage pipeline timings and log the Eq. 1 components at shutdown")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
+	meshKind := fs.String("mesh", "", "replication topology: psr, ssr or hash; empty runs standalone")
+	peers := fs.String("peers", "", "comma-separated wire addresses of every mesh member, self included (with -mesh)")
+	meshSelf := fs.Int("mesh-self", 0, "this member's index into -peers (with -mesh)")
 	driftEvery := fs.Duration("drift-interval", 5*time.Second, "model-drift monitor evaluation interval (with -http)")
 	traceSample := fs.Int("trace-sample", 64, "flight recorder: record full spans for 1-in-N traced messages (with -http; 0 disables /trace)")
 	traceTail := fs.Int("trace-tail", 16, "flight recorder: always keep the slowest N traces per window")
@@ -131,15 +135,58 @@ func run(args []string, stop <-chan struct{}, ready chan<- addrs) error {
 		}
 	}
 
+	// Replication mesh: publishes entering this member are forwarded to
+	// peers per the topology (SSR floods, hash routes to the topic owner,
+	// PSR never forwards) before the local broker sees them.
+	var mesh *cluster.WireMesh
+	if *meshKind != "" {
+		kind, err := cluster.ParseTopology(*meshKind)
+		if err != nil {
+			_ = b.Close()
+			return fmt.Errorf("-mesh: %w", err)
+		}
+		var addrs []string
+		for _, a := range strings.Split(*peers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) < 2 {
+			_ = b.Close()
+			return fmt.Errorf("-mesh %s needs at least 2 addresses in -peers, got %d", kind, len(addrs))
+		}
+		mesh, err = cluster.NewWireMesh(cluster.WireMeshConfig{
+			Kind:   kind,
+			Self:   *meshSelf,
+			Addrs:  addrs,
+			Topics: b.Topics(),
+		})
+		if err != nil {
+			_ = b.Close()
+			return fmt.Errorf("-mesh: %w", err)
+		}
+		defer mesh.Close()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	srv := wire.ServeWith(b, ln, wire.ServeOptions{Logger: logger, Tracer: recorder})
+	serveOpts := wire.ServeOptions{Logger: logger, Tracer: recorder}
+	if mesh != nil {
+		serveOpts.Forwarder = mesh
+	}
+	srv := wire.ServeWith(b, ln, serveOpts)
 	logger.Info("listening",
 		"addr", ln.Addr().String(),
 		"engine", engine.String(),
 		"topics", strings.Join(b.Topics(), ","))
+	if mesh != nil {
+		logger.Info("mesh joined",
+			"kind", mesh.Kind().String(),
+			"self", mesh.Self(),
+			"peers", mesh.Stats().Peers)
+	}
 
 	// Telemetry plane: /metrics + /stats + /healthz + pprof, plus the
 	// model-drift monitor feeding the jms_model_* gauges.
@@ -165,6 +212,7 @@ func run(args []string, stop <-chan struct{}, ready chan<- addrs) error {
 			Wire:   srv,
 			Drift:  drift,
 			Trace:  recorder,
+			Mesh:   mesh,
 		})}
 		httpDone = make(chan struct{})
 		go func() {

@@ -3,8 +3,10 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
@@ -146,6 +148,123 @@ func TestDaemonBadEngine(t *testing.T) {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("engine error %q missing %q", err, want)
 		}
+	}
+}
+
+// freeAddrs reserves n distinct loopback ports and releases them, so a
+// mesh of daemons can be told every member's address up front.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	return addrs
+}
+
+// TestDaemonMesh boots a two-member SSR mesh of daemons, publishes at one
+// member, and checks the flood surfaces on the other and in the origin's
+// jms_mesh_* telemetry.
+func TestDaemonMesh(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	peers := strings.Join(addrs, ",")
+	var stops []chan struct{}
+	var errChs []chan error
+	var httpAddr string
+	for i, a := range addrs {
+		args := []string{
+			"-addr", a, "-topics", "t", "-log-level", "error",
+			"-mesh", "ssr", "-peers", peers, "-mesh-self", fmt.Sprint(i),
+		}
+		if i == 0 {
+			args = append(args, "-http", "127.0.0.1:0")
+		}
+		bound, stop, errCh := startDaemon(t, args...)
+		stops = append(stops, stop)
+		errChs = append(errChs, errCh)
+		if i == 0 {
+			httpAddr = bound.HTTP
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	peerClient, err := client.Dial(addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = peerClient.Close() }()
+	sub, err := peerClient.Subscribe(ctx, "t", wire.FilterSpec{Mode: wire.FilterNone}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	origin, err := client.Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = origin.Close() }()
+	if err := origin.Publish(ctx, jms.NewMessage("t")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Receive(ctx); err != nil {
+		t.Fatalf("flood never reached the peer member: %v", err)
+	}
+
+	resp, err := http.Get("http://" + httpAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`jms_mesh_role{kind="ssr",self="0"} 1`,
+		"jms_mesh_peers 1",
+		"jms_mesh_forwarded_out_total 1",
+		"jms_mesh_forward_errors_total 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	for i := range stops {
+		close(stops[i])
+	}
+	for i, errCh := range errChs {
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("member %d shutdown error: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("member %d did not shut down", i)
+		}
+	}
+}
+
+// TestDaemonMeshBadFlags checks the mesh flag validation fails fast.
+func TestDaemonMeshBadFlags(t *testing.T) {
+	if err := run([]string{"-mesh", "bogus", "-peers", "a:1,b:1"}, nil, nil); err == nil {
+		t.Error("bogus mesh kind accepted")
+	}
+	if err := run([]string{"-mesh", "ssr", "-peers", "a:1"}, nil, nil); err == nil {
+		t.Error("single-member mesh accepted")
+	}
+	if err := run([]string{"-mesh", "psr", "-peers", "a:1,b:1", "-mesh-self", "7"}, nil, nil); err == nil {
+		t.Error("out-of-range mesh-self accepted")
 	}
 }
 

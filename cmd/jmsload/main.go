@@ -28,6 +28,17 @@
 // maintained subscription store the way the internal/stress wall does,
 // but over the real wire protocol against a live jmsd.
 //
+// With -mesh psr|ssr|hash the target is a replication mesh of jmsd
+// members (-addr then lists every member, comma-separated) and the
+// generator takes the topology-correct shape: PSR mirrors every
+// subscriber on all members and round-robins publishers across entry
+// members; SSR partitions subscribers across members (the flood brings
+// every message to each home); hash homes all subscribers on the topic's
+// owner member. After the load stops the generator drains and reports
+// lost deliveries — acked publishes times the matching population minus
+// what the subscribers actually saw — which must be zero on a healthy
+// mesh.
+//
 // With -batch B the generator exercises the batched publish path: in
 // saturated mode each publisher sends explicit PublishBatch chunks of B
 // messages (one MSG_BATCH frame, one broker in-flight slot per chunk); in
@@ -58,6 +69,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/jms"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -72,7 +84,8 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("jmsload", flag.ContinueOnError)
-	addr := fs.String("addr", "127.0.0.1:7650", "broker address")
+	addr := fs.String("addr", "127.0.0.1:7650", "broker address; with -mesh, comma-separated addresses of every member")
+	meshName := fs.String("mesh", "", "replication topology of the target mesh: psr, ssr or hash; empty drives a standalone broker")
 	topicName := fs.String("topic", "bench", "topic to use (configured if missing)")
 	publishers := fs.Int("publishers", 5, "publisher connections")
 	matching := fs.Int("matching", 1, "subscribers whose filter matches the traffic (replication grade R)")
@@ -116,16 +129,66 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("jmsload: -tracehttp needs -tracesample to stamp fetchable IDs")
 	}
 
-	admin, err := client.Dial(*addr)
-	if err != nil {
-		return err
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
 	}
-	defer func() { _ = admin.Close() }()
+	if len(addrs) == 0 {
+		return fmt.Errorf("jmsload: no broker address")
+	}
+	var meshKind cluster.TopologyKind
+	if *meshName != "" {
+		var err error
+		if meshKind, err = cluster.ParseTopology(*meshName); err != nil {
+			return fmt.Errorf("jmsload: -mesh: %w", err)
+		}
+		if len(addrs) < 2 {
+			return fmt.Errorf("jmsload: -mesh %s needs at least 2 comma-separated members in -addr", meshKind)
+		}
+	} else if len(addrs) > 1 {
+		return fmt.Errorf("jmsload: multiple -addr members need -mesh")
+	}
+
+	// subHomes lists the members subscriber i attaches to. PSR mirrors
+	// every subscriber on all members (no forwarding: whichever member a
+	// publish enters must match locally); SSR homes each subscriber on one
+	// member and lets the flood bring every message there; hash homes all
+	// subscribers on the topic's owner, where the mesh routes every publish.
+	hashOwner := 0
+	if meshKind == cluster.TopologyHash {
+		router, err := cluster.NewHashRouter(len(addrs), []string{*topicName})
+		if err != nil {
+			return err
+		}
+		hashOwner = router.Owner(*topicName)
+	}
+	subHomes := func(i int) []string {
+		switch meshKind {
+		case cluster.TopologyPSR:
+			return addrs
+		case cluster.TopologySSR:
+			return addrs[i%len(addrs) : i%len(addrs)+1]
+		case cluster.TopologyHash:
+			return addrs[hashOwner : hashOwner+1]
+		}
+		return addrs[:1]
+	}
+	pubAddr := func(p int) string { return addrs[p%len(addrs)] }
+
 	setupCtx, cancelSetup := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancelSetup()
-	if err := admin.ConfigureTopic(setupCtx, *topicName); err != nil {
-		// Already-configured topics are fine: keep going.
-		fmt.Fprintf(stdout, "note: configure topic: %v\n", err)
+	for _, a := range addrs {
+		admin, err := client.Dial(a)
+		if err != nil {
+			return err
+		}
+		if err := admin.ConfigureTopic(setupCtx, *topicName); err != nil {
+			// Already-configured topics are fine: keep going.
+			fmt.Fprintf(stdout, "note: configure topic on %s: %v\n", a, err)
+		}
+		_ = admin.Close()
 	}
 
 	spec := func(i int, matches bool) wire.FilterSpec {
@@ -161,36 +224,38 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}()
 	for i := 0; i < *matching+*nonMatching; i++ {
-		c, err := client.Dial(*addr)
-		if err != nil {
-			return err
-		}
-		subConns = append(subConns, c)
-		sub, err := c.Subscribe(setupCtx, *topicName, spec(i, i < *matching), 4096)
-		if err != nil {
-			return err
-		}
-		subWG.Add(1)
-		go func() {
-			defer subWG.Done()
-			for m := range sub.Chan() {
-				delivered.Add(1)
-				// Every delivery carries a TraceID (the client library
-				// auto-stamps unset ones), so sampled messages are the
-				// ones with a remembered send time, not the nonzero ones.
-				if t := m.Header.TraceID; t != 0 && measuring.Load() {
-					traceMu.Lock()
-					sent, ok := traceSent[t]
-					traceMu.Unlock()
-					if ok {
-						d := time.Since(sent).Seconds()
-						latMu.Lock()
-						lat.Add(d)
-						latMu.Unlock()
+		for _, home := range subHomes(i) {
+			c, err := client.Dial(home)
+			if err != nil {
+				return err
+			}
+			subConns = append(subConns, c)
+			sub, err := c.Subscribe(setupCtx, *topicName, spec(i, i < *matching), 4096)
+			if err != nil {
+				return err
+			}
+			subWG.Add(1)
+			go func() {
+				defer subWG.Done()
+				for m := range sub.Chan() {
+					delivered.Add(1)
+					// Every delivery carries a TraceID (the client library
+					// auto-stamps unset ones), so sampled messages are the
+					// ones with a remembered send time, not the nonzero ones.
+					if t := m.Header.TraceID; t != 0 && measuring.Load() {
+						traceMu.Lock()
+						sent, ok := traceSent[t]
+						traceMu.Unlock()
+						if ok {
+							d := time.Since(sent).Seconds()
+							latMu.Lock()
+							lat.Add(d)
+							latMu.Unlock()
+						}
 					}
 				}
-			}
-		}()
+			}()
+		}
 	}
 
 	// Publishers: pre-created message template. stamp gives every Nth
@@ -207,7 +272,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	var published, stamped atomic.Uint64
+	var published, stamped, acked atomic.Uint64
 	traceBase := trace.NewID(uint64(time.Now().UnixNano()), uint64(*seed))
 	stamp := func(m *jms.Message) {
 		if *traceSample > 0 && published.Add(1)%uint64(*traceSample) == 0 {
@@ -235,7 +300,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	pubConns := make([]*client.Client, 0, *publishers)
 	for p := 0; p < *publishers; p++ {
-		c, err := client.DialWith(*addr, pubOpts)
+		c, err := client.DialWith(pubAddr(p), pubOpts)
 		if err != nil {
 			return err
 		}
@@ -295,6 +360,7 @@ func run(args []string, stdout io.Writer) error {
 						if err := c.Publish(pubCtx, m); err != nil {
 							return
 						}
+						acked.Add(1)
 					}
 				}(c)
 			}
@@ -323,6 +389,7 @@ func run(args []string, stdout io.Writer) error {
 					if err := c.PublishBatch(pubCtx, msgs); err != nil {
 						return
 					}
+					acked.Add(uint64(len(msgs)))
 				}
 			}(c)
 		}
@@ -339,6 +406,7 @@ func run(args []string, stdout io.Writer) error {
 					if err := c.Publish(pubCtx, m); err != nil {
 						return
 					}
+					acked.Add(1)
 				}
 			}(c)
 		}
@@ -353,7 +421,7 @@ func run(args []string, stdout io.Writer) error {
 	churnCtx, cancelChurn := context.WithCancel(context.Background())
 	defer cancelChurn()
 	for g := 0; g < *churn; g++ {
-		c, err := client.Dial(*addr)
+		c, err := client.Dial(addrs[g%len(addrs)])
 		if err != nil {
 			return err
 		}
@@ -389,6 +457,19 @@ func run(args []string, stdout io.Writer) error {
 	churnWG.Wait()
 	cancelPub()
 	pubWG.Wait()
+
+	// Lost-delivery accounting: every acked publish owes one delivery per
+	// matching subscriber, whatever the topology (PSR dispatches on the
+	// entry member's mirror, SSR floods to each home, hash routes to the
+	// owner). Forwarded copies can still be in flight after the last ack,
+	// so drain before comparing.
+	expected := acked.Load() * uint64(*matching)
+	drainDeadline := time.Now().Add(10 * time.Second)
+	for delivered.Load() < expected && time.Now().Before(drainDeadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	lost := int64(expected) - int64(delivered.Load())
+
 	for _, c := range subConns {
 		_ = c.Close()
 	}
@@ -404,6 +485,10 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "received : %10.0f msgs/s\n", recvRate)
 	fmt.Fprintf(stdout, "dispatched:%10.0f msgs/s (R = %.2f)\n", dispRate, dispRate/recvRate)
 	fmt.Fprintf(stdout, "overall  : %10.0f msgs/s\n", recvRate+dispRate)
+	if *meshName != "" {
+		fmt.Fprintf(stdout, "mesh     : %s over %d members; lost %d of %d expected deliveries\n",
+			meshKind, len(addrs), lost, expected)
+	}
 	if *churn > 0 {
 		fmt.Fprintf(stdout, "churn    : %10.0f sub+unsub ops/s (%d churners)\n",
 			float64(ch1-ch0)/elapsed, *churn)

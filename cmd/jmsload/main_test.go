@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/broker"
+	"repro/internal/cluster"
 	"repro/internal/wire"
 )
 
@@ -108,6 +109,79 @@ func TestLoadPacedWithTracing(t *testing.T) {
 	}
 }
 
+// startMesh boots n brokers joined as a wire mesh of the given kind and
+// returns the comma-joined member address list.
+func startMesh(t *testing.T, n int, kind cluster.TopologyKind) string {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for i := range lns {
+		b := broker.New(broker.Options{})
+		wm, err := cluster.NewWireMesh(cluster.WireMeshConfig{
+			Kind:  kind,
+			Self:  i,
+			Addrs: addrs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := wire.ServeWith(b, lns[i], wire.ServeOptions{Forwarder: wm})
+		t.Cleanup(func() {
+			_ = wm.Close()
+			_ = srv.Close()
+			_ = b.Close()
+		})
+	}
+	return strings.Join(addrs, ",")
+}
+
+// TestLoadMesh drives each topology over a live 3-member mesh and checks
+// the drain accounting closes: zero lost deliveries.
+func TestLoadMesh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bound")
+	}
+	for _, kind := range []cluster.TopologyKind{
+		cluster.TopologyPSR, cluster.TopologySSR, cluster.TopologyHash,
+	} {
+		t.Run(kind.String(), func(t *testing.T) {
+			addrList := startMesh(t, 3, kind)
+			var out bytes.Buffer
+			err := run([]string{
+				"-addr", addrList, "-mesh", kind.String(),
+				"-publishers", "3", "-matching", "2", "-nonmatching", "4",
+				"-rate", "500", "-warmup", "50ms", "-measure", "300ms",
+			}, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := out.String()
+			if !strings.Contains(s, "mesh     : "+kind.String()+" over 3 members") {
+				t.Errorf("output missing mesh line: %s", s)
+			}
+			if !strings.Contains(s, "lost 0 of") {
+				t.Errorf("deliveries lost: %s", s)
+			}
+			// R should be ~2 (two matching subscribers) whatever the topology.
+			m := regexp.MustCompile(`R = ([0-9.]+)`).FindStringSubmatch(s)
+			if m == nil {
+				t.Fatalf("no replication grade in output: %s", s)
+			}
+			if r, _ := strconv.ParseFloat(m[1], 64); r < 1.8 || r > 2.2 {
+				t.Errorf("replication grade %s not ~2: %s", m[1], s)
+			}
+		})
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-publishers", "0"}, &out); err == nil {
@@ -127,5 +201,14 @@ func TestLoadErrors(t *testing.T) {
 	}
 	if err := run([]string{"-tracesample", "3", "-matching", "0"}, &out); err == nil {
 		t.Error("tracesample without matching subscriber accepted")
+	}
+	if err := run([]string{"-mesh", "bogus", "-addr", "a:1,b:1"}, &out); err == nil {
+		t.Error("bogus mesh kind accepted")
+	}
+	if err := run([]string{"-mesh", "ssr", "-addr", "a:1"}, &out); err == nil {
+		t.Error("single-member mesh accepted")
+	}
+	if err := run([]string{"-addr", "a:1,b:1"}, &out); err == nil {
+		t.Error("multiple addresses without -mesh accepted")
 	}
 }

@@ -1,0 +1,281 @@
+package cluster
+
+// This file implements the deterministic topic-partitioning ring behind
+// the hash topology — the third distributed architecture the paper did
+// not have. Topics are assigned to members by rendezvous (highest-random-
+// weight) hashing with an explicit balancing pass, which buys two
+// guarantees classic vnode rings cannot make exactly:
+//
+//   - every topic has exactly one owner at all times (no orphaned or
+//     doubly-owned topics, ever — the assignment is a total function), and
+//   - a membership event moves at most ⌈K/N⌉ topics (K topics, N members
+//     after a join / before a leave): a join steals only enough topics to
+//     rebalance, a leave redistributes only the leaver's topics.
+//
+// Both follow from the maintained balance invariant: member loads never
+// differ by more than one. All choices (victims, stolen topics, heirs)
+// are resolved by hash score with lexicographic tie-breaks, so two nodes
+// replaying the same membership history compute identical assignments —
+// which is what lets jmsload route publishes client-side while jmsd
+// routes forwards server-side without exchanging an assignment table.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a deterministic balanced assignment of topics to members. It is
+// a plain data structure: the caller (Topology, WireMesh) provides
+// locking.
+type Ring struct {
+	members []string          // sorted
+	topics  []string          // sorted
+	owner   map[string]string // topic -> member
+	load    map[string]int    // member -> owned topic count
+}
+
+// ringScore is the rendezvous weight of (member, topic): FNV-1a over the
+// pair, so every node computes the same preference order.
+func ringScore(member, topic string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(member))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(topic))
+	return h.Sum64()
+}
+
+// NewRing builds the balanced assignment of topics onto members. Both
+// slices must be non-empty and free of duplicates and empty strings.
+func NewRing(members, topics []string) (*Ring, error) {
+	if len(members) == 0 || len(topics) == 0 {
+		return nil, fmt.Errorf("%w: ring needs members and topics", ErrParams)
+	}
+	r := &Ring{
+		members: uniqueSorted(members),
+		topics:  uniqueSorted(topics),
+		owner:   make(map[string]string, len(topics)),
+		load:    make(map[string]int, len(members)),
+	}
+	if len(r.members) != len(members) || len(r.topics) != len(topics) {
+		return nil, fmt.Errorf("%w: duplicate ring entries", ErrParams)
+	}
+	for _, s := range r.members {
+		if s == "" {
+			return nil, fmt.Errorf("%w: empty member id", ErrParams)
+		}
+		r.load[s] = 0
+	}
+	for _, t := range r.topics {
+		if t == "" {
+			return nil, fmt.Errorf("%w: empty topic", ErrParams)
+		}
+	}
+	// Greedy rendezvous placement under a hard cap, then equalize. The cap
+	// keeps the greedy pass from piling everything on a hash-lucky member;
+	// the equalize pass establishes the diff<=1 balance invariant every
+	// later movement bound relies on.
+	cap := (len(r.topics) + len(r.members) - 1) / len(r.members)
+	for _, t := range r.topics {
+		best, bestScore := "", uint64(0)
+		for _, m := range r.members {
+			if r.load[m] >= cap {
+				continue
+			}
+			if s := ringScore(m, t); best == "" || s > bestScore || (s == bestScore && m < best) {
+				best, bestScore = m, s
+			}
+		}
+		r.assign(t, best)
+	}
+	r.equalize()
+	return r, nil
+}
+
+// assign makes member the owner of topic, updating loads.
+func (r *Ring) assign(topic, member string) {
+	if prev, ok := r.owner[topic]; ok {
+		r.load[prev]--
+	}
+	r.owner[topic] = member
+	r.load[member]++
+}
+
+// equalize restores the diff<=1 balance invariant by moving, while the
+// spread exceeds one, the destination's highest-scoring topic from the
+// most- to the least-loaded member.
+func (r *Ring) equalize() {
+	for {
+		hi, lo := r.extremes()
+		if r.load[hi]-r.load[lo] <= 1 {
+			return
+		}
+		r.assign(r.bestOwnedTopic(hi, lo), lo)
+	}
+}
+
+// extremes returns the most- and least-loaded members, ties broken by
+// member id so the choice is deterministic.
+func (r *Ring) extremes() (hi, lo string) {
+	for _, m := range r.members {
+		if hi == "" || r.load[m] > r.load[hi] {
+			hi = m
+		}
+		if lo == "" || r.load[m] < r.load[lo] {
+			lo = m
+		}
+	}
+	return hi, lo
+}
+
+// bestOwnedTopic returns, among the topics owned by from, the one the
+// destination member scores highest — the topic that "prefers" dst most —
+// with a lexicographic tie-break.
+func (r *Ring) bestOwnedTopic(from, dst string) string {
+	best, bestScore := "", uint64(0)
+	for _, t := range r.topics {
+		if r.owner[t] != from {
+			continue
+		}
+		if s := ringScore(dst, t); best == "" || s > bestScore || (s == bestScore && t < best) {
+			best, bestScore = t, s
+		}
+	}
+	return best
+}
+
+// Owner returns the member owning a topic.
+func (r *Ring) Owner(topic string) (string, bool) {
+	m, ok := r.owner[topic]
+	return m, ok
+}
+
+// Members returns the sorted member ids.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Topics returns the sorted topic set.
+func (r *Ring) Topics() []string {
+	out := make([]string, len(r.topics))
+	copy(out, r.topics)
+	return out
+}
+
+// OwnedBy returns the topics owned by a member, sorted.
+func (r *Ring) OwnedBy(member string) []string {
+	var out []string
+	for _, t := range r.topics {
+		if r.owner[t] == member {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Loads returns a copy of the per-member owned-topic counts.
+func (r *Ring) Loads() map[string]int {
+	out := make(map[string]int, len(r.load))
+	for m, n := range r.load {
+		out[m] = n
+	}
+	return out
+}
+
+// Join adds a member and rebalances: topics are stolen from the currently
+// most-loaded members until the spread is back within one. Returns the
+// moved topics with their previous owners. At most ⌈K/N⌉ topics move
+// (N counting the new member), because the newcomer ends at the balanced
+// load and only its topics moved.
+func (r *Ring) Join(member string) (map[string]string, error) {
+	if member == "" {
+		return nil, fmt.Errorf("%w: empty member id", ErrParams)
+	}
+	if _, ok := r.load[member]; ok {
+		return nil, fmt.Errorf("%w: member %q already present", ErrParams, member)
+	}
+	r.members = insertSorted(r.members, member)
+	r.load[member] = 0
+	moved := make(map[string]string)
+	for {
+		hi, _ := r.extremes()
+		if r.load[hi] <= r.load[member]+1 {
+			break
+		}
+		t := r.bestOwnedTopic(hi, member)
+		moved[t] = hi
+		r.assign(t, member)
+	}
+	return moved, nil
+}
+
+// Leave removes a member, redistributing only its topics to the least-
+// loaded survivors. Returns the moved topics with their new owners. At
+// most ⌈K/N⌉ topics move (N counting the leaver), because balance bounded
+// the leaver's load by that ceiling and nothing else moves.
+func (r *Ring) Leave(member string) (map[string]string, error) {
+	if _, ok := r.load[member]; !ok {
+		return nil, fmt.Errorf("%w: member %q not present", ErrParams, member)
+	}
+	if len(r.members) == 1 {
+		return nil, fmt.Errorf("%w: cannot remove the last member", ErrParams)
+	}
+	orphans := r.OwnedBy(member)
+	r.members = removeSorted(r.members, member)
+	delete(r.load, member)
+	moved := make(map[string]string, len(orphans))
+	for _, t := range orphans {
+		// Heir: least-loaded survivor, ties by the topic's rendezvous
+		// preference, then member id.
+		heir := ""
+		for _, m := range r.members {
+			if heir == "" || r.load[m] < r.load[heir] {
+				heir = m
+				continue
+			}
+			if r.load[m] == r.load[heir] {
+				sm, sh := ringScore(m, t), ringScore(heir, t)
+				if sm > sh || (sm == sh && m < heir) {
+					heir = m
+				}
+			}
+		}
+		delete(r.owner, t) // leaver's ownership ends before reassignment
+		r.owner[t] = heir
+		r.load[heir]++
+		moved[t] = heir
+	}
+	return moved, nil
+}
+
+func uniqueSorted(in []string) []string {
+	out := make([]string, len(in))
+	copy(out, in)
+	sort.Strings(out)
+	n := 0
+	for i, s := range out {
+		if i == 0 || s != out[i-1] {
+			out[n] = s
+			n++
+		}
+	}
+	return out[:n]
+}
+
+func insertSorted(in []string, s string) []string {
+	i := sort.SearchStrings(in, s)
+	in = append(in, "")
+	copy(in[i+1:], in[i:])
+	in[i] = s
+	return in
+}
+
+func removeSorted(in []string, s string) []string {
+	i := sort.SearchStrings(in, s)
+	if i < len(in) && in[i] == s {
+		return append(in[:i], in[i+1:]...)
+	}
+	return in
+}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// checkRingInvariants asserts the two structural guarantees: every topic
+// has exactly one owner drawn from the member set, and loads are balanced
+// within one.
+func checkRingInvariants(t *testing.T, r *Ring) {
+	t.Helper()
+	members := make(map[string]bool)
+	for _, m := range r.Members() {
+		members[m] = true
+	}
+	counts := make(map[string]int)
+	for _, tp := range r.Topics() {
+		owner, ok := r.Owner(tp)
+		if !ok {
+			t.Fatalf("topic %q has no owner", tp)
+		}
+		if !members[owner] {
+			t.Fatalf("topic %q owned by non-member %q", tp, owner)
+		}
+		counts[owner]++
+	}
+	// Exactly-one-owner also means the per-member views partition the
+	// topic set.
+	total := 0
+	seen := make(map[string]bool)
+	for m := range members {
+		for _, tp := range r.OwnedBy(m) {
+			if seen[tp] {
+				t.Fatalf("topic %q owned by two members", tp)
+			}
+			seen[tp] = true
+			total++
+		}
+	}
+	if total != len(r.Topics()) {
+		t.Fatalf("ownership covers %d of %d topics", total, len(r.Topics()))
+	}
+	min, max := -1, -1
+	for m := range members {
+		n := counts[m]
+		if min == -1 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("unbalanced ring: loads %v", r.Loads())
+	}
+}
+
+// TestRingProperty drives random membership histories and checks, at every
+// event, ownership totality, balance, determinism, and the ⌈K/N⌉ movement
+// bound the rebalancer promises.
+func TestRingProperty(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			k := 10 + rng.Intn(90) // topics
+			topics := make([]string, k)
+			for i := range topics {
+				topics[i] = fmt.Sprintf("topic-%03d", i)
+			}
+			members := []string{"m0", "m1", "m2"}
+			r, err := NewRing(members, topics)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkRingInvariants(t, r)
+
+			live := map[string]bool{"m0": true, "m1": true, "m2": true}
+			next := 3
+			for ev := 0; ev < 40; ev++ {
+				join := rng.Intn(2) == 0 || len(live) == 1
+				if join {
+					id := fmt.Sprintf("m%d", next)
+					next++
+					before := r.Loads()
+					moved, err := r.Join(id)
+					if err != nil {
+						t.Fatal(err)
+					}
+					live[id] = true
+					n := len(live)
+					bound := (k + n - 1) / n
+					if len(moved) > bound {
+						t.Fatalf("join %s moved %d topics, bound ⌈%d/%d⌉=%d", id, len(moved), k, n, bound)
+					}
+					for tp, prev := range moved {
+						if got, _ := r.Owner(tp); got != id {
+							t.Fatalf("join: moved topic %q owned by %q, want %q", tp, got, id)
+						}
+						if before[prev] == 0 {
+							t.Fatalf("join: topic %q stolen from unloaded %q", tp, prev)
+						}
+					}
+				} else {
+					// Pick a deterministic victim among live members.
+					ms := r.Members()
+					id := ms[rng.Intn(len(ms))]
+					nBefore := len(live)
+					bound := (k + nBefore - 1) / nBefore
+					ownedBefore := len(r.OwnedBy(id))
+					moved, err := r.Leave(id)
+					if err != nil {
+						t.Fatal(err)
+					}
+					delete(live, id)
+					if len(moved) != ownedBefore {
+						t.Fatalf("leave %s moved %d topics, owned %d", id, len(moved), ownedBefore)
+					}
+					if len(moved) > bound {
+						t.Fatalf("leave %s moved %d topics, bound %d", id, len(moved), bound)
+					}
+					for tp, heir := range moved {
+						if got, _ := r.Owner(tp); got != heir {
+							t.Fatalf("leave: topic %q owned by %q, want heir %q", tp, got, heir)
+						}
+						if heir == id {
+							t.Fatalf("leave: topic %q assigned back to leaver", tp)
+						}
+					}
+				}
+				checkRingInvariants(t, r)
+			}
+		})
+	}
+}
+
+// TestRingDeterministic replays the same membership history twice and
+// demands identical assignments — the property that lets load generators
+// route client-side without an assignment exchange.
+func TestRingDeterministic(t *testing.T) {
+	build := func() *Ring {
+		topics := make([]string, 31)
+		for i := range topics {
+			topics[i] = fmt.Sprintf("t%02d", i)
+		}
+		r, err := NewRing([]string{"a", "b"}, topics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Join("c"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Leave("a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Join("d"); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := build(), build()
+	for _, tp := range r1.Topics() {
+		o1, _ := r1.Owner(tp)
+		o2, _ := r2.Owner(tp)
+		if o1 != o2 {
+			t.Fatalf("non-deterministic assignment for %q: %q vs %q", tp, o1, o2)
+		}
+	}
+}
+
+// TestRingErrors covers the parameter guards.
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, []string{"t"}); err == nil {
+		t.Fatal("want error for empty members")
+	}
+	if _, err := NewRing([]string{"a"}, nil); err == nil {
+		t.Fatal("want error for empty topics")
+	}
+	if _, err := NewRing([]string{"a", "a"}, []string{"t"}); err == nil {
+		t.Fatal("want error for duplicate members")
+	}
+	r, err := NewRing([]string{"a"}, []string{"t1", "t2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Join("a"); err == nil {
+		t.Fatal("want error for duplicate join")
+	}
+	if _, err := r.Leave("zz"); err == nil {
+		t.Fatal("want error for unknown leave")
+	}
+	if _, err := r.Leave("a"); err == nil {
+		t.Fatal("want error for removing the last member")
+	}
+}

@@ -1,0 +1,496 @@
+package cluster
+
+// This file implements the network form of the replication mesh: WireMesh
+// plugs into a jmsd wire server as its wire.Forwarder and replicates
+// client publishes to peer jmsd processes over FORWARD frames. It is the
+// over-TCP counterpart of the in-process Topology — same three kinds,
+// same routing rules, but with static membership fixed at boot (dynamic
+// join/leave with rebalancing is the in-process layer's job):
+//
+//   - PSR: publishers are partitioned across brokers by which address
+//     they dial; no server-side forwarding at all. Subscribers attach to
+//     every broker (client side).
+//   - SSR: every publish is flooded to all peers before it is acked, so
+//     each subscriber's single home broker sees the full stream.
+//   - hash: each topic has one deterministic owner; the entry broker
+//     forwards to the owner and only publishes locally when it owns the
+//     topic itself.
+//
+// Forwarding is synchronous: the Forwarder hook returns only after every
+// required peer acked its FORWARD, so a PUB_ACK to the client means the
+// message is accepted everywhere it must be. A peer failure rejects the
+// publish instead — the client's retry path re-offers it, and the
+// publisher-stamped dedupe identity makes the retry idempotent on peers
+// that did accept the first attempt. That is what makes "zero acked
+// messages lost" checkable across broker kill/restart.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/jms"
+	"repro/internal/wire"
+)
+
+// meshMemberID names mesh member i the way the in-process Topology does
+// ("m0", "m1", ...), so the wire mesh, the in-process mesh and client-side
+// routers all compute identical ring assignments.
+func meshMemberID(i int) string { return fmt.Sprintf("m%d", i) }
+
+// HashRouter computes the topic→member assignment of an n-member hash
+// mesh deterministically, so load generators can route client-side and
+// servers can route forwards without ever exchanging an assignment table.
+// With a static topic set it uses the balanced Ring; topics outside the
+// set (or a nil set) fall back to pure rendezvous hashing, which every
+// member still computes identically.
+type HashRouter struct {
+	n    int
+	ring *Ring // nil when no static topic set was given
+}
+
+// NewHashRouter builds a router for an n-member mesh. topics may be nil.
+func NewHashRouter(n int, topics []string) (*HashRouter, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: mesh needs at least one member", ErrParams)
+	}
+	hr := &HashRouter{n: n}
+	if len(topics) > 0 {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = meshMemberID(i)
+		}
+		ring, err := NewRing(members, topics)
+		if err != nil {
+			return nil, err
+		}
+		hr.ring = ring
+	}
+	return hr, nil
+}
+
+// Owner returns the mesh index owning topic.
+func (hr *HashRouter) Owner(topic string) int {
+	if hr.ring != nil {
+		if owner, ok := hr.ring.Owner(topic); ok {
+			for i := 0; i < hr.n; i++ {
+				if meshMemberID(i) == owner {
+					return i
+				}
+			}
+		}
+	}
+	// Pure rendezvous fallback: argmax score, ties to the lower index.
+	best, bestScore := 0, uint64(0)
+	for i := 0; i < hr.n; i++ {
+		if s := ringScore(meshMemberID(i), topic); i == 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// WireMeshConfig configures a WireMesh.
+type WireMeshConfig struct {
+	// Kind selects the replication topology.
+	Kind TopologyKind
+	// Self is this member's index into Addrs.
+	Self int
+	// Addrs lists every member's wire address, self included (the self
+	// slot is never dialed).
+	Addrs []string
+	// Topics is the static topic set for hash routing; optional (unknown
+	// topics route by pure rendezvous).
+	Topics []string
+	// DialTimeout bounds each peer dial. Default 3s.
+	DialTimeout time.Duration
+	// AckTimeout bounds the wait for a peer's FORWARD ack. Default 10s.
+	AckTimeout time.Duration
+}
+
+// WireMeshStats is a snapshot of the mesh forwarder's counters.
+type WireMeshStats struct {
+	Kind TopologyKind
+	Self int
+	// Peers is the number of remote members.
+	Peers int
+	// ForwardedOut counts FORWARD frames acked by peers.
+	ForwardedOut uint64
+	// ForwardErrors counts forwards that failed (dial, write, peer error,
+	// ack timeout) and therefore rejected the triggering publish.
+	ForwardErrors uint64
+	// Reconnects counts re-dials after an established peer connection broke.
+	Reconnects uint64
+}
+
+// WireMesh replicates publishes to peer jmsd servers. It implements
+// wire.Forwarder; attach it via wire.ServeOptions.Forwarder.
+type WireMesh struct {
+	kind       TopologyKind
+	self       int
+	router     *HashRouter
+	ackTimeout time.Duration
+
+	peers []*meshPeer // indexed like Addrs; nil at self
+
+	forwardedOut  atomic.Uint64
+	forwardErrors atomic.Uint64
+	reconnects    atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewWireMesh builds the mesh forwarder. Connections to peers are dialed
+// lazily on first use and re-dialed after failures.
+func NewWireMesh(cfg WireMeshConfig) (*WireMesh, error) {
+	switch cfg.Kind {
+	case TopologyPSR, TopologySSR, TopologyHash:
+	default:
+		return nil, fmt.Errorf("%w: unknown topology kind %d", ErrParams, cfg.Kind)
+	}
+	if cfg.Self < 0 || cfg.Self >= len(cfg.Addrs) {
+		return nil, fmt.Errorf("%w: self index %d outside %d addresses", ErrParams, cfg.Self, len(cfg.Addrs))
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 10 * time.Second
+	}
+	router, err := NewHashRouter(len(cfg.Addrs), cfg.Topics)
+	if err != nil {
+		return nil, err
+	}
+	wm := &WireMesh{
+		kind:       cfg.Kind,
+		self:       cfg.Self,
+		router:     router,
+		ackTimeout: cfg.AckTimeout,
+		peers:      make([]*meshPeer, len(cfg.Addrs)),
+	}
+	for i, addr := range cfg.Addrs {
+		if i == cfg.Self {
+			continue
+		}
+		if addr == "" {
+			return nil, fmt.Errorf("%w: empty address for member %d", ErrParams, i)
+		}
+		wm.peers[i] = &meshPeer{mesh: wm, addr: addr, dialTimeout: cfg.DialTimeout}
+	}
+	return wm, nil
+}
+
+// Stats returns a snapshot of the mesh counters.
+func (wm *WireMesh) Stats() WireMeshStats {
+	peers := 0
+	for _, p := range wm.peers {
+		if p != nil {
+			peers++
+		}
+	}
+	return WireMeshStats{
+		Kind:          wm.kind,
+		Self:          wm.self,
+		Peers:         peers,
+		ForwardedOut:  wm.forwardedOut.Load(),
+		ForwardErrors: wm.forwardErrors.Load(),
+		Reconnects:    wm.reconnects.Load(),
+	}
+}
+
+// Kind returns the mesh's topology kind.
+func (wm *WireMesh) Kind() TopologyKind { return wm.kind }
+
+// Self returns this member's mesh index.
+func (wm *WireMesh) Self() int { return wm.self }
+
+// Close tears down all peer connections. In-flight forwards fail.
+func (wm *WireMesh) Close() error {
+	wm.mu.Lock()
+	if wm.closed {
+		wm.mu.Unlock()
+		return ErrClosed
+	}
+	wm.closed = true
+	wm.mu.Unlock()
+	for _, p := range wm.peers {
+		if p != nil {
+			p.close()
+		}
+	}
+	return nil
+}
+
+// ForwardPublish implements wire.Forwarder for single publishes.
+func (wm *WireMesh) ForwardPublish(m *jms.Message, raw []byte) (bool, error) {
+	switch wm.kind {
+	case TopologyPSR:
+		// Publisher-side replication partitions publishers by the address
+		// they dialed; nothing to forward.
+		return true, nil
+	case TopologySSR:
+		if err := wm.flood(false, raw); err != nil {
+			return false, err
+		}
+		return true, nil
+	default: // TopologyHash
+		owner := wm.router.Owner(m.Header.Topic)
+		if owner == wm.self {
+			return true, nil
+		}
+		if err := wm.forwardTo(owner, false, raw); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+}
+
+// ForwardBatch implements wire.Forwarder for batch publishes.
+func (wm *WireMesh) ForwardBatch(msgs []*jms.Message, raw []byte) (bool, error) {
+	switch wm.kind {
+	case TopologyPSR:
+		return true, nil
+	case TopologySSR:
+		if err := wm.flood(true, raw); err != nil {
+			return false, err
+		}
+		return true, nil
+	default: // TopologyHash
+		// Group the batch by owner. The common case — a router-aware
+		// client sent a homogeneous batch — forwards the raw bytes
+		// verbatim; mixed batches re-encode one sub-batch per remote
+		// owner. Self-owned messages stay in the local publish; when a
+		// mixed batch also carries remote-owned ones, the whole batch is
+		// published locally — the remote-owned extras match no local
+		// subscriber (subscribers only attach to a topic's owner), so this
+		// trades a little wasted matching for not re-slicing the carrier.
+		var groups map[int][]*jms.Message
+		anySelf := false
+		for _, m := range msgs {
+			owner := wm.router.Owner(m.Header.Topic)
+			if owner == wm.self {
+				anySelf = true
+				continue
+			}
+			if groups == nil {
+				groups = make(map[int][]*jms.Message)
+			}
+			groups[owner] = append(groups[owner], m)
+		}
+		if groups == nil {
+			return true, nil
+		}
+		if !anySelf && len(groups) == 1 {
+			for owner := range groups {
+				if err := wm.forwardTo(owner, true, raw); err != nil {
+					return false, err
+				}
+			}
+			return false, nil
+		}
+		for owner, group := range groups {
+			if err := wm.forwardTo(owner, true, wire.EncodeBatch(group)); err != nil {
+				return false, err
+			}
+		}
+		return anySelf, nil
+	}
+}
+
+// flood forwards the payload to every peer, concurrently, and fails if
+// any peer failed — the publish is then rejected as a whole and the
+// client's retry is deduped by the peers that did accept it.
+func (wm *WireMesh) flood(batch bool, inner []byte) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(wm.peers))
+	for i, p := range wm.peers {
+		if p == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p *meshPeer) {
+			defer wg.Done()
+			errs[i] = wm.track(p.forward(batch, inner))
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forwardTo forwards the payload to one member.
+func (wm *WireMesh) forwardTo(member int, batch bool, inner []byte) error {
+	p := wm.peers[member]
+	if p == nil {
+		return fmt.Errorf("cluster: forward to self (member %d)", member)
+	}
+	return wm.track(p.forward(batch, inner))
+}
+
+// track folds one forward outcome into the mesh counters.
+func (wm *WireMesh) track(err error) error {
+	if err != nil {
+		wm.forwardErrors.Add(1)
+		return err
+	}
+	wm.forwardedOut.Add(1)
+	return nil
+}
+
+// meshPeer is one lazily-dialed, pipelined connection to a peer server.
+// Concurrent forwards share the connection: each registers a waiter under
+// its request ID, the acks complete them in whatever order they return.
+type meshPeer struct {
+	mesh        *WireMesh
+	addr        string
+	dialTimeout time.Duration
+
+	// mu guards the connection identity and the waiter table; wmu
+	// serializes frame writes so a blocked write never holds up ack
+	// completion.
+	mu            sync.Mutex
+	wmu           sync.Mutex
+	conn          net.Conn
+	gen           uint64
+	nextReq       uint64
+	waiters       map[uint64]chan error
+	everConnected bool
+	closed        bool
+}
+
+// forward sends one FORWARD frame and waits for the peer's ack.
+func (p *meshPeer) forward(batch bool, inner []byte) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	if p.conn == nil {
+		conn, err := net.DialTimeout("tcp", p.addr, p.dialTimeout)
+		if err != nil {
+			p.mu.Unlock()
+			return fmt.Errorf("cluster: dial peer %s: %w", p.addr, err)
+		}
+		if p.everConnected {
+			p.mesh.reconnects.Add(1)
+		}
+		p.everConnected = true
+		p.conn = conn
+		p.gen++
+		p.waiters = make(map[uint64]chan error)
+		go p.readLoop(conn, p.gen)
+	}
+	conn, gen := p.conn, p.gen
+	p.nextReq++
+	req := p.nextReq
+	ch := make(chan error, 1)
+	p.waiters[req] = ch
+	p.mu.Unlock()
+
+	payload := wire.EncodeForward(req, wire.ForwardHeader{
+		Origin: uint32(p.mesh.self),
+		Hops:   1,
+		Batch:  batch,
+	}, inner)
+
+	p.wmu.Lock()
+	err := wire.WriteFrame(conn, wire.Frame{Type: wire.FrameForward, Payload: payload})
+	p.wmu.Unlock()
+	if err != nil {
+		p.fail(gen, err)
+		return fmt.Errorf("cluster: forward to %s: %w", p.addr, err)
+	}
+
+	select {
+	case err := <-ch:
+		if err != nil {
+			return fmt.Errorf("cluster: peer %s rejected forward: %w", p.addr, err)
+		}
+		return nil
+	case <-time.After(p.mesh.ackTimeout):
+		// Leave the waiter registered: a late ack completes into the
+		// buffered channel, a connection failure sweeps it. Either way no
+		// goroutine leaks — but the connection is suspect, so drop it.
+		p.fail(gen, fmt.Errorf("cluster: peer %s ack timeout", p.addr))
+		return fmt.Errorf("cluster: peer %s ack timeout after %s", p.addr, p.mesh.ackTimeout)
+	}
+}
+
+// readLoop drains acks for one connection generation.
+func (p *meshPeer) readLoop(conn net.Conn, gen uint64) {
+	for {
+		f, err := wire.ReadFrame(conn)
+		if err != nil {
+			p.fail(gen, err)
+			return
+		}
+		switch f.Type {
+		case wire.FramePubAck:
+			req, err := wire.DecodeU64(f.Payload)
+			if err != nil {
+				p.fail(gen, err)
+				return
+			}
+			p.complete(gen, req, nil)
+		case wire.FrameError:
+			req, msg, err := wire.DecodeError(f.Payload)
+			if err != nil {
+				p.fail(gen, err)
+				return
+			}
+			p.complete(gen, req, fmt.Errorf("%s", msg))
+		default:
+			// Unexpected frame on a forward-only connection.
+			p.fail(gen, fmt.Errorf("cluster: unexpected %v from peer", f.Type))
+			return
+		}
+	}
+}
+
+// complete resolves one waiter of the given connection generation.
+func (p *meshPeer) complete(gen, req uint64, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.gen != gen || p.waiters == nil {
+		return
+	}
+	if ch, ok := p.waiters[req]; ok {
+		delete(p.waiters, req)
+		ch <- err
+	}
+}
+
+// fail tears down one connection generation, sweeping every waiter with
+// the error. Later generations are untouched.
+func (p *meshPeer) fail(gen uint64, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.gen != gen || p.conn == nil {
+		return
+	}
+	_ = p.conn.Close()
+	p.conn = nil
+	for req, ch := range p.waiters {
+		delete(p.waiters, req)
+		ch <- err
+	}
+	p.waiters = nil
+}
+
+// close shuts the peer down for good.
+func (p *meshPeer) close() {
+	p.mu.Lock()
+	p.closed = true
+	conn, gen := p.conn, p.gen
+	p.mu.Unlock()
+	if conn != nil {
+		p.fail(gen, ErrClosed)
+	}
+}

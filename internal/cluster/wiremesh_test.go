@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/client"
+	"repro/internal/filter"
+	"repro/internal/jms"
+	"repro/internal/wire"
+)
+
+// meshNode is one live jmsd-shaped member: broker, wire server, mesh
+// forwarder.
+type meshNode struct {
+	b    *broker.Broker
+	srv  *wire.Server
+	mesh *WireMesh
+	addr string
+}
+
+// startWireMesh boots n wire servers joined as one mesh of the given
+// kind. Topics are configured on every broker.
+func startWireMesh(t *testing.T, n int, kind TopologyKind, topics []string) []*meshNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*meshNode, n)
+	for i := range nodes {
+		b := broker.New(broker.Options{})
+		for _, topic := range topics {
+			if err := b.ConfigureTopic(topic); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mesh, err := NewWireMesh(WireMeshConfig{
+			Kind:   kind,
+			Self:   i,
+			Addrs:  addrs,
+			Topics: topics,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := wire.ServeWith(b, lns[i], wire.ServeOptions{Forwarder: mesh})
+		nodes[i] = &meshNode{b: b, srv: srv, mesh: mesh, addr: addrs[i]}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			_ = nd.mesh.Close()
+			_ = nd.srv.Close()
+			_ = nd.b.Close()
+		}
+	})
+	return nodes
+}
+
+func recvOne(t *testing.T, sub *broker.Subscriber) *jms.Message {
+	t.Helper()
+	select {
+	case m, ok := <-sub.Chan():
+		if !ok {
+			t.Fatal("subscription closed")
+		}
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for delivery")
+	}
+	return nil
+}
+
+func expectNone(t *testing.T, sub *broker.Subscriber) {
+	t.Helper()
+	select {
+	case m := <-sub.Chan():
+		t.Fatalf("unexpected delivery on topic %q", m.Header.Topic)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestWireMeshSSRFlood floods one publish to every member: a subscriber
+// homed on each broker must see it exactly once, and the forward counters
+// must agree end to end.
+func TestWireMeshSSRFlood(t *testing.T) {
+	nodes := startWireMesh(t, 3, TopologySSR, []string{"t"})
+	subs := make([]*broker.Subscriber, len(nodes))
+	for i, nd := range nodes {
+		sub, err := nd.b.Subscribe("t", filter.All{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = sub
+	}
+
+	c, err := client.Dial(nodes[0].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	m := jms.NewMessage("t")
+	m.SetBody([]byte("flooded"))
+	if err := c.Publish(context.Background(), m); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, sub := range subs {
+		got := recvOne(t, sub)
+		if string(got.Body) != "flooded" {
+			t.Fatalf("member %d body = %q", i, got.Body)
+		}
+		expectNone(t, sub)
+	}
+	if got := nodes[0].mesh.Stats().ForwardedOut; got != 2 {
+		t.Fatalf("ForwardedOut = %d, want 2", got)
+	}
+	for i := 1; i < 3; i++ {
+		if got := nodes[i].srv.ForwardsIn(); got != 1 {
+			t.Fatalf("member %d ForwardsIn = %d, want 1", i, got)
+		}
+	}
+}
+
+// TestWireMeshHashRouting publishes every topic at the same entry member;
+// each message must surface exactly on the topic owner's broker —
+// wherever the deterministic router says — and nowhere else.
+func TestWireMeshHashRouting(t *testing.T) {
+	topics := []string{"alpha", "beta", "gamma", "delta"}
+	nodes := startWireMesh(t, 3, TopologyHash, topics)
+	router, err := NewHashRouter(3, topics)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	subs := make(map[string][]*broker.Subscriber) // topic -> per-member subs
+	for _, topic := range topics {
+		for _, nd := range nodes {
+			sub, err := nd.b.Subscribe(topic, filter.All{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			subs[topic] = append(subs[topic], sub)
+		}
+	}
+
+	c, err := client.Dial(nodes[0].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, topic := range topics {
+		m := jms.NewMessage(topic)
+		m.SetBody([]byte(topic))
+		if err := c.Publish(context.Background(), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, topic := range topics {
+		owner := router.Owner(topic)
+		for i, sub := range subs[topic] {
+			if i == owner {
+				if got := recvOne(t, sub); string(got.Body) != topic {
+					t.Fatalf("owner %d of %q got body %q", owner, topic, got.Body)
+				}
+			}
+		}
+		for i, sub := range subs[topic] {
+			if i != owner {
+				expectNone(t, sub)
+			}
+		}
+	}
+
+	// A mixed-owner batch splits into per-owner sub-batches.
+	var batch []*jms.Message
+	for _, topic := range topics {
+		m := jms.NewMessage(topic)
+		m.SetBody([]byte("batch-" + topic))
+		batch = append(batch, m)
+	}
+	if err := c.PublishBatch(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, topic := range topics {
+		owner := router.Owner(topic)
+		if got := recvOne(t, subs[topic][owner]); string(got.Body) != "batch-"+topic {
+			t.Fatalf("batch to %q: owner got %q", topic, got.Body)
+		}
+	}
+}
+
+// TestWireMeshPSRNoForwarding asserts PSR never dials a peer: the
+// addresses are unroutable, so any forwarding attempt would error.
+func TestWireMeshPSRNoForwarding(t *testing.T) {
+	// The self slot's address is never dialed and may be empty.
+	mesh, err := NewWireMesh(WireMeshConfig{
+		Kind:  TopologyPSR,
+		Self:  0,
+		Addrs: []string{"", "203.0.113.1:1", "203.0.113.2:1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	m := jms.NewMessage("t")
+	local, err := mesh.ForwardPublish(m, wire.EncodeMessage(m))
+	if err != nil || !local {
+		t.Fatalf("PSR ForwardPublish = (%v, %v), want (true, nil)", local, err)
+	}
+	local, err = mesh.ForwardBatch([]*jms.Message{m}, wire.EncodeBatch([]*jms.Message{m}))
+	if err != nil || !local {
+		t.Fatalf("PSR ForwardBatch = (%v, %v), want (true, nil)", local, err)
+	}
+	if got := mesh.Stats().ForwardedOut; got != 0 {
+		t.Fatalf("ForwardedOut = %d, want 0", got)
+	}
+}
+
+// TestWireMeshReconnect kills a peer server mid-stream: the in-flight
+// publish must be rejected (not silently dropped), and once the peer is
+// back on the same address the next publish must go through on a fresh
+// connection, counted as a reconnect.
+func TestWireMeshReconnect(t *testing.T) {
+	nodes := startWireMesh(t, 2, TopologySSR, []string{"t"})
+
+	c, err := client.Dial(nodes[0].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	m := jms.NewMessage("t")
+	if err := c.Publish(context.Background(), m); err != nil {
+		t.Fatal(err)
+	}
+	if got := nodes[1].b.Stats().Received; got != 1 {
+		t.Fatalf("peer received %d, want 1", got)
+	}
+
+	// Kill the peer server; keep its address.
+	addr := nodes[1].addr
+	_ = nodes[1].srv.Close()
+	_ = nodes[1].b.Close()
+
+	if err := c.Publish(context.Background(), jms.NewMessage("t")); err == nil {
+		t.Fatal("want publish rejection while the peer is down")
+	}
+
+	// Revive the peer on the same address.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	b2 := broker.New(broker.Options{})
+	if err := b2.ConfigureTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := wire.Serve(b2, ln)
+	t.Cleanup(func() {
+		_ = srv2.Close()
+		_ = b2.Close()
+	})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := c.Publish(context.Background(), jms.NewMessage("t")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("publish never succeeded after peer revival")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := b2.Stats().Received; got == 0 {
+		t.Fatal("revived peer received nothing")
+	}
+	if got := nodes[0].mesh.Stats().Reconnects; got == 0 {
+		t.Fatal("reconnect not counted")
+	}
+	if got := nodes[0].mesh.Stats().ForwardErrors; got == 0 {
+		t.Fatal("forward failure not counted")
+	}
+}
+
+// TestHashRouterAgreement pins the property client-side routing relies
+// on: every member size computes the identical owner for ring topics and
+// rendezvous-fallback topics alike.
+func TestHashRouterAgreement(t *testing.T) {
+	topics := []string{"a", "b", "c", "d", "e"}
+	r1, err := NewHashRouter(3, topics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewHashRouter(3, topics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topic := range append(topics, "unknown-0", "unknown-1") {
+		o1, o2 := r1.Owner(topic), r2.Owner(topic)
+		if o1 != o2 {
+			t.Fatalf("routers disagree on %q: %d vs %d", topic, o1, o2)
+		}
+		if o1 < 0 || o1 >= 3 {
+			t.Fatalf("owner %d out of range for %q", o1, topic)
+		}
+	}
+	// Ring topics must match the in-process Ring assignment (same member
+	// naming), so Topology and WireMesh route identically.
+	ring, err := NewRing([]string{"m0", "m1", "m2"}, topics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topic := range topics {
+		owner, _ := ring.Owner(topic)
+		if got := fmt.Sprintf("m%d", r1.Owner(topic)); got != owner {
+			t.Fatalf("router owner %s != ring owner %s for %q", got, owner, topic)
+		}
+	}
+}

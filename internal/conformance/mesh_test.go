@@ -1,0 +1,210 @@
+package conformance
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/distrib"
+)
+
+// meshCalibration is the shared stage-time measurement config. The
+// small subscriber buffer matters: calibrations run at the legs' own
+// filter burdens (tens of thousands of subscriptions), where the default
+// buffer would allocate gigabytes of idle channel capacity.
+var meshCalibration = bench.NativeConfig{
+	FilterType:       core.CorrelationIDFiltering,
+	Repetitions:      3,
+	SubscriberBuffer: 8,
+}
+
+// meshNFltrPerSub keeps every leg's per-member filter-scan set several
+// times the L2 size: the per-filter cost is dominated by cache misses,
+// so a scan set that fits L2 during the single-broker calibration but is
+// evicted by the other members' interleaved scans in the live mesh would
+// break the constant-t_fltr premise both sides must share. Deep in the
+// cache hierarchy the cost is uniform and the linear model holds.
+const meshNFltrPerSub = 16000
+
+// pacedMeshModel calibrates the paced cost model once per test binary
+// (the probes take a few seconds each) over the burden range the legs
+// span: meshNFltrPerSub (SSR) up to 5x (the planned PSR config B).
+var pacedMesh struct {
+	once  sync.Once
+	model core.CostModel
+	err   error
+}
+
+func pacedMeshModel(t *testing.T) core.CostModel {
+	t.Helper()
+	pacedMesh.once.Do(func() {
+		pacedMesh.model, pacedMesh.err = CalibrateMeshModelPaced(
+			meshCalibration,
+			[]int{meshNFltrPerSub, 3 * meshNFltrPerSub, 5 * meshNFltrPerSub},
+			2, 0.15, 500, 11)
+	})
+	if pacedMesh.err != nil {
+		t.Fatal(pacedMesh.err)
+	}
+	m := pacedMesh.model
+	if m.TRcv <= 0 || m.TFltr <= 0 || m.TTx <= 0 {
+		t.Fatalf("degenerate paced model %+v", m)
+	}
+	return m
+}
+
+// ssrWinsM returns the smallest subscriber count m for which Eq. 23
+// predicts SSR to win by at least the margin on the given model: the
+// PSR per-server denominator must exceed margin*n times SSR's. With the
+// filter term dominating (meshNFltrPerSub), this is near margin*n.
+func ssrWinsM(model core.CostModel, members, r int, margin float64) int {
+	base := model.TRcv + float64(r)*model.TTx
+	f := float64(meshNFltrPerSub) * model.TFltr
+	m := int(math.Ceil((margin*float64(members)*(base+f) - base) / f))
+	if m < 3 {
+		m = 3
+	}
+	if m > 16 {
+		m = 16
+	}
+	return m
+}
+
+// TestMeshCapacityConformance drives live 3-broker PSR and SSR meshes
+// and checks the capacities implied by the measured per-member service
+// times against Eqs. 21 and 22 on the independently calibrated cost
+// model, then replays the Eq. 23 crossover on the same runs: a
+// configuration where the model predicts PSR to win and one where it
+// predicts SSR to win, both confirmed by the measured ordering.
+func TestMeshCapacityConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock statistical run")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews the calibrated stage times the capacities are implied from")
+	}
+
+	const (
+		members = 3
+		r       = 2
+		margin  = 1.6
+		mA      = 2 // PSR predicted winner for any model: slowdown <= 2 < n
+	)
+
+	model := pacedMeshModel(t)
+	mB := ssrWinsM(model, members, r, margin)
+	t.Logf("model %+v, crossover plan mA=%d mB=%d nFltrPerSub=%d", model, mA, mB, meshNFltrPerSub)
+
+	run := func(kind cluster.TopologyKind, m int, seed int64) MeshResult {
+		t.Helper()
+		res, err := RunMesh(MeshConfig{
+			Kind:        kind,
+			Members:     members,
+			M:           m,
+			NFltrPerSub: meshNFltrPerSub,
+			R:           r,
+			Seed:        seed,
+			Model:       model,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%v m=%d: implied %.0f/s predicted %.0f/s (E[B] %v, lambda %v, wait obs %.1fus pred %.1fus)",
+			kind, m, res.ImpliedCapacity, res.PredictedCapacity,
+			res.MemberService, res.MemberLambda,
+			res.ObservedWait*1e6, res.PredictedWait*1e6)
+		return res
+	}
+
+	psrA := run(cluster.TopologyPSR, mA, 1)
+	ssr := run(cluster.TopologySSR, mA, 2)
+	psrB := run(cluster.TopologyPSR, mB, 3)
+
+	// The acceptance envelope: implied vs predicted within 15%.
+	for _, res := range []MeshResult{psrA, ssr, psrB} {
+		if err := res.CheckCapacity(0.15); err != nil {
+			t.Errorf("m=%d: %v", res.Scenario.M, err)
+		}
+	}
+
+	// SSR floods every message to the other members; PSR never forwards.
+	if psrA.Forwards != 0 || psrB.Forwards != 0 {
+		t.Errorf("PSR forwarded %d/%d messages", psrA.Forwards, psrB.Forwards)
+	}
+	if ssr.Forwards == 0 {
+		t.Error("SSR flood forwarded nothing")
+	}
+
+	// Eq. 23, predicted on the reference model: opposite winners in the
+	// two configurations.
+	scenA, scenB := psrA.Scenario, psrB.Scenario
+	scenA.Model, scenB.Model = model, model
+	winA, err := distrib.PSROutperformsSSR(scenA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	winB, err := distrib.PSROutperformsSSR(scenB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !winA || winB {
+		t.Fatalf("crossover plan failed: predicted PSR wins = %v/%v, want true/false", winA, winB)
+	}
+
+	// Eq. 23, measured: the implied capacities must order the same way.
+	if psrA.ImpliedCapacity <= ssr.ImpliedCapacity {
+		t.Errorf("config A: implied PSR %.0f/s not above implied SSR %.0f/s",
+			psrA.ImpliedCapacity, ssr.ImpliedCapacity)
+	}
+	if psrB.ImpliedCapacity >= ssr.ImpliedCapacity {
+		t.Errorf("config B: implied PSR %.0f/s not below implied SSR %.0f/s",
+			psrB.ImpliedCapacity, ssr.ImpliedCapacity)
+	}
+}
+
+// TestMeshWaitingConformance checks the waiting-time side of the mesh
+// leg: a PSR mesh loaded through a single origin member (so exactly one
+// member carries a meaningful utilization on this shared machine) must
+// show a baseline-subtracted mean wait near the M/G/1 prediction at the
+// measured arrival rate — the same envelope the single-broker wall-clock
+// leg uses.
+func TestMeshWaitingConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock statistical run")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation overloads the calibrated target utilization")
+	}
+
+	res, err := RunMesh(MeshConfig{
+		Kind:         cluster.TopologyPSR,
+		Members:      3,
+		M:            2,
+		NFltrPerSub:  meshNFltrPerSub,
+		R:            2,
+		LoadRho:      0.45,
+		Messages:     2000,
+		SingleOrigin: true,
+		Seed:         4,
+		Model:        pacedMeshModel(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wait obs %.1fus pred %.1fus baseline %.1fus (E[B] %v, lambda %v)",
+		res.ObservedWait*1e6, res.PredictedWait*1e6, res.BaselineWait*1e6,
+		res.MemberService, res.MemberLambda)
+
+	if len(res.MemberService) != 1 {
+		t.Fatalf("single-origin PSR loaded %d members, want 1", len(res.MemberService))
+	}
+	if err := agree("mesh mean wait", res.ObservedWait, res.PredictedWait, 0.70, 100e-6); err != nil {
+		t.Error(err)
+	}
+	if err := res.CheckCapacity(0.15); err != nil {
+		t.Error(err)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -196,6 +197,10 @@ type Options struct {
 	// stage-decomposition series on /metrics and the /trace + /trace/{id}
 	// JSON endpoints.
 	Trace *trace.Recorder
+	// Mesh supplies the replication-mesh forwarder counters (jms_mesh_*).
+	// Forwards received from peers come from Wire (ForwardsIn), so the
+	// ingress side still renders when only Wire is set.
+	Mesh *cluster.WireMesh
 	// Registry counters are rendered under the jms_registry_ prefix.
 	Registry *metrics.Registry
 	// Gauges and Counters are additional labeled families to expose.
@@ -279,6 +284,22 @@ func WriteMetrics(w io.Writer, opts Options) {
 		WriteCounter(bw, "jms_wire_write_calls_total", "Write syscalls (vectored writes count once).", ws.WriteCalls)
 		writeHeader(bw, "jms_wire_write_seconds_total", "Wall time spent inside socket write syscalls.", "counter")
 		writeSample(bw, "jms_wire_write_seconds_total", nil, float64(ws.WriteNanos)/1e9)
+		WriteCounter(bw, "jms_mesh_forwarded_in_total", "FORWARD frames accepted from mesh peers.", s.ForwardsIn())
+	}
+
+	if wm := opts.Mesh; wm != nil {
+		ms := wm.Stats()
+		// Role is an info-style gauge: constant 1, identity in the labels,
+		// so a scrape join can attach the topology to any other series.
+		writeHeader(bw, "jms_mesh_role", "Replication topology of this member (info gauge: value is always 1).", "gauge")
+		writeSample(bw, "jms_mesh_role", []Label{
+			{"kind", ms.Kind.String()},
+			{"self", strconv.Itoa(ms.Self)},
+		}, 1)
+		WriteGauge(bw, "jms_mesh_peers", "Remote mesh members this server forwards to.", float64(ms.Peers))
+		WriteCounter(bw, "jms_mesh_forwarded_out_total", "FORWARD frames acked by mesh peers.", ms.ForwardedOut)
+		WriteCounter(bw, "jms_mesh_forward_errors_total", "Forwards that failed and rejected the triggering publish.", ms.ForwardErrors)
+		WriteCounter(bw, "jms_mesh_reconnects_total", "Peer re-dials after an established mesh connection broke.", ms.Reconnects)
 	}
 
 	if d := opts.Drift; d != nil {
@@ -330,7 +351,19 @@ type Stats struct {
 	Stages *broker.StageStats               `json:"stages,omitempty"`
 	Topics map[string]broker.TopicTelemetry `json:"topics,omitempty"`
 	Wire   *WireStats                       `json:"wire,omitempty"`
+	Mesh   *MeshStats                       `json:"mesh,omitempty"`
 	Drift  map[string]Estimate              `json:"drift,omitempty"`
+}
+
+// MeshStats are the replication-mesh counters in the /stats payload.
+type MeshStats struct {
+	Kind          string `json:"kind"`
+	Self          int    `json:"self"`
+	Peers         int    `json:"peers"`
+	ForwardedOut  uint64 `json:"forwarded_out"`
+	ForwardedIn   uint64 `json:"forwarded_in"`
+	ForwardErrors uint64 `json:"forward_errors"`
+	Reconnects    uint64 `json:"reconnects"`
 }
 
 // WireStats are the wire server's counters in the /stats payload.
@@ -361,6 +394,20 @@ func CollectStats(opts Options) Stats {
 			AcceptedConns:        s.AcceptedConns(),
 			DuplicatesSuppressed: s.DuplicatesSuppressed(),
 			Path:                 s.WireStats(),
+		}
+	}
+	if wm := opts.Mesh; wm != nil {
+		ms := wm.Stats()
+		out.Mesh = &MeshStats{
+			Kind:          ms.Kind.String(),
+			Self:          ms.Self,
+			Peers:         ms.Peers,
+			ForwardedOut:  ms.ForwardedOut,
+			ForwardErrors: ms.ForwardErrors,
+			Reconnects:    ms.Reconnects,
+		}
+		if s := opts.Wire; s != nil {
+			out.Mesh.ForwardedIn = s.ForwardsIn()
 		}
 	}
 	if d := opts.Drift; d != nil {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/jms"
 	"repro/internal/metrics"
 	"repro/internal/wire"
@@ -399,5 +400,90 @@ func TestWireMetricsExposed(t *testing.T) {
 	}
 	if p.BytesIn == 0 || p.BytesOut == 0 {
 		t.Errorf("wire path bytes = (%d, %d), want nonzero", p.BytesIn, p.BytesOut)
+	}
+}
+
+// TestMeshMetricsExposed boots a live two-member SSR mesh, floods one
+// publish through it, and checks both members' jms_mesh_* series: the
+// origin counts the forward out, the peer counts it in, and every sample
+// is finite.
+func TestMeshMetricsExposed(t *testing.T) {
+	const members = 2
+	lns := make([]net.Listener, members)
+	addrs := make([]string, members)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	brokers := make([]*broker.Broker, members)
+	servers := make([]*wire.Server, members)
+	meshes := make([]*cluster.WireMesh, members)
+	for i := range brokers {
+		b := broker.New(broker.Options{InFlight: 16, SubscriberBuffer: 16})
+		if err := b.ConfigureTopic("t"); err != nil {
+			t.Fatal(err)
+		}
+		wm, err := cluster.NewWireMesh(cluster.WireMeshConfig{
+			Kind:  cluster.TopologySSR,
+			Self:  i,
+			Addrs: addrs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		brokers[i] = b
+		meshes[i] = wm
+		servers[i] = wire.ServeWith(b, lns[i], wire.ServeOptions{Forwarder: wm})
+	}
+	t.Cleanup(func() {
+		for i := range brokers {
+			_ = meshes[i].Close()
+			_ = servers[i].Close()
+			_ = brokers[i].Close()
+		}
+	})
+
+	cl, err := client.Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cl.Close() })
+	if err := cl.Publish(context.Background(), jms.NewMessage("t")); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range brokers {
+		var buf strings.Builder
+		WriteMetrics(&buf, Options{Broker: brokers[i], Wire: servers[i], Mesh: meshes[i]})
+		body := buf.String()
+		checkExposition(t, body)
+		for _, want := range []string{
+			`jms_mesh_role{kind="ssr",self="` + strconv.Itoa(i) + `"} 1`,
+			"jms_mesh_peers 1",
+			"jms_mesh_forwarded_out_total ",
+			"jms_mesh_forwarded_in_total ",
+			"jms_mesh_forward_errors_total 0",
+			"jms_mesh_reconnects_total 0",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("member %d: missing %q in exposition", i, want)
+			}
+		}
+	}
+
+	origin := CollectStats(Options{Broker: brokers[0], Wire: servers[0], Mesh: meshes[0]})
+	peer := CollectStats(Options{Broker: brokers[1], Wire: servers[1], Mesh: meshes[1]})
+	if origin.Mesh == nil || peer.Mesh == nil {
+		t.Fatal("stats.Mesh missing")
+	}
+	if origin.Mesh.Kind != "ssr" || origin.Mesh.ForwardedOut != 1 || origin.Mesh.ForwardedIn != 0 {
+		t.Errorf("origin mesh stats = %+v, want ssr with 1 forward out", origin.Mesh)
+	}
+	if peer.Mesh.ForwardedIn != 1 || peer.Mesh.ForwardedOut != 0 {
+		t.Errorf("peer mesh stats = %+v, want 1 forward in", peer.Mesh)
 	}
 }

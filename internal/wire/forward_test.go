@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/jms"
+)
+
+func TestForwardCodecRoundTrip(t *testing.T) {
+	m := jms.NewMessage("t")
+	_ = m.SetCorrelationID("#3")
+	m.SetBody([]byte("hello"))
+	inner := EncodeMessage(m)
+
+	for _, h := range []ForwardHeader{
+		{Origin: 0, Hops: 1},
+		{Origin: 7, Hops: 1, Batch: true},
+		{Origin: 1<<32 - 1, Hops: MaxForwardHops},
+	} {
+		payload := AppendForward(nil, h, inner)
+		got, gotInner, err := DecodeForward(payload)
+		if err != nil {
+			t.Fatalf("DecodeForward(%+v): %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("header = %+v, want %+v", got, h)
+		}
+		if !bytes.Equal(gotInner, inner) {
+			t.Fatal("inner bytes changed")
+		}
+	}
+
+	// EncodeForward prepends the request ID the raw form omits.
+	full := EncodeForward(42, ForwardHeader{Origin: 3, Hops: 1}, inner)
+	if got := binary.BigEndian.Uint64(full[:8]); got != 42 {
+		t.Fatalf("reqID = %d", got)
+	}
+	if !bytes.Equal(full[8:], AppendForward(nil, ForwardHeader{Origin: 3, Hops: 1}, inner)) {
+		t.Fatal("EncodeForward body diverges from AppendForward")
+	}
+}
+
+func TestForwardDecodeErrors(t *testing.T) {
+	inner := []byte{1}
+	cases := map[string][]byte{
+		"truncated header": {0, 0, 0, 1, 1},
+		"zero hops":        AppendForward(nil, ForwardHeader{Hops: 0}, inner),
+		"excess hops":      AppendForward(nil, ForwardHeader{Hops: MaxForwardHops + 1}, inner),
+		"unknown flags":    {0, 0, 0, 0, 1, 0x80, 1},
+		"empty inner":      AppendForward(nil, ForwardHeader{Hops: 1}, nil),
+	}
+	for name, payload := range cases {
+		if _, _, err := DecodeForward(payload); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+// recordingForwarder captures ingress-hook invocations and vetoes the
+// local publish when local is false.
+type recordingForwarder struct {
+	publishes atomic.Uint64
+	batches   atomic.Uint64
+	local     atomic.Bool
+	fail      atomic.Bool
+}
+
+func (f *recordingForwarder) ForwardPublish(m *jms.Message, raw []byte) (bool, error) {
+	f.publishes.Add(1)
+	if f.fail.Load() {
+		return false, errors.New("forward path down")
+	}
+	return f.local.Load(), nil
+}
+
+func (f *recordingForwarder) ForwardBatch(msgs []*jms.Message, raw []byte) (bool, error) {
+	f.batches.Add(1)
+	if f.fail.Load() {
+		return false, errors.New("forward path down")
+	}
+	return f.local.Load(), nil
+}
+
+func startForwardServer(t *testing.T, fw Forwarder) (*rawConn, *broker.Broker, *Server) {
+	t.Helper()
+	b := broker.New(broker.Options{})
+	if err := b.ConfigureTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeWith(b, ln, ServeOptions{Forwarder: fw})
+	t.Cleanup(func() {
+		_ = srv.Close()
+		_ = b.Close()
+	})
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	if err := conn.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	return &rawConn{t: t, conn: conn}, b, srv
+}
+
+// TestServerForwardRaw drives the FORWARD frame path: a forwarded publish
+// and a forwarded batch must be applied to the local broker (delivered to
+// a live subscriber, counted by ForwardsIn) without ever reaching the
+// configured Forwarder — the loop-suppression contract.
+func TestServerForwardRaw(t *testing.T) {
+	fw := &recordingForwarder{}
+	fw.local.Store(true)
+	rc, _, srv := startForwardServer(t, fw)
+
+	reqID := rc.request(FrameSubscribe, EncodeSubscribe("t", FilterSpec{Mode: FilterNone}))
+	ok := rc.read()
+	if ok.Type != FrameSubscribeOK || binary.BigEndian.Uint64(ok.Payload) != reqID {
+		t.Fatalf("frame = %v", ok.Type)
+	}
+
+	m := jms.NewMessage("t")
+	m.SetBody([]byte("forwarded"))
+	fwdReq := rc.request(FrameForward,
+		AppendForward(nil, ForwardHeader{Origin: 1, Hops: 1}, EncodeMessage(m)))
+
+	m2 := jms.NewMessage("t")
+	m2.SetBody([]byte("batched"))
+	batchReq := rc.request(FrameForward,
+		AppendForward(nil, ForwardHeader{Origin: 1, Hops: 1, Batch: true},
+			EncodeBatch([]*jms.Message{m2})))
+
+	acks, deliveries := 0, 0
+	for i := 0; i < 4; i++ {
+		f := rc.read()
+		switch f.Type {
+		case FramePubAck:
+			if id := binary.BigEndian.Uint64(f.Payload); id != fwdReq && id != batchReq {
+				t.Fatalf("ack for unknown request %d", id)
+			}
+			acks++
+		case FrameMessage:
+			deliveries++
+		default:
+			t.Fatalf("unexpected frame %v", f.Type)
+		}
+	}
+	if acks != 2 || deliveries != 2 {
+		t.Fatalf("acks=%d deliveries=%d, want 2/2", acks, deliveries)
+	}
+	if got := srv.ForwardsIn(); got != 2 {
+		t.Fatalf("ForwardsIn = %d, want 2", got)
+	}
+	if fw.publishes.Load() != 0 || fw.batches.Load() != 0 {
+		t.Fatal("FORWARD frames leaked into the Forwarder hook")
+	}
+
+	// A malformed forward (hop count out of range) drops the connection.
+	rc.request(FrameForward, AppendForward(nil, ForwardHeader{Hops: 0}, EncodeMessage(m)))
+	if _, err := ReadFrame(rc.conn); err == nil {
+		t.Fatal("want connection drop on malformed forward")
+	}
+}
+
+// TestServerForwarderHook exercises the client-publish ingress hook: the
+// forwarder sees every PUBLISH and BATCH, its local veto suppresses the
+// broker publish while still acking, and its error rejects the publish.
+func TestServerForwarderHook(t *testing.T) {
+	fw := &recordingForwarder{}
+	fw.local.Store(true)
+	rc, b, _ := startForwardServer(t, fw)
+
+	m := jms.NewMessage("t")
+	m.SetBody([]byte("x"))
+
+	expectAck := func(reqID uint64) {
+		t.Helper()
+		f := rc.read()
+		if f.Type != FramePubAck || binary.BigEndian.Uint64(f.Payload) != reqID {
+			t.Fatalf("frame = %v, want PUB_ACK for %d", f.Type, reqID)
+		}
+	}
+
+	// local=true: hook sees it, broker publishes it.
+	expectAck(rc.request(FramePublish, EncodeMessage(m)))
+	expectAck(rc.request(FrameBatch, EncodeBatch([]*jms.Message{m})))
+	if fw.publishes.Load() != 1 || fw.batches.Load() != 1 {
+		t.Fatalf("hook calls = %d/%d, want 1/1", fw.publishes.Load(), fw.batches.Load())
+	}
+	if got := b.Stats().Received; got != 2 {
+		t.Fatalf("broker received %d, want 2", got)
+	}
+
+	// local=false: acked but not published locally.
+	fw.local.Store(false)
+	expectAck(rc.request(FramePublish, EncodeMessage(m)))
+	expectAck(rc.request(FrameBatch, EncodeBatch([]*jms.Message{m})))
+	if got := b.Stats().Received; got != 2 {
+		t.Fatalf("vetoed publish reached the broker: received %d", got)
+	}
+
+	// error: the publish is rejected with an ERROR frame.
+	fw.fail.Store(true)
+	rc.expectError(rc.request(FramePublish, EncodeMessage(m)))
+	rc.expectError(rc.request(FrameBatch, EncodeBatch([]*jms.Message{m})))
+	if got := b.Stats().Received; got != 2 {
+		t.Fatalf("failed publish reached the broker: received %d", got)
+	}
+}

@@ -68,6 +68,15 @@ const (
 	// Unsolicited — it carries no request ID and has no reply. Sent today
 	// when a slow-consumer disconnect policy kicks the subscription.
 	FrameSubClosed
+	// FrameForward carries a publish replicated between mesh peers. The
+	// payload is a request ID (u64, like every request frame) and a fixed
+	// routing header (origin member u32, hop count u8, flags u8) followed
+	// verbatim by the original message or batch body (flag bit 0
+	// distinguishes them), so forwarding never re-encodes the message
+	// bytes. A broker publishes a FORWARD locally but never re-forwards
+	// it — structural loop suppression, no hop accounting on the hot
+	// path. Like PUBLISH it is answered with PUB_ACK.
+	FrameForward
 )
 
 // String names the frame type.
@@ -107,6 +116,8 @@ func (t FrameType) String() string {
 		return "MSG_BATCH"
 	case FrameSubClosed:
 		return "SUB_CLOSED"
+	case FrameForward:
+		return "FORWARD"
 	default:
 		return "FrameType(" + strconv.Itoa(int(t)) + ")"
 	}

@@ -291,6 +291,53 @@ func FuzzDecodeMessageView(f *testing.F) {
 	})
 }
 
+// FuzzDecodeForward feeds arbitrary bytes through the FORWARD payload
+// decoder. The contract mirrors the other decoders — reject garbage with
+// an error, never panic, never over-read — plus one stronger property the
+// verbatim-wrapping design makes possible: decode is a pure view, so
+// re-encoding an accepted payload must reproduce the input bytes exactly.
+func FuzzDecodeForward(f *testing.F) {
+	m := jms.NewMessage("orders")
+	_ = m.SetCorrelationID("#7")
+	_ = m.SetInt32Property("qty", 12)
+	m.SetBody([]byte("payload bytes"))
+	small := jms.NewMessage("t")
+	f.Add(AppendForward(nil, ForwardHeader{Origin: 0, Hops: 1}, EncodeMessage(m)))
+	f.Add(AppendForward(nil, ForwardHeader{Origin: 2, Hops: 1, Batch: true},
+		EncodeBatch([]*jms.Message{m, small})))
+	f.Add(AppendForward(nil, ForwardHeader{Origin: 1, Hops: MaxForwardHops}, EncodeMessage(small)))
+	// Malformed seeds: truncated header, zero and oversized hop counts,
+	// unknown flag bits, missing inner payload.
+	f.Add([]byte{0, 0, 0, 1, 1})
+	f.Add(AppendForward(nil, ForwardHeader{Hops: 0}, []byte{1}))
+	f.Add(AppendForward(nil, ForwardHeader{Hops: MaxForwardHops + 1}, []byte{1}))
+	f.Add([]byte{0, 0, 0, 0, 1, 0x80, 1})
+	f.Add(AppendForward(nil, ForwardHeader{Hops: 1}, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, inner, err := DecodeForward(data)
+		if err != nil {
+			return
+		}
+		if h.Hops == 0 || h.Hops > MaxForwardHops {
+			t.Fatalf("accepted hop count %d outside [1,%d]", h.Hops, MaxForwardHops)
+		}
+		if len(inner) == 0 {
+			t.Fatal("accepted a forward with no inner payload")
+		}
+		if reenc := AppendForward(nil, h, inner); !bytes.Equal(reenc, data) {
+			t.Fatalf("forward re-encode changed bytes:\n%x\n%x", data, reenc)
+		}
+		// The inner bytes feed the same decoders the server applies; they
+		// must reject-or-accept cleanly, never panic.
+		if h.Batch {
+			_, _ = DecodeBatch(inner)
+		} else {
+			_, _ = DecodeMessage(inner)
+		}
+	})
+}
+
 // checkMessageFixpoint asserts that encoding a decoded message is a
 // fixpoint: properties are canonically ordered (sorted names), so the
 // second encoding must be byte-identical to the first.

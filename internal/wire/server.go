@@ -29,6 +29,12 @@ type Server struct {
 	ln     net.Listener
 	log    *slog.Logger
 	tracer *trace.Recorder // nil disables flight recording
+	// forwarder, when non-nil, replicates client publishes to mesh peers
+	// (see forward.go). FORWARD frames bypass it by design.
+	forwarder Forwarder
+
+	// forwardsIn counts FORWARD frames applied locally.
+	forwardsIn atomic.Uint64
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -92,6 +98,11 @@ type ServeOptions struct {
 	// same recorder in broker.Options.Tracer so one trace spans both
 	// layers.
 	Tracer *trace.Recorder
+	// Forwarder, when non-nil, replicates client publishes to mesh peers
+	// (see forward.go): it is consulted at PUBLISH/BATCH ingress and
+	// decides whether the message is also published locally. FORWARD
+	// frames received from peers never reach it.
+	Forwarder Forwarder
 }
 
 // Serve starts accepting connections on ln and serving b. It returns
@@ -107,11 +118,12 @@ func ServeWith(b *broker.Broker, ln net.Listener, opts ServeOptions) *Server {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Server{
-		broker: b,
-		ln:     ln,
-		log:    logger,
-		tracer: opts.Tracer,
-		conns:  make(map[net.Conn]struct{}),
+		broker:    b,
+		ln:        ln,
+		log:       logger,
+		tracer:    opts.Tracer,
+		forwarder: opts.Forwarder,
+		conns:     make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -134,6 +146,10 @@ func (s *Server) OpenConns() int {
 
 // AcceptedConns returns the total number of connections accepted.
 func (s *Server) AcceptedConns() uint64 { return s.accepted.Load() }
+
+// ForwardsIn reports how many FORWARD frames from mesh peers this server
+// has applied to its local broker.
+func (s *Server) ForwardsIn() uint64 { return s.forwardsIn.Load() }
 
 // Close stops the listener and all connections and waits for the handler
 // goroutines to exit. It does not close the underlying broker.
@@ -371,103 +387,24 @@ func (sc *serverConn) handleFrame(f Frame) error {
 		return sc.write(Frame{Type: FrameConfigureTopicOK, Payload: EncodeU64(reqID)})
 
 	case FramePublish:
-		// Materialize through the connection arena: the payload is a view
-		// into the read window, so the message must own its bytes before
-		// the next frame is read.
-		m, err := sc.arena.DecodeMessageArena(rest)
-		if err != nil {
-			return err
-		}
-		if tr := sc.server.tracer; tr != nil && tr.Sampled(m.Header.TraceID) {
-			// ingress is the FrameReader read (it includes the socket wait
-			// for the publisher's bytes — arrival-side, reported but not
-			// part of the sojourn decomposition); decode is the arena
-			// materialization just performed.
-			decEnd := time.Now().UnixNano()
-			tr.RecordSpanNs(m.Header.TraceID, trace.StageIngress, sc.frameStartNs, sc.frameReadNs-sc.frameStartNs)
-			tr.RecordSpanNs(m.Header.TraceID, trace.StageDecode, sc.frameReadNs, decEnd-sc.frameReadNs)
-		}
-		// A publish stamped with a dedupe identity claims its (pub, seq)
-		// before it reaches the broker; a redelivery (the publisher resent
-		// because the ack was lost in a reconnect) is acknowledged without
-		// publishing again — at-least-once retry, effectively-once effect.
-		pub, seq, stamped := pubIdentity(m)
-		if stamped && !sc.server.dedupe.record(pub, seq) {
-			sc.server.duplicates.Add(1)
-			return sc.write(Frame{Type: FramePubAck, Payload: EncodeU64(reqID)})
-		}
-		// Blocking Publish implements push-back: the ack is delayed while
-		// the topic window is full, which throttles the remote publisher.
-		if err := sc.server.broker.Publish(context.Background(), m); err != nil {
-			// The sequence was claimed but never published; release it so
-			// a retry of this message is not swallowed as a duplicate.
-			if stamped {
-				sc.server.dedupe.unrecord(pub, seq)
-			}
-			sc.writeErr(reqID, err)
-			return nil
-		}
-		return sc.write(Frame{Type: FramePubAck, Payload: EncodeU64(reqID)})
+		return sc.handlePublishBody(reqID, rest, true)
 
 	case FrameBatch:
-		// Decode into a pooled carrier through the arena: the carrier's
-		// message slice, the arena's slabs and the match-stage scratch
-		// travel the pipeline as one unit and the carrier recycles after
-		// the batch's last transmit.
-		c := broker.GetBatchCarrier()
-		c.Msgs, err = sc.arena.AppendBatchMessages(c.Msgs[:0], rest)
+		return sc.handleBatchBody(reqID, rest, true)
+
+	case FrameForward:
+		// A peer replicated a publish here. Apply it locally exactly like
+		// the client frame it wraps, but never consult the forwarder —
+		// forwards are terminal, which suppresses loops structurally.
+		h, inner, err := DecodeForward(rest)
 		if err != nil {
-			c.Release()
 			return err
 		}
-		if tr := sc.server.tracer; tr != nil {
-			// Sampled batch members share the frame's ingress/decode cost:
-			// each records the full frame read and batch materialization
-			// window (one frame carried them all).
-			decEnd := time.Now().UnixNano()
-			for _, m := range c.Msgs {
-				if tr.Sampled(m.Header.TraceID) {
-					tr.RecordSpanNs(m.Header.TraceID, trace.StageIngress, sc.frameStartNs, sc.frameReadNs-sc.frameStartNs)
-					tr.RecordSpanNs(m.Header.TraceID, trace.StageDecode, sc.frameReadNs, decEnd-sc.frameReadNs)
-				}
-			}
+		sc.server.forwardsIn.Add(1)
+		if h.Batch {
+			return sc.handleBatchBody(reqID, inner, false)
 		}
-		// Per-message dedupe: a redelivered batch (its shared ack was lost
-		// in a reconnect) may overlap already-claimed sequences. Duplicates
-		// are compacted out in place, the fresh remainder is published as
-		// one unit, and the single PUB_ACK covers the whole batch either
-		// way.
-		type claim struct {
-			pub string
-			seq int64
-		}
-		var claimScratch [16]claim
-		claims := claimScratch[:0]
-		fresh := c.Msgs[:0]
-		for _, m := range c.Msgs {
-			pub, seq, stamped := pubIdentity(m)
-			if stamped {
-				if !sc.server.dedupe.record(pub, seq) {
-					sc.server.duplicates.Add(1)
-					continue
-				}
-				claims = append(claims, claim{pub: pub, seq: seq})
-			}
-			fresh = append(fresh, m)
-		}
-		c.Msgs = fresh
-		if err := sc.server.broker.PublishBatchCarrier(context.Background(), c); err != nil {
-			// Claimed but never published; release every claim so a retry
-			// of the batch is not swallowed as duplicates, and reclaim the
-			// carrier (ownership stayed with us on error).
-			for _, cl := range claims {
-				sc.server.dedupe.unrecord(cl.pub, cl.seq)
-			}
-			c.Release()
-			sc.writeErr(reqID, err)
-			return nil
-		}
-		return sc.write(Frame{Type: FramePubAck, Payload: EncodeU64(reqID)})
+		return sc.handlePublishBody(reqID, inner, false)
 
 	case FrameSubscribe:
 		topicName, spec, err := DecodeSubscribe(rest)
@@ -576,6 +513,149 @@ func (sc *serverConn) handleFrame(f Frame) error {
 		sc.writeErr(reqID, fmt.Errorf("wire: unexpected frame %s", f.Type))
 		return nil
 	}
+}
+
+// handlePublishBody applies one encoded message body (a PUBLISH payload
+// after its request ID, or a FORWARD frame's inner bytes). fromClient
+// selects the mesh ingress: client publishes are offered to the
+// configured Forwarder, which may replicate them to peers and veto the
+// local publish; forwarded publishes are always applied locally only.
+func (sc *serverConn) handlePublishBody(reqID uint64, body []byte, fromClient bool) error {
+	// Materialize through the connection arena: the payload is a view
+	// into the read window, so the message must own its bytes before
+	// the next frame is read.
+	m, err := sc.arena.DecodeMessageArena(body)
+	if err != nil {
+		return err
+	}
+	if tr := sc.server.tracer; tr != nil && tr.Sampled(m.Header.TraceID) {
+		// ingress is the FrameReader read (it includes the socket wait
+		// for the publisher's bytes — arrival-side, reported but not
+		// part of the sojourn decomposition); decode is the arena
+		// materialization just performed.
+		decEnd := time.Now().UnixNano()
+		tr.RecordSpanNs(m.Header.TraceID, trace.StageIngress, sc.frameStartNs, sc.frameReadNs-sc.frameStartNs)
+		tr.RecordSpanNs(m.Header.TraceID, trace.StageDecode, sc.frameReadNs, decEnd-sc.frameReadNs)
+	}
+	// A publish stamped with a dedupe identity claims its (pub, seq)
+	// before it reaches the broker; a redelivery (the publisher resent
+	// because the ack was lost in a reconnect) is acknowledged without
+	// publishing again — at-least-once retry, effectively-once effect.
+	// Duplicates are suppressed before the forwarder sees them, so a
+	// retry is not replicated twice either (peer dedupe tables would
+	// catch it regardless — the identity is publisher-stamped).
+	pub, seq, stamped := pubIdentity(m)
+	if stamped && !sc.server.dedupe.record(pub, seq) {
+		sc.server.duplicates.Add(1)
+		return sc.write(Frame{Type: FramePubAck, Payload: EncodeU64(reqID)})
+	}
+	local := true
+	if fw := sc.server.forwarder; fw != nil && fromClient {
+		if local, err = fw.ForwardPublish(m, body); err != nil {
+			if stamped {
+				sc.server.dedupe.unrecord(pub, seq)
+			}
+			sc.writeErr(reqID, err)
+			return nil
+		}
+	}
+	if local {
+		// Blocking Publish implements push-back: the ack is delayed while
+		// the topic window is full, which throttles the remote publisher.
+		if err := sc.server.broker.Publish(context.Background(), m); err != nil {
+			// The sequence was claimed but never published; release it so
+			// a retry of this message is not swallowed as a duplicate.
+			if stamped {
+				sc.server.dedupe.unrecord(pub, seq)
+			}
+			sc.writeErr(reqID, err)
+			return nil
+		}
+	}
+	return sc.write(Frame{Type: FramePubAck, Payload: EncodeU64(reqID)})
+}
+
+// handleBatchBody applies one encoded BATCH body (after its request ID, or
+// a FORWARD frame's inner bytes). See handlePublishBody for the fromClient
+// contract.
+func (sc *serverConn) handleBatchBody(reqID uint64, body []byte, fromClient bool) error {
+	// Decode into a pooled carrier through the arena: the carrier's
+	// message slice, the arena's slabs and the match-stage scratch
+	// travel the pipeline as one unit and the carrier recycles after
+	// the batch's last transmit.
+	var err error
+	c := broker.GetBatchCarrier()
+	c.Msgs, err = sc.arena.AppendBatchMessages(c.Msgs[:0], body)
+	if err != nil {
+		c.Release()
+		return err
+	}
+	if tr := sc.server.tracer; tr != nil {
+		// Sampled batch members share the frame's ingress/decode cost:
+		// each records the full frame read and batch materialization
+		// window (one frame carried them all).
+		decEnd := time.Now().UnixNano()
+		for _, m := range c.Msgs {
+			if tr.Sampled(m.Header.TraceID) {
+				tr.RecordSpanNs(m.Header.TraceID, trace.StageIngress, sc.frameStartNs, sc.frameReadNs-sc.frameStartNs)
+				tr.RecordSpanNs(m.Header.TraceID, trace.StageDecode, sc.frameReadNs, decEnd-sc.frameReadNs)
+			}
+		}
+	}
+	// The forwarder sees the batch before dedupe compaction, so the raw
+	// bytes and the decoded messages agree; peers suppress any duplicate
+	// members with their own dedupe tables.
+	local := true
+	if fw := sc.server.forwarder; fw != nil && fromClient {
+		if local, err = fw.ForwardBatch(c.Msgs, body); err != nil {
+			c.Release()
+			sc.writeErr(reqID, err)
+			return nil
+		}
+	}
+	// Per-message dedupe: a redelivered batch (its shared ack was lost
+	// in a reconnect) may overlap already-claimed sequences. Duplicates
+	// are compacted out in place, the fresh remainder is published as
+	// one unit, and the single PUB_ACK covers the whole batch either
+	// way.
+	type claim struct {
+		pub string
+		seq int64
+	}
+	var claimScratch [16]claim
+	claims := claimScratch[:0]
+	fresh := c.Msgs[:0]
+	for _, m := range c.Msgs {
+		pub, seq, stamped := pubIdentity(m)
+		if stamped {
+			if !sc.server.dedupe.record(pub, seq) {
+				sc.server.duplicates.Add(1)
+				continue
+			}
+			claims = append(claims, claim{pub: pub, seq: seq})
+		}
+		fresh = append(fresh, m)
+	}
+	c.Msgs = fresh
+	if !local {
+		// The forwarder owns delivery (hash topology, non-owner entry):
+		// nothing is published here, and the claims stand — the ack below
+		// covers the batch.
+		c.Release()
+		return sc.write(Frame{Type: FramePubAck, Payload: EncodeU64(reqID)})
+	}
+	if err := sc.server.broker.PublishBatchCarrier(context.Background(), c); err != nil {
+		// Claimed but never published; release every claim so a retry
+		// of the batch is not swallowed as duplicates, and reclaim the
+		// carrier (ownership stayed with us on error).
+		for _, cl := range claims {
+			sc.server.dedupe.unrecord(cl.pub, cl.seq)
+		}
+		c.Release()
+		sc.writeErr(reqID, err)
+		return nil
+	}
+	return sc.write(Frame{Type: FramePubAck, Payload: EncodeU64(reqID)})
 }
 
 // deliveryCoalesce bounds how many queued deliveries one pump iteration
